@@ -1,0 +1,172 @@
+//! Executes an assignment policy against a crowd oracle under a question
+//! budget.
+
+use crowdkit_core::error::Result;
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::CrowdOracle;
+
+use crate::policy::{AssignState, AssignmentPolicy};
+
+/// The result of a budgeted assignment run.
+#[derive(Debug, Clone)]
+pub struct AssignmentOutcome {
+    /// Collected responses, ready for truth inference.
+    pub matrix: ResponseMatrix,
+    /// Final per-task vote counts (aligned with the input task slice).
+    pub votes: Vec<Vec<u32>>,
+    /// Answers actually purchased (≤ `budget_questions`).
+    pub questions_asked: usize,
+}
+
+/// Runs `policy` over `tasks`, buying at most `budget_questions` answers
+/// total and at most `max_per_task` per task.
+///
+/// All tasks must be single-choice over label spaces of the same size.
+/// Collection ends when the budget is spent, the policy returns `None`, or
+/// the oracle's own budget/pool is exhausted.
+pub fn run_assignment<O, P>(
+    oracle: &mut O,
+    tasks: &[Task],
+    policy: &mut P,
+    budget_questions: usize,
+    max_per_task: u32,
+) -> Result<AssignmentOutcome>
+where
+    O: CrowdOracle + ?Sized,
+    P: AssignmentPolicy + ?Sized,
+{
+    let k = tasks
+        .iter()
+        .filter_map(Task::num_labels)
+        .max()
+        .unwrap_or(2);
+    let mut state = AssignState::new(tasks.len(), k, max_per_task);
+    let mut matrix = ResponseMatrix::new(k);
+    let mut asked = 0usize;
+
+    while asked < budget_questions {
+        let Some(t) = policy.next_task(&state) else {
+            break;
+        };
+        match oracle.ask_one(&tasks[t]) {
+            Ok(answer) => {
+                if let Some(label) = answer.value.as_choice() {
+                    matrix.push(answer.task, answer.worker, label)?;
+                    state.record(t, label);
+                    asked += 1;
+                }
+            }
+            Err(e) if e.is_resource_exhaustion() => break,
+            Err(e) => return Err(e),
+        }
+    }
+
+    Ok(AssignmentOutcome {
+        matrix,
+        votes: state.votes,
+        questions_asked: asked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{EntropyGreedy, RoundRobin};
+    use crowdkit_core::answer::{Answer, AnswerValue};
+    use crowdkit_core::error::CrowdError;
+    use crowdkit_core::ids::{TaskId, WorkerId};
+
+    struct TruthfulOracle {
+        next_worker: u64,
+        cap: u64,
+        delivered: u64,
+    }
+
+    impl CrowdOracle for TruthfulOracle {
+        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+            if self.delivered >= self.cap {
+                return Err(CrowdError::BudgetExhausted {
+                    requested: 1.0,
+                    remaining: 0.0,
+                });
+            }
+            self.delivered += 1;
+            let w = WorkerId::new(self.next_worker);
+            self.next_worker += 1;
+            Ok(Answer::bare(
+                task.id,
+                w,
+                task.truth.clone().expect("tasks carry truth"),
+            ))
+        }
+        fn remaining_budget(&self) -> Option<f64> {
+            Some((self.cap - self.delivered) as f64)
+        }
+        fn answers_delivered(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    fn tasks(n: usize) -> Vec<Task> {
+        (0..n)
+            .map(|i| {
+                Task::binary(TaskId::new(i as u64), format!("t{i}"))
+                    .with_truth(AnswerValue::Choice(1))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn budget_caps_total_questions() {
+        let ts = tasks(5);
+        let mut oracle = TruthfulOracle {
+            next_worker: 0,
+            cap: 1000,
+            delivered: 0,
+        };
+        let out = run_assignment(&mut oracle, &ts, &mut RoundRobin, 7, 10).unwrap();
+        assert_eq!(out.questions_asked, 7);
+        assert_eq!(out.matrix.num_observations(), 7);
+    }
+
+    #[test]
+    fn per_task_cap_is_respected() {
+        let ts = tasks(2);
+        let mut oracle = TruthfulOracle {
+            next_worker: 0,
+            cap: 1000,
+            delivered: 0,
+        };
+        let out = run_assignment(&mut oracle, &ts, &mut RoundRobin, 100, 3).unwrap();
+        // 2 tasks × cap 3 = 6 questions, then the policy returns None.
+        assert_eq!(out.questions_asked, 6);
+        assert!(out.votes.iter().all(|v| v.iter().sum::<u32>() == 3));
+    }
+
+    #[test]
+    fn oracle_exhaustion_ends_gracefully() {
+        let ts = tasks(5);
+        let mut oracle = TruthfulOracle {
+            next_worker: 0,
+            cap: 3,
+            delivered: 0,
+        };
+        let out = run_assignment(&mut oracle, &ts, &mut EntropyGreedy, 100, 10).unwrap();
+        assert_eq!(out.questions_asked, 3);
+    }
+
+    #[test]
+    fn votes_align_with_task_slice_order() {
+        let ts = tasks(3);
+        let mut oracle = TruthfulOracle {
+            next_worker: 0,
+            cap: 1000,
+            delivered: 0,
+        };
+        let out = run_assignment(&mut oracle, &ts, &mut RoundRobin, 6, 10).unwrap();
+        for v in &out.votes {
+            assert_eq!(v[1], 2, "each task got two truthful '1' votes");
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Criterion micro-benchmarks for the declarative-layer kernels behind
+//! E10/E11: Datalog parsing and fixpoint evaluation, CrowdSQL parsing,
+//! planning, and machine-side execution.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdkit_datalog::{parse_program, Engine, EngineConfig, NullResolver};
+use crowdkit_sql::Session;
+
+fn chain_program(n: usize) -> String {
+    let mut src = String::new();
+    for i in 0..n {
+        src.push_str(&format!("edge({i}, {}).\n", i + 1));
+    }
+    src.push_str("path(X, Y) :- edge(X, Y).\n");
+    src.push_str("path(X, Z) :- edge(X, Y), path(Y, Z).\n");
+    src
+}
+
+fn bench_datalog(c: &mut Criterion) {
+    let mut group = c.benchmark_group("datalog");
+    group.sample_size(10);
+    for &n in &[50usize, 150] {
+        let src = chain_program(n);
+        group.bench_with_input(BenchmarkId::new("parse", n), &src, |b, src| {
+            b.iter(|| parse_program(std::hint::black_box(src)).unwrap());
+        });
+        let program = parse_program(&src).unwrap();
+        // Ablation: semi-naive (delta-restricted) vs naive fixpoint. The
+        // naive strategy is quartic on a chain, so it is only measured at
+        // the small size — that asymmetry *is* the result.
+        let mut configs = vec![("tc_semi_naive", true)];
+        if n <= 50 {
+            configs.push(("tc_naive", false));
+        }
+        for (label, semi_naive) in configs {
+            let engine = Engine::new(program.clone()).unwrap().with_config(EngineConfig {
+                semi_naive,
+                ..EngineConfig::default()
+            });
+            group.bench_with_input(BenchmarkId::new(label, n), &engine, |b, engine| {
+                b.iter(|| engine.run(&mut NullResolver).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_sql(c: &mut Criterion) {
+    let mut group = c.benchmark_group("crowdsql");
+    let mut session = Session::new();
+    session
+        .execute_ddl("CREATE TABLE items (id INT, name TEXT, category CROWD TEXT)")
+        .unwrap();
+    for i in 0..2000 {
+        session
+            .execute_ddl(&format!("INSERT INTO items VALUES ({i}, 'item{i}', NULL)"))
+            .unwrap();
+    }
+    let sql = "SELECT name FROM items WHERE id >= 100 AND id < 1000 ORDER BY id DESC LIMIT 50";
+
+    group.bench_function("parse_plan_explain", |b| {
+        b.iter(|| session.explain(std::hint::black_box(sql), true).unwrap());
+    });
+    group.bench_function("machine_exec_2k_rows", |b| {
+        b.iter(|| session.query_machine(std::hint::black_box(sql)).unwrap());
+    });
+
+    // Equi-join: optimizer's hash join vs the naive cross product. Built
+    // small enough that the quadratic plan still terminates quickly.
+    let mut join_session = Session::new();
+    join_session.execute_ddl("CREATE TABLE a (k INT)").unwrap();
+    join_session.execute_ddl("CREATE TABLE b (k INT)").unwrap();
+    for i in 0..300 {
+        join_session
+            .execute_ddl(&format!("INSERT INTO a VALUES ({})", i % 50))
+            .unwrap();
+        join_session
+            .execute_ddl(&format!("INSERT INTO b VALUES ({})", i % 50))
+            .unwrap();
+    }
+    let join_sql = "SELECT COUNT(*) FROM a, b WHERE a.k = b.k";
+    group.bench_function("equi_join_hash_300x300", |b| {
+        b.iter(|| join_session.query_machine(std::hint::black_box(join_sql)).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_datalog, bench_sql);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Criterion micro-benchmarks for the operator kernels behind E3/E4/E7:
+//! blocking, constraint clustering, rank aggregation, and species
+//! estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdkit_ops::collect::{chao92, ItemCounts};
+use crowdkit_ops::join::{candidate_pairs, ConstraintClustering};
+use crowdkit_ops::sort::rankers::{borda, bradley_terry, copeland, elo};
+use crowdkit_ops::sort::ComparisonGraph;
+use crowdkit_sim::dataset::EntityDataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn bench_blocking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("blocking");
+    for &entities in &[100usize, 400] {
+        let data = EntityDataset::generate(entities, 4, 2, 3);
+        let texts: Vec<String> = data.records.iter().map(|r| r.text.clone()).collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(texts.len()),
+            &texts,
+            |b, texts| {
+                b.iter(|| candidate_pairs(std::hint::black_box(texts), 0.4));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("constraint_clustering");
+    for &n in &[1000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let ops: Vec<(usize, usize, bool)> = (0..n)
+                .map(|_| {
+                    (
+                        rng.gen_range(0..n),
+                        rng.gen_range(0..n),
+                        rng.gen_bool(0.5),
+                    )
+                })
+                .filter(|(a, b, _)| a != b)
+                .collect();
+            b.iter(|| {
+                let mut cc = ConstraintClustering::new(n);
+                for &(a, b, same) in &ops {
+                    if same {
+                        cc.record_same(a, b);
+                    } else {
+                        cc.record_different(a, b);
+                    }
+                }
+                cc.labels()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn comparison_graph(n: usize) -> ComparisonGraph {
+    let mut g = ComparisonGraph::new(n);
+    let mut rng = StdRng::seed_from_u64(2);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            // Latent order = index order with 15 % noise, 3 votes.
+            for _ in 0..3 {
+                if rng.gen_bool(0.85) {
+                    g.record(b, a);
+                } else {
+                    g.record(a, b);
+                }
+            }
+        }
+    }
+    g
+}
+
+fn bench_rankers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rankers");
+    let g = comparison_graph(80);
+    group.bench_function("borda", |b| b.iter(|| borda(std::hint::black_box(&g))));
+    group.bench_function("copeland", |b| b.iter(|| copeland(std::hint::black_box(&g))));
+    group.bench_function("elo", |b| b.iter(|| elo(std::hint::black_box(&g), 32.0, 3)));
+    group.bench_function("btl", |b| {
+        b.iter(|| bradley_terry(std::hint::black_box(&g), 100, 1e-8))
+    });
+    group.finish();
+}
+
+fn bench_species_estimation(c: &mut Criterion) {
+    let mut counts = ItemCounts::new();
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..5000 {
+        let i: usize = rng.gen_range(1..=500);
+        counts.record(&format!("item{}", i * i % 997));
+    }
+    c.bench_function("chao92", |b| {
+        b.iter(|| chao92(std::hint::black_box(&counts)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_blocking,
+    bench_clustering,
+    bench_rankers,
+    bench_species_estimation
+);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks for the platform-simulator kernels behind
+//! E9: answer generation throughput and the round/straggler simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdkit_core::traits::CrowdOracle;
+use crowdkit_sim::dataset::LabelingDataset;
+use crowdkit_sim::latency::{LatencyModel, RoundSimulator, StragglerPolicy};
+use crowdkit_sim::population::mixes;
+use crowdkit_sim::SimulatedCrowd;
+
+fn bench_platform_throughput(c: &mut Criterion) {
+    let data = LabelingDataset::binary(500, 1);
+    c.bench_function("platform_ask_500x3", |b| {
+        b.iter(|| {
+            let mut crowd = SimulatedCrowd::new(mixes::mixed(100, 1), 1);
+            for task in &data.tasks {
+                let _ = crowd.ask_many(std::hint::black_box(task), 3).unwrap();
+            }
+            crowd.answers_delivered()
+        });
+    });
+}
+
+fn bench_round_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_simulator");
+    for (name, policy) in [
+        ("wait", StragglerPolicy::Wait),
+        ("reissue", StragglerPolicy::Reissue { quantile: 0.8 }),
+        ("drop", StragglerPolicy::Drop { quantile: 0.9 }),
+    ] {
+        let sim = RoundSimulator {
+            latency: LatencyModel::human_default(),
+            pool: 60,
+            round_size: 60,
+            policy,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(name), &sim, |b, sim| {
+            b.iter(|| sim.run(200, 3, std::hint::black_box(5)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_platform_throughput, bench_round_simulation);
+criterion_main!(benches);

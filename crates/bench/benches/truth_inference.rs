@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks for the truth-inference kernels behind
+//! experiments E1/E2: algorithm runtime over a fixed response matrix as
+//! task count and redundancy scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::traits::TruthInferencer;
+use crowdkit_sim::dataset::LabelingDataset;
+use crowdkit_sim::population::mixes;
+use crowdkit_sim::SimulatedCrowd;
+use crowdkit_truth::{pipeline::label_tasks, DawidSkene, Glad, Kos, MajorityVote, OneCoinEm};
+
+/// Builds a realistic response matrix by running the collection pipeline
+/// once (outside the timed region).
+fn matrix(n_tasks: usize, k: usize) -> ResponseMatrix {
+    let data = LabelingDataset::binary(n_tasks, 7);
+    let mut crowd = SimulatedCrowd::new(mixes::mixed(60, 7), 7);
+    label_tasks(&mut crowd, &data.tasks, k, &MajorityVote)
+        .expect("collection succeeds")
+        .matrix
+}
+
+fn bench_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("truth_inference");
+    for &n in &[200usize, 1000] {
+        let m = matrix(n, 5);
+        let algos: Vec<(&str, Box<dyn TruthInferencer>)> = vec![
+            ("mv", Box::new(MajorityVote)),
+            ("zc", Box::new(OneCoinEm::default())),
+            ("ds", Box::new(DawidSkene::default())),
+            ("glad", Box::new(Glad::default())),
+            ("kos", Box::new(Kos::default())),
+        ];
+        for (name, algo) in algos {
+            group.bench_with_input(BenchmarkId::new(name, n), &m, |b, m| {
+                b.iter(|| algo.infer(std::hint::black_box(m)).unwrap());
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_redundancy_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ds_redundancy");
+    for &k in &[3usize, 9, 15] {
+        let m = matrix(300, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &m, |b, m| {
+            let ds = DawidSkene::default();
+            b.iter(|| ds.infer(std::hint::black_box(m)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference, bench_redundancy_scaling);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! The experiment runner.
+//!
+//! ```sh
+//! experiments all          # every experiment, in order
+//! experiments e1 e3 e10    # selected experiments
+//! experiments list         # id + description
+//! ```
+
+use std::process::ExitCode;
+
+use crowdkit_bench::{run_by_name, EXPERIMENTS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "help" || args[0] == "--help" {
+        eprintln!("usage: experiments <all | list | e1 [e2 …]>");
+        return ExitCode::from(2);
+    }
+    if args[0] == "list" {
+        for e in EXPERIMENTS {
+            println!("{:<4} {}", e.id, e.description);
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ids: Vec<&str> = if args[0] == "all" {
+        EXPERIMENTS.iter().map(|e| e.id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for id in ids {
+        match run_by_name(id) {
+            Some(output) => print!("{output}"),
+            None => {
+                eprintln!("unknown experiment '{id}' (try `experiments list`)");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

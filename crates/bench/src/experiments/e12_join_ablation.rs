@@ -1,0 +1,93 @@
+//! E12 — ER ablation: transitivity × ask order.
+//!
+//! The design choice DESIGN.md calls out for `ops::join`: transitive
+//! deduction only pays when likely-match pairs are asked early enough to
+//! form clusters. This ablation crosses deduction on/off with
+//! similarity-descending vs random ask order. Expected shape: deduction
+//! with similarity order asks the fewest pairs; deduction with random
+//! order sits in between; without deduction the order is irrelevant.
+
+use crowdkit_core::answer::AnswerValue;
+use crowdkit_core::metrics::pairwise_cluster_f1;
+use crowdkit_core::task::Task;
+use crowdkit_ops::join::{candidate_pairs, crowd_join, AskOrder, JoinConfig};
+use crowdkit_sim::dataset::EntityDataset;
+use crowdkit_sim::population::PopulationBuilder;
+use crowdkit_sim::SimulatedCrowd;
+
+use crate::table::{f3, Table};
+
+const SEED: u64 = 121;
+
+fn run_config(use_transitivity: bool, order: AskOrder) -> (usize, usize, f64) {
+    let data = EntityDataset::generate(70, 4, 1, SEED);
+    let texts: Vec<String> = data.records.iter().map(|r| r.text.clone()).collect();
+    let cands = candidate_pairs(&texts, 0.35);
+    let pop = PopulationBuilder::new().reliable(60, 0.92, 0.99).build(SEED);
+    let mut crowd = SimulatedCrowd::new(pop, SEED);
+    let out = crowd_join(
+        &mut crowd,
+        texts.len(),
+        &cands,
+        |id, a, b| {
+            Task::binary(id, format!("{a} vs {b}"))
+                .with_truth(AnswerValue::Choice(data.same_entity(a, b) as u32))
+        },
+        &JoinConfig {
+            votes_per_pair: 3,
+            use_transitivity,
+            order,
+        },
+    )
+    .expect("join succeeds");
+    let f1 = pairwise_cluster_f1(&out.clusters, &data.truth_clusters()).f1();
+    (
+        out.pairs_asked,
+        out.deduced_same + out.deduced_different,
+        f1,
+    )
+}
+
+/// Runs E12.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        "E12: ER ablation — transitive deduction × ask order (70 entities, 3 votes/pair)",
+        &["configuration", "pairs asked", "pairs deduced", "cluster F1"],
+    );
+    for (name, trans, order) in [
+        ("deduction + similarity order", true, AskOrder::SimilarityDesc),
+        ("deduction + random order", true, AskOrder::Random(SEED)),
+        ("no deduction + similarity order", false, AskOrder::SimilarityDesc),
+        ("no deduction + random order", false, AskOrder::Random(SEED)),
+    ] {
+        let (asked, deduced, f1) = run_config(trans, order);
+        t.row(vec![
+            name.into(),
+            asked.to_string(),
+            deduced.to_string(),
+            f3(f1),
+        ]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e12_shape_deduction_saves_and_order_matters_only_with_deduction() {
+        let (sim_ded, ded1, f1a) = run_config(true, AskOrder::SimilarityDesc);
+        let (rand_ded, _, _) = run_config(true, AskOrder::Random(SEED));
+        let (no_ded_sim, z1, f1b) = run_config(false, AskOrder::SimilarityDesc);
+        let (no_ded_rand, z2, _) = run_config(false, AskOrder::Random(SEED));
+
+        assert!(ded1 > 0, "deduction fires");
+        assert_eq!(z1, 0);
+        assert_eq!(z2, 0);
+        assert!(sim_ded < no_ded_sim, "deduction asks fewer pairs");
+        assert!(sim_ded <= rand_ded, "similarity order at least matches random");
+        assert_eq!(no_ded_sim, no_ded_rand, "without deduction, order is cost-neutral");
+        assert!((f1a - f1b).abs() < 0.1, "quality unchanged: {f1a:.3} vs {f1b:.3}");
+    }
+}

@@ -1,0 +1,114 @@
+//! E13 — Gold-question injection.
+//!
+//! Quality control without a worker model: seed the stream with questions
+//! whose answers are known, score workers on them, and weight/eliminate
+//! accordingly. Expected shape: on spam-heavy crowds, gold-weighted voting
+//! closes most of the MV→EM gap once a few percent of tasks are gold, at
+//! the cost of the gold questions themselves.
+
+use crowdkit_core::traits::TruthInferencer;
+use crowdkit_sim::dataset::LabelingDataset;
+use crowdkit_sim::population::mixes;
+use crowdkit_sim::SimulatedCrowd;
+use crowdkit_truth::gold::{inject_gold_stride, GoldWeightedVote};
+use crowdkit_truth::{pipeline::label_tasks, DawidSkene, MajorityVote};
+
+use crate::table::{pct, Table};
+
+const N_TASKS: usize = 300;
+const K: usize = 5;
+const SEEDS: [u64; 3] = [131, 132, 133];
+
+/// Accuracy on *non-gold* tasks for one configuration.
+fn run_config(gold_stride: Option<usize>, algo_name: &str, seed: u64) -> f64 {
+    let data = LabelingDataset::binary(N_TASKS, seed);
+    let ids: Vec<_> = data.tasks.iter().map(|t| t.id).collect();
+    let gold = gold_stride.map(|s| inject_gold_stride(&ids, &data.truths, s));
+
+    let mut crowd = SimulatedCrowd::new(mixes::spam_heavy(60, seed), seed);
+    let mv = MajorityVote;
+    let ds = DawidSkene::default();
+    let gwv = gold.clone().map(GoldWeightedVote::new);
+    let algo: &dyn TruthInferencer = match algo_name {
+        "mv" => &mv,
+        "ds" => &ds,
+        _ => gwv.as_ref().expect("gold configured for gold_wmv"),
+    };
+    let out = label_tasks(&mut crowd, &data.tasks, K, algo).expect("collection succeeds");
+
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for (task, &truth) in data.tasks.iter().zip(&data.truths) {
+        if gold.as_ref().map(|g| g.contains(task.id)).unwrap_or(false) {
+            continue; // score only the tasks we actually needed answered
+        }
+        total += 1;
+        if out.label_for(task) == Some(truth) {
+            correct += 1;
+        }
+    }
+    correct as f64 / total as f64
+}
+
+fn mean_over_seeds(gold_stride: Option<usize>, algo: &str) -> f64 {
+    SEEDS
+        .iter()
+        .map(|&s| run_config(gold_stride, algo, s))
+        .sum::<f64>()
+        / SEEDS.len() as f64
+}
+
+/// Runs E13.
+pub fn run() -> Vec<Table> {
+    let mut t = Table::new(
+        format!(
+            "E13: gold injection on a spam-heavy crowd ({N_TASKS} tasks, k={K}, accuracy on non-gold tasks, mean of {} seeds)",
+            SEEDS.len()
+        ),
+        &["configuration", "gold tasks", "accuracy"],
+    );
+    t.row(vec![
+        "mv (no gold)".into(),
+        "0".into(),
+        pct(mean_over_seeds(None, "mv")),
+    ]);
+    for stride in [20usize, 10, 5] {
+        let gold_count = N_TASKS.div_ceil(stride);
+        t.row(vec![
+            format!("gold_wmv (every {stride}th gold)"),
+            gold_count.to_string(),
+            pct(mean_over_seeds(Some(stride), "gold_wmv")),
+        ]);
+    }
+    t.row(vec![
+        "ds (model-based, no gold)".into(),
+        "0".into(),
+        pct(mean_over_seeds(None, "ds")),
+    ]);
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e13_shape_gold_weighting_beats_plain_mv_under_spam() {
+        let mv = mean_over_seeds(None, "mv");
+        let gold10 = mean_over_seeds(Some(10), "gold_wmv");
+        assert!(
+            gold10 > mv + 0.05,
+            "gold_wmv at 10% gold ({gold10:.3}) should clearly beat MV ({mv:.3})"
+        );
+    }
+
+    #[test]
+    fn e13_shape_more_gold_does_not_hurt() {
+        let sparse = mean_over_seeds(Some(20), "gold_wmv");
+        let dense = mean_over_seeds(Some(5), "gold_wmv");
+        assert!(
+            dense >= sparse - 0.03,
+            "denser gold ({dense:.3}) should not trail sparse gold ({sparse:.3})"
+        );
+    }
+}

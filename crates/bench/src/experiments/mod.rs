@@ -1,0 +1,171 @@
+//! The experiment registry. Each module regenerates one table/figure from
+//! DESIGN.md's per-experiment index.
+
+pub mod e01_truth_accuracy;
+pub mod e02_worker_quality;
+pub mod e03_join_cost;
+pub mod e04_ranking;
+pub mod e05_filter_stopping;
+pub mod e06_count_estimation;
+pub mod e07_collection;
+pub mod e08_assignment;
+pub mod e09_latency;
+pub mod e10_sql_optimizer;
+pub mod e11_datalog_fetch;
+pub mod e12_join_ablation;
+pub mod e13_gold_injection;
+pub mod e14_hit_batching;
+pub mod e15_selective_output;
+pub mod e16_numeric_aggregation;
+pub mod e17_worker_supply;
+
+use crate::table::Table;
+
+/// An experiment entry: id, description, and runner.
+pub struct Experiment {
+    /// Short id ("e1").
+    pub id: &'static str,
+    /// One-line description (matches DESIGN.md).
+    pub description: &'static str,
+    /// Produces the experiment's tables.
+    pub run: fn() -> Vec<Table>,
+}
+
+/// All experiments, in id order.
+pub const EXPERIMENTS: &[Experiment] = &[
+    Experiment {
+        id: "e1",
+        description: "truth-inference accuracy vs redundancy across crowd mixes",
+        run: e01_truth_accuracy::run,
+    },
+    Experiment {
+        id: "e2",
+        description: "worker-quality estimation error vs answers per worker",
+        run: e02_worker_quality::run,
+    },
+    Experiment {
+        id: "e3",
+        description: "crowd join cost ladder: all-pairs vs blocking vs transitivity",
+        run: e03_join_cost::run,
+    },
+    Experiment {
+        id: "e4",
+        description: "ranking quality (Kendall tau) vs comparison budget",
+        run: e04_ranking::run,
+    },
+    Experiment {
+        id: "e5",
+        description: "filter cost/accuracy under stopping rules and selectivities",
+        run: e05_filter_stopping::run,
+    },
+    Experiment {
+        id: "e6",
+        description: "sampling-based COUNT: error and CI width vs sample fraction",
+        run: e06_count_estimation::run,
+    },
+    Experiment {
+        id: "e7",
+        description: "open-world collection: accumulation curve and Chao92",
+        run: e07_collection::run,
+    },
+    Experiment {
+        id: "e8",
+        description: "task-assignment policies under fixed budgets",
+        run: e08_assignment::run,
+    },
+    Experiment {
+        id: "e9",
+        description: "latency: completion time vs round size and straggler policy",
+        run: e09_latency::run,
+    },
+    Experiment {
+        id: "e10",
+        description: "CrowdSQL optimizer: naive vs optimized crowd questions",
+        run: e10_sql_optimizer::run,
+    },
+    Experiment {
+        id: "e11",
+        description: "crowd-Datalog fetch minimization by body ordering",
+        run: e11_datalog_fetch::run,
+    },
+    Experiment {
+        id: "e12",
+        description: "ER ablation: transitivity × ask order",
+        run: e12_join_ablation::run,
+    },
+    Experiment {
+        id: "e13",
+        description: "gold-question injection on spam-heavy crowds",
+        run: e13_gold_injection::run,
+    },
+    Experiment {
+        id: "e14",
+        description: "HIT batching: pair-based vs cluster-based (CrowdER)",
+        run: e14_hit_batching::run,
+    },
+    Experiment {
+        id: "e15",
+        description: "selective output: confidence-threshold coverage vs accuracy",
+        run: e15_selective_output::run,
+    },
+    Experiment {
+        id: "e16",
+        description: "numeric aggregation robustness vs spammer share",
+        run: e16_numeric_aggregation::run,
+    },
+    Experiment {
+        id: "e17",
+        description: "worker supply: completion time vs churned availability",
+        run: e17_worker_supply::run,
+    },
+];
+
+/// Runs one experiment by id, returning its rendered output, or `None`
+/// for an unknown id.
+pub fn run_by_name(id: &str) -> Option<String> {
+    let e = EXPERIMENTS.iter().find(|e| e.id == id)?;
+    let mut out = String::new();
+    out.push_str(&format!("=== {} — {} ===\n\n", e.id.to_uppercase(), e.description));
+    for t in (e.run)() {
+        out.push_str(&t.render());
+        out.push('\n');
+    }
+    Some(out)
+}
+
+/// Runs every experiment, executing them in parallel (each experiment is
+/// deterministic and independent) but printing in registry order.
+pub fn run_all() -> String {
+    let mut results: Vec<String> = Vec::with_capacity(EXPERIMENTS.len());
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = EXPERIMENTS
+            .iter()
+            .map(|e| scope.spawn(move || run_by_name(e.id).expect("registered id")))
+            .collect();
+        for h in handles {
+            results.push(h.join().expect("experiment thread panicked"));
+        }
+    });
+    results.concat()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_well_formed() {
+        let mut seen = std::collections::HashSet::new();
+        for e in EXPERIMENTS {
+            assert!(e.id.starts_with('e'));
+            assert!(seen.insert(e.id), "duplicate id {}", e.id);
+            assert!(!e.description.is_empty());
+        }
+        assert_eq!(EXPERIMENTS.len(), 17);
+    }
+
+    #[test]
+    fn unknown_id_returns_none() {
+        assert!(run_by_name("e99").is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! # crowdkit-core
+//!
+//! Shared data model for the `crowdkit` crowdsourced data management system.
+//!
+//! This crate defines the vocabulary every other crate speaks:
+//!
+//! * [`ids`] — strongly-typed identifiers for tasks, workers and items.
+//! * [`label`] — categorical label spaces for classification tasks.
+//! * [`task`] — the task model (`SingleChoice`, `Numeric`, `Pairwise`,
+//!   `OpenText`, `Collection`, `Fill`).
+//! * [`answer`] — worker answers and answer values.
+//! * [`response`] — the dense response matrix consumed by truth-inference
+//!   algorithms.
+//! * [`traits`] — the extension points: [`traits::CrowdOracle`],
+//!   [`traits::TruthInferencer`], [`traits::StoppingRule`].
+//! * [`budget`] — cost models and budget ledgers.
+//! * [`metrics`] — evaluation metrics (accuracy, F1, Kendall tau, cluster
+//!   F1, MAE/RMSE, NDCG, entropy, …).
+//! * [`error`] — the common error type.
+//!
+//! The crate is dependency-light by design; algorithm crates
+//! (`crowdkit-truth`, `crowdkit-ops`, …) and the platform simulator
+//! (`crowdkit-sim`) all build on top of it.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod answer;
+pub mod budget;
+pub mod error;
+pub mod ids;
+pub mod label;
+pub mod metrics;
+pub mod response;
+pub mod task;
+pub mod traits;
+
+pub use answer::{Answer, AnswerValue, Preference};
+pub use budget::{Budget, CostLedger, CostModel};
+pub use error::{CrowdError, Result};
+pub use ids::{ItemId, TaskId, WorkerId};
+pub use label::LabelSpace;
+pub use response::ResponseMatrix;
+pub use task::{Task, TaskKind};
+pub use traits::{CrowdOracle, InferenceResult, StoppingRule, TruthInferencer};

@@ -1,0 +1,281 @@
+//! The response matrix: the canonical input to truth-inference algorithms.
+//!
+//! A [`ResponseMatrix`] packs a set of `(task, worker, label)` observations
+//! into dense indices so EM-style algorithms can run over flat vectors.
+//! It keeps bidirectional maps between external [`TaskId`]/[`WorkerId`]s and
+//! internal dense indices.
+
+use std::collections::HashMap;
+
+use crate::answer::Answer;
+use crate::error::{CrowdError, Result};
+use crate::ids::{TaskId, WorkerId};
+
+/// One categorical observation: worker `w` labelled task `t` as `label`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Observation {
+    /// Dense task index.
+    pub task: usize,
+    /// Dense worker index.
+    pub worker: usize,
+    /// Label index in `0..num_labels`.
+    pub label: u32,
+}
+
+/// A dense-indexed view over categorical crowd answers.
+#[derive(Debug, Clone, Default)]
+pub struct ResponseMatrix {
+    num_labels: usize,
+    observations: Vec<Observation>,
+    task_ids: Vec<TaskId>,
+    worker_ids: Vec<WorkerId>,
+    task_index: HashMap<TaskId, usize>,
+    worker_index: HashMap<WorkerId, usize>,
+    /// Observation indices grouped by task, for per-task iteration.
+    by_task: Vec<Vec<usize>>,
+    /// Observation indices grouped by worker, for per-worker iteration.
+    by_worker: Vec<Vec<usize>>,
+}
+
+impl ResponseMatrix {
+    /// Creates an empty matrix over a label space of size `num_labels`.
+    ///
+    /// # Panics
+    /// Panics if `num_labels == 0`.
+    pub fn new(num_labels: usize) -> Self {
+        assert!(num_labels > 0, "response matrix needs at least one label");
+        Self {
+            num_labels,
+            ..Default::default()
+        }
+    }
+
+    /// Builds a matrix from [`Answer`]s, using each answer's `Choice` value.
+    ///
+    /// Fails if any answer is not a `Choice` or its label is out of range.
+    pub fn from_answers<'a, I>(num_labels: usize, answers: I) -> Result<Self>
+    where
+        I: IntoIterator<Item = &'a Answer>,
+    {
+        let mut m = Self::new(num_labels);
+        for a in answers {
+            let label = a.value.as_choice().ok_or(CrowdError::AnswerTypeMismatch {
+                expected: "choice",
+                found: a.value.type_name(),
+            })?;
+            m.push(a.task, a.worker, label)?;
+        }
+        Ok(m)
+    }
+
+    /// Records that `worker` labelled `task` as `label`.
+    pub fn push(&mut self, task: TaskId, worker: WorkerId, label: u32) -> Result<()> {
+        if label as usize >= self.num_labels {
+            return Err(CrowdError::LabelOutOfRange {
+                label,
+                space: self.num_labels as u32,
+            });
+        }
+        let t = self.intern_task(task);
+        let w = self.intern_worker(worker);
+        let idx = self.observations.len();
+        self.observations.push(Observation {
+            task: t,
+            worker: w,
+            label,
+        });
+        self.by_task[t].push(idx);
+        self.by_worker[w].push(idx);
+        Ok(())
+    }
+
+    fn intern_task(&mut self, task: TaskId) -> usize {
+        if let Some(&i) = self.task_index.get(&task) {
+            return i;
+        }
+        let i = self.task_ids.len();
+        self.task_ids.push(task);
+        self.task_index.insert(task, i);
+        self.by_task.push(Vec::new());
+        i
+    }
+
+    fn intern_worker(&mut self, worker: WorkerId) -> usize {
+        if let Some(&i) = self.worker_index.get(&worker) {
+            return i;
+        }
+        let i = self.worker_ids.len();
+        self.worker_ids.push(worker);
+        self.worker_index.insert(worker, i);
+        self.by_worker.push(Vec::new());
+        i
+    }
+
+    /// Number of labels in the space.
+    #[inline]
+    pub fn num_labels(&self) -> usize {
+        self.num_labels
+    }
+
+    /// Number of distinct tasks seen.
+    #[inline]
+    pub fn num_tasks(&self) -> usize {
+        self.task_ids.len()
+    }
+
+    /// Number of distinct workers seen.
+    #[inline]
+    pub fn num_workers(&self) -> usize {
+        self.worker_ids.len()
+    }
+
+    /// Total number of observations.
+    #[inline]
+    pub fn num_observations(&self) -> usize {
+        self.observations.len()
+    }
+
+    /// True if no observations were recorded.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.observations.is_empty()
+    }
+
+    /// All observations, in insertion order.
+    #[inline]
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// The external id of dense task index `t`.
+    pub fn task_id(&self, t: usize) -> TaskId {
+        self.task_ids[t]
+    }
+
+    /// The external id of dense worker index `w`.
+    pub fn worker_id(&self, w: usize) -> WorkerId {
+        self.worker_ids[w]
+    }
+
+    /// The dense index of an external task id, if present.
+    pub fn task_index(&self, task: TaskId) -> Option<usize> {
+        self.task_index.get(&task).copied()
+    }
+
+    /// The dense index of an external worker id, if present.
+    pub fn worker_index(&self, worker: WorkerId) -> Option<usize> {
+        self.worker_index.get(&worker).copied()
+    }
+
+    /// Observations on dense task index `t`.
+    pub fn observations_for_task(&self, t: usize) -> impl Iterator<Item = &Observation> {
+        self.by_task[t].iter().map(move |&i| &self.observations[i])
+    }
+
+    /// Observations by dense worker index `w`.
+    pub fn observations_by_worker(&self, w: usize) -> impl Iterator<Item = &Observation> {
+        self.by_worker[w].iter().map(move |&i| &self.observations[i])
+    }
+
+    /// Number of answers each worker gave, indexed densely.
+    pub fn answers_per_worker(&self) -> Vec<usize> {
+        self.by_worker.iter().map(Vec::len).collect()
+    }
+
+    /// Number of answers each task received, indexed densely.
+    pub fn answers_per_task(&self) -> Vec<usize> {
+        self.by_task.iter().map(Vec::len).collect()
+    }
+
+    /// Per-task vote counts: `counts[t][l]` = how many workers labelled
+    /// task `t` as `l`.
+    pub fn vote_counts(&self) -> Vec<Vec<u32>> {
+        let mut counts = vec![vec![0u32; self.num_labels]; self.num_tasks()];
+        for o in &self.observations {
+            counts[o.task][o.label as usize] += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerValue;
+
+    fn tid(i: u64) -> TaskId {
+        TaskId::new(i)
+    }
+    fn wid(i: u64) -> WorkerId {
+        WorkerId::new(i)
+    }
+
+    #[test]
+    fn push_interns_ids_densely() {
+        let mut m = ResponseMatrix::new(2);
+        m.push(tid(100), wid(7), 1).unwrap();
+        m.push(tid(200), wid(7), 0).unwrap();
+        m.push(tid(100), wid(9), 1).unwrap();
+        assert_eq!(m.num_tasks(), 2);
+        assert_eq!(m.num_workers(), 2);
+        assert_eq!(m.num_observations(), 3);
+        assert_eq!(m.task_index(tid(100)), Some(0));
+        assert_eq!(m.task_index(tid(200)), Some(1));
+        assert_eq!(m.task_id(0), tid(100));
+        assert_eq!(m.worker_index(wid(9)), Some(1));
+        assert_eq!(m.worker_id(0), wid(7));
+        assert_eq!(m.task_index(tid(999)), None);
+    }
+
+    #[test]
+    fn out_of_range_label_rejected() {
+        let mut m = ResponseMatrix::new(2);
+        let err = m.push(tid(0), wid(0), 2).unwrap_err();
+        assert!(matches!(err, CrowdError::LabelOutOfRange { label: 2, space: 2 }));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn groupings_are_consistent() {
+        let mut m = ResponseMatrix::new(3);
+        m.push(tid(0), wid(0), 0).unwrap();
+        m.push(tid(0), wid(1), 1).unwrap();
+        m.push(tid(1), wid(0), 2).unwrap();
+        assert_eq!(m.answers_per_task(), vec![2, 1]);
+        assert_eq!(m.answers_per_worker(), vec![2, 1]);
+        let labels_t0: Vec<u32> = m.observations_for_task(0).map(|o| o.label).collect();
+        assert_eq!(labels_t0, vec![0, 1]);
+        let tasks_w0: Vec<usize> = m.observations_by_worker(0).map(|o| o.task).collect();
+        assert_eq!(tasks_w0, vec![0, 1]);
+    }
+
+    #[test]
+    fn vote_counts_tally_labels() {
+        let mut m = ResponseMatrix::new(2);
+        m.push(tid(0), wid(0), 1).unwrap();
+        m.push(tid(0), wid(1), 1).unwrap();
+        m.push(tid(0), wid(2), 0).unwrap();
+        let counts = m.vote_counts();
+        assert_eq!(counts, vec![vec![1, 2]]);
+    }
+
+    #[test]
+    fn from_answers_requires_choices() {
+        let good = vec![
+            Answer::bare(tid(0), wid(0), AnswerValue::Choice(1)),
+            Answer::bare(tid(0), wid(1), AnswerValue::Choice(0)),
+        ];
+        let m = ResponseMatrix::from_answers(2, &good).unwrap();
+        assert_eq!(m.num_observations(), 2);
+
+        let bad = vec![Answer::bare(tid(0), wid(0), AnswerValue::Number(0.5))];
+        let err = ResponseMatrix::from_answers(2, &bad).unwrap_err();
+        assert!(matches!(err, CrowdError::AnswerTypeMismatch { .. }));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one label")]
+    fn zero_labels_panics() {
+        let _ = ResponseMatrix::new(0);
+    }
+}

@@ -1,0 +1,222 @@
+//! Extension-point traits wiring the stack together.
+//!
+//! * [`CrowdOracle`] — how operators and query engines *ask the crowd*.
+//!   The platform simulator (`crowdkit-sim`) implements it; tests implement
+//!   tiny deterministic oracles.
+//! * [`TruthInferencer`] — how noisy answers become one estimated truth per
+//!   task. All algorithms in `crowdkit-truth` implement it.
+//! * [`StoppingRule`] — when to stop buying more answers for a task.
+
+use crate::answer::Answer;
+use crate::error::Result;
+use crate::response::ResponseMatrix;
+use crate::task::Task;
+
+/// The interface through which crowd answers are obtained.
+///
+/// An oracle owns the economics: it debits the budget per answer, picks the
+/// responding worker, and timestamps the result. Implementations must be
+/// deterministic for a fixed seed so experiments are reproducible.
+pub trait CrowdOracle {
+    /// Asks one (implementation-chosen) worker to answer `task`.
+    ///
+    /// Fails with a resource-exhaustion error when the budget is spent or no
+    /// worker is available; callers typically stop gracefully on those.
+    fn ask_one(&mut self, task: &Task) -> Result<Answer>;
+
+    /// Asks `k` *distinct* workers to answer `task`. The default loops over
+    /// [`CrowdOracle::ask_one`]; platforms with smarter assignment override
+    /// it. On resource exhaustion mid-way, returns the answers obtained so
+    /// far if any, otherwise the error.
+    fn ask_many(&mut self, task: &Task, k: usize) -> Result<Vec<Answer>> {
+        let mut answers = Vec::with_capacity(k);
+        for _ in 0..k {
+            match self.ask_one(task) {
+                Ok(a) => answers.push(a),
+                Err(e) if e.is_resource_exhaustion() && !answers.is_empty() => break,
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(answers)
+    }
+
+    /// Remaining budget in units, or `None` if unbounded.
+    fn remaining_budget(&self) -> Option<f64>;
+
+    /// Total number of answers delivered so far (for cost reporting).
+    fn answers_delivered(&self) -> u64;
+}
+
+/// The output of a truth-inference run over a [`ResponseMatrix`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferenceResult {
+    /// Estimated label per dense task index.
+    pub labels: Vec<u32>,
+    /// Posterior probability distribution per dense task index; each inner
+    /// vector has `num_labels` entries summing to 1. Algorithms that do not
+    /// produce calibrated posteriors return one-hot or normalized-vote
+    /// distributions.
+    pub posteriors: Vec<Vec<f64>>,
+    /// Estimated per-worker quality in `[0, 1]` per dense worker index
+    /// (probability of answering correctly). Algorithms that do not model
+    /// workers return `None`.
+    pub worker_quality: Option<Vec<f64>>,
+    /// Number of iterations the algorithm ran (1 for non-iterative ones).
+    pub iterations: usize,
+    /// Whether the algorithm converged within its iteration cap.
+    pub converged: bool,
+}
+
+impl InferenceResult {
+    /// The posterior confidence of the chosen label for dense task `t`.
+    pub fn confidence(&self, t: usize) -> f64 {
+        self.posteriors[t][self.labels[t] as usize]
+    }
+
+    /// Dense task indices whose chosen-label confidence is at least `tau`
+    /// — the *selective output* of quality control: return only what the
+    /// posterior supports, route the rest back for more answers or to
+    /// experts. Experiment E15 sweeps the coverage/accuracy trade-off.
+    pub fn select_confident(&self, tau: f64) -> Vec<usize> {
+        (0..self.labels.len())
+            .filter(|&t| self.confidence(t) >= tau)
+            .collect()
+    }
+
+    /// Fraction of tasks whose confidence clears `tau`.
+    pub fn coverage(&self, tau: f64) -> f64 {
+        if self.labels.is_empty() {
+            return 0.0;
+        }
+        self.select_confident(tau).len() as f64 / self.labels.len() as f64
+    }
+}
+
+/// An algorithm that estimates per-task truth from a response matrix.
+pub trait TruthInferencer {
+    /// Short, stable name used in experiment tables ("mv", "ds", "glad"…).
+    fn name(&self) -> &'static str;
+
+    /// Runs inference. Fails on an empty matrix.
+    fn infer(&self, matrix: &ResponseMatrix) -> Result<InferenceResult>;
+}
+
+/// Decides whether a task needs more answers given those collected so far.
+///
+/// Stopping rules drive the cost/accuracy trade-off in crowd filtering
+/// (tutorial: cost control via task pruning and early termination).
+pub trait StoppingRule {
+    /// Short name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Returns `true` if answer collection for this task should stop.
+    ///
+    /// `votes` are per-label counts for the task so far; implementations
+    /// must be monotone in total count reaching `max_answers` (i.e. they
+    /// must eventually stop).
+    fn should_stop(&self, votes: &[u32], max_answers: u32) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::answer::AnswerValue;
+    use crate::error::CrowdError;
+    use crate::ids::{TaskId, WorkerId};
+
+    /// A tiny oracle that always answers Choice(1) from successive workers,
+    /// with a hard cap on total answers.
+    struct FixedOracle {
+        next_worker: u64,
+        cap: u64,
+        delivered: u64,
+    }
+
+    impl CrowdOracle for FixedOracle {
+        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+            if self.delivered >= self.cap {
+                return Err(CrowdError::BudgetExhausted {
+                    requested: 1.0,
+                    remaining: 0.0,
+                });
+            }
+            self.delivered += 1;
+            let w = WorkerId::new(self.next_worker);
+            self.next_worker += 1;
+            Ok(Answer::bare(task.id, w, AnswerValue::Choice(1)))
+        }
+
+        fn remaining_budget(&self) -> Option<f64> {
+            Some((self.cap - self.delivered) as f64)
+        }
+
+        fn answers_delivered(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    #[test]
+    fn ask_many_default_collects_k_answers() {
+        let mut o = FixedOracle {
+            next_worker: 0,
+            cap: 10,
+            delivered: 0,
+        };
+        let task = Task::binary(TaskId::new(0), "q");
+        let answers = o.ask_many(&task, 3).unwrap();
+        assert_eq!(answers.len(), 3);
+        let workers: Vec<u64> = answers.iter().map(|a| a.worker.raw()).collect();
+        assert_eq!(workers, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn ask_many_partial_on_exhaustion() {
+        let mut o = FixedOracle {
+            next_worker: 0,
+            cap: 2,
+            delivered: 0,
+        };
+        let task = Task::binary(TaskId::new(0), "q");
+        let answers = o.ask_many(&task, 5).unwrap();
+        assert_eq!(answers.len(), 2, "returns partial results when budget dies");
+        // Next call starts already exhausted → propagates the error.
+        let err = o.ask_many(&task, 1).unwrap_err();
+        assert!(err.is_resource_exhaustion());
+    }
+
+    #[test]
+    fn inference_result_confidence_reads_chosen_label() {
+        let r = InferenceResult {
+            labels: vec![1, 0],
+            posteriors: vec![vec![0.2, 0.8], vec![0.6, 0.4]],
+            worker_quality: None,
+            iterations: 1,
+            converged: true,
+        };
+        assert!((r.confidence(0) - 0.8).abs() < 1e-12);
+        assert!((r.confidence(1) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn selective_output_filters_by_confidence() {
+        let r = InferenceResult {
+            labels: vec![1, 0, 1],
+            posteriors: vec![vec![0.2, 0.8], vec![0.55, 0.45], vec![0.05, 0.95]],
+            worker_quality: None,
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(r.select_confident(0.7), vec![0, 2]);
+        assert_eq!(r.select_confident(0.9), vec![2]);
+        assert_eq!(r.select_confident(0.0), vec![0, 1, 2]);
+        assert!((r.coverage(0.7) - 2.0 / 3.0).abs() < 1e-12);
+        let empty = InferenceResult {
+            labels: vec![],
+            posteriors: vec![],
+            worker_quality: None,
+            iterations: 1,
+            converged: true,
+        };
+        assert_eq!(empty.coverage(0.5), 0.0);
+    }
+}

@@ -1,0 +1,62 @@
+//! # crowdkit-datalog
+//!
+//! A Datalog engine with *crowd predicates* — the Deco-flavoured
+//! declarative layer of crowdkit.
+//!
+//! Deco (Parameswaran et al., 2012) modelled crowdsourced data as
+//! relations whose tuples can be *fetched* from people on demand during
+//! query evaluation; CyLog modelled them as rules with *open predicates*
+//! whose valuations come from workers. This crate implements the shared
+//! core of those designs on a classical foundation:
+//!
+//! * [`ast`] — terms, atoms, literals, rules, programs; plus a
+//!   pretty-printer whose output re-parses (round-trip tested).
+//! * [`parser`] — a hand-written lexer + recursive-descent parser for the
+//!   surface syntax below.
+//! * [`engine`] — stratified semi-naive bottom-up evaluation with
+//!   negation, comparison built-ins, and on-demand crowd fetches with
+//!   per-binding caching and a global fetch budget (Deco's resolution
+//!   limits).
+//! * [`resolver`] — how fetches reach the crowd: [`resolver::CrowdResolver`]
+//!   is the interface, [`resolver::TableResolver`] serves tests/known
+//!   worlds, [`resolver::OracleResolver`] buys answers from any
+//!   [`crowdkit_core::traits::CrowdOracle`] and reconciles them by
+//!   plurality.
+//!
+//! ## Surface syntax
+//!
+//! ```text
+//! % facts and rules
+//! parent("alice", "bob").
+//! ancestor(X, Y) :- parent(X, Y).
+//! ancestor(X, Z) :- parent(X, Y), ancestor(Y, Z).
+//!
+//! % a crowd predicate: arity 2, fetched on demand
+//! @crowd city_of/2.
+//! in_tokyo(R) :- restaurant(R), city_of(R, C), C = "tokyo".
+//!
+//! % stratified negation and comparisons
+//! childless(X) :- person(X), not parent(X, _).
+//!
+//! % stratified aggregation (count / sum / min / max over distinct values)
+//! descendants(X, count<Y>) :- ancestor(X, Y).
+//! ```
+//!
+//! Evaluating the second program asks the crowd for `city_of(r, ?)` once
+//! per restaurant (cached thereafter) instead of materializing a city
+//! table — exactly the on-demand, pay-per-tuple behaviour the declarative
+//! crowdsourcing systems were built around. Experiment E11 measures the
+//! fetch savings.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod engine;
+pub mod parser;
+pub mod resolver;
+
+pub use ast::{Atom, Clause, Const, Literal, Program, Rule, Term};
+pub use engine::{Database, Engine, EngineConfig, EvalStats};
+pub use parser::parse_program;
+pub use resolver::{CrowdResolver, NullResolver, OracleResolver, TableResolver};

@@ -1,0 +1,205 @@
+//! Property-based tests for the crowd-Datalog layer: AST pretty-print →
+//! reparse round-trips, and semantic invariants of evaluation.
+
+use crowdkit_datalog::ast::{Atom, Clause, CmpOp, Const, Literal, Program, Rule, Term};
+use crowdkit_datalog::{parse_program, Engine, EngineConfig, NullResolver};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------------------
+// AST generators
+// ---------------------------------------------------------------------------
+
+fn const_strategy() -> impl Strategy<Value = Const> {
+    prop_oneof![
+        (-1000i64..1000).prop_map(Const::Int),
+        "[a-z][a-z0-9 _]{0,8}".prop_map(Const::Str),
+        // Strings that exercise escaping.
+        Just(Const::Str("say \"hi\"".into())),
+        Just(Const::Str("back\\slash".into())),
+    ]
+}
+
+fn term_strategy() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        "[A-Z][a-z0-9]{0,4}".prop_map(Term::Var),
+        const_strategy().prop_map(Term::Const),
+        Just(Term::Wildcard),
+    ]
+}
+
+fn atom_strategy() -> impl Strategy<Value = Atom> {
+    (
+        "[a-mo-z][a-z0-9_]{0,6}", // avoid the keyword "not"
+        prop::collection::vec(term_strategy(), 1..4),
+    )
+        .prop_map(|(name, args)| Atom::new(name, args))
+}
+
+fn ground_atom_strategy() -> impl Strategy<Value = Atom> {
+    (
+        "[a-mo-z][a-z0-9_]{0,6}",
+        prop::collection::vec(const_strategy().prop_map(Term::Const), 1..4),
+    )
+        .prop_map(|(name, args)| Atom::new(name, args))
+}
+
+fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        atom_strategy().prop_map(Literal::Pos),
+        atom_strategy().prop_map(Literal::Neg),
+        (term_strategy(), term_strategy()).prop_map(|(l, r)| {
+            Literal::Cmp(l, CmpOp::Ne, r)
+        }),
+    ]
+}
+
+fn clause_strategy() -> impl Strategy<Value = Clause> {
+    prop_oneof![
+        // Ground fact.
+        ground_atom_strategy().prop_map(|head| Clause::Rule(Rule { head, body: vec![], aggregates: vec![] })),
+        // Rule with a body.
+        (atom_strategy(), prop::collection::vec(literal_strategy(), 1..4))
+            .prop_map(|(head, body)| Clause::Rule(Rule { head, body, aggregates: vec![] })),
+        // Crowd declaration.
+        ("[a-mo-z][a-z0-9_]{0,6}", 1usize..4)
+            .prop_map(|(predicate, arity)| Clause::CrowdDecl { predicate, arity }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The pretty-printer's output always reparses to the same AST.
+    /// (Programs need not be *valid* — safety is the engine's concern, not
+    /// the parser's.)
+    #[test]
+    fn pretty_print_reparses(clauses in prop::collection::vec(clause_strategy(), 0..8)) {
+        let program = Program { clauses };
+        let printed = program.to_string();
+        let reparsed = parse_program(&printed)
+            .unwrap_or_else(|e| panic!("failed to reparse:\n{printed}\nerror: {e}"));
+        prop_assert_eq!(program, reparsed);
+    }
+
+    /// Adding facts to a negation-free program never removes derived
+    /// tuples (monotonicity of positive Datalog).
+    #[test]
+    fn positive_programs_are_monotone(
+        edges in prop::collection::vec((0u8..6, 0u8..6), 1..12),
+        extra in (0u8..6, 0u8..6),
+    ) {
+        let base_src = {
+            let mut s = String::new();
+            for (a, b) in &edges {
+                s.push_str(&format!("edge({a}, {b}).\n"));
+            }
+            s.push_str("path(X, Y) :- edge(X, Y).\n");
+            s.push_str("path(X, Z) :- edge(X, Y), path(Y, Z).\n");
+            s
+        };
+        let bigger_src = format!("{base_src}edge({}, {}).\n", extra.0, extra.1);
+
+        let run = |src: &str| {
+            let engine = Engine::new(parse_program(src).unwrap()).unwrap();
+            let (db, _) = engine.run(&mut NullResolver).unwrap();
+            db.relation("path")
+        };
+        let small = run(&base_src);
+        let big = run(&bigger_src);
+        for tuple in &small {
+            prop_assert!(
+                big.contains(tuple),
+                "tuple {tuple:?} lost after adding a fact"
+            );
+        }
+    }
+
+    /// Evaluation is deterministic: same program → same database.
+    #[test]
+    fn evaluation_is_deterministic(
+        edges in prop::collection::vec((0u8..5, 0u8..5), 1..10)
+    ) {
+        let mut src = String::new();
+        for (a, b) in &edges {
+            src.push_str(&format!("e({a}, {b}).\n"));
+        }
+        src.push_str("r(X, Y) :- e(X, Y).\nr(X, Z) :- e(X, Y), r(Y, Z).\n");
+        src.push_str("loner(X) :- e(X, _), not r(X, X).\n");
+        let run = || {
+            let engine = Engine::new(parse_program(&src).unwrap()).unwrap();
+            let (db, _) = engine.run(&mut NullResolver).unwrap();
+            (db.relation("r"), db.relation("loner"))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// The parser never panics on arbitrary input (errors are Results).
+    #[test]
+    fn parser_total_on_arbitrary_input(src in ".{0,200}") {
+        let _ = parse_program(&src);
+    }
+
+    /// Transitive closure contains exactly the reachable pairs (checked
+    /// against a BFS reference).
+    #[test]
+    fn closure_matches_bfs_reference(
+        edges in prop::collection::vec((0u8..5, 0u8..5), 0..12)
+    ) {
+        let mut src = String::new();
+        for (a, b) in &edges {
+            src.push_str(&format!("edge({a}, {b}).\n"));
+        }
+        src.push_str("path(X, Y) :- edge(X, Y).\n");
+        src.push_str("path(X, Z) :- edge(X, Y), path(Y, Z).\n");
+        let engine = Engine::new(parse_program(&src).unwrap()).unwrap();
+        let (db, _) = engine.run(&mut NullResolver).unwrap();
+
+        // BFS reference.
+        let mut reach = std::collections::HashSet::new();
+        for start in 0u8..5 {
+            let mut frontier = vec![start];
+            let mut seen = std::collections::HashSet::new();
+            while let Some(cur) = frontier.pop() {
+                for &(a, b) in &edges {
+                    if a == cur && seen.insert(b) {
+                        reach.insert((start, b));
+                        frontier.push(b);
+                    }
+                }
+            }
+        }
+        let derived: std::collections::HashSet<(u8, u8)> = db
+            .relation("path")
+            .into_iter()
+            .map(|row| match (&row[0], &row[1]) {
+                (Const::Int(a), Const::Int(b)) => (*a as u8, *b as u8),
+                _ => unreachable!(),
+            })
+            .collect();
+        prop_assert_eq!(derived, reach);
+    }
+
+    /// Semi-naive and naive evaluation compute identical databases.
+    #[test]
+    fn semi_naive_matches_naive(
+        edges in prop::collection::vec((0u8..6, 0u8..6), 0..14)
+    ) {
+        let mut src = String::new();
+        for (a, b) in &edges {
+            src.push_str(&format!("e({a}, {b}).\n"));
+        }
+        src.push_str("r(X, Y) :- e(X, Y).\nr(X, Z) :- e(X, Y), r(Y, Z).\n");
+        src.push_str("self_loop(X) :- r(X, X).\n");
+        src.push_str("acyclic(X) :- e(X, _), not self_loop(X).\n");
+        let program = parse_program(&src).unwrap();
+        let run = |semi_naive: bool| {
+            let engine = Engine::new(program.clone()).unwrap().with_config(EngineConfig {
+                semi_naive,
+                ..EngineConfig::default()
+            });
+            let (db, _) = engine.run(&mut NullResolver).unwrap();
+            (db.relation("r"), db.relation("self_loop"), db.relation("acyclic"))
+        };
+        prop_assert_eq!(run(true), run(false));
+    }
+}

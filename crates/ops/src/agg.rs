@@ -1,0 +1,246 @@
+//! Sampling-based crowd aggregation: COUNT / SUM / proportion estimation.
+//!
+//! Asking the crowd to verify *every* item of a large population is the
+//! naive COUNT plan; the sampling line of work estimates the count from a
+//! random sample with a confidence interval, trading a quantified error
+//! for an order-of-magnitude cost cut. Experiment E6 sweeps the sample
+//! fraction against the realized error and interval coverage.
+
+use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::CrowdOracle;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// An estimated count with a normal-approximation confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CountEstimate {
+    /// Point estimate of the number of positive items in the population.
+    pub estimate: f64,
+    /// Lower bound of the confidence interval (clamped to ≥ 0).
+    pub ci_low: f64,
+    /// Upper bound of the confidence interval (clamped to ≤ population).
+    pub ci_high: f64,
+    /// Sample size actually used.
+    pub sample_size: usize,
+    /// Positives observed in the sample.
+    pub sample_positives: usize,
+    /// Crowd answers purchased.
+    pub questions_asked: usize,
+}
+
+/// Estimates how many of `items` are positive by crowd-verifying a random
+/// sample of `sample_size` items with `votes` judgements each (majority
+/// decides; ties count negative).
+///
+/// `z` is the normal critical value for the interval (1.96 → 95 %). The
+/// interval uses the finite-population correction, so sampling everything
+/// collapses it to the exact count.
+///
+/// Items must be binary single-choice tasks (label 1 = positive).
+pub fn estimate_count<O>(
+    oracle: &mut O,
+    items: &[Task],
+    sample_size: usize,
+    votes: u32,
+    z: f64,
+    seed: u64,
+) -> Result<CountEstimate>
+where
+    O: CrowdOracle + ?Sized,
+{
+    if items.is_empty() {
+        return Err(CrowdError::EmptyInput("population"));
+    }
+    let n = items.len();
+    let m = sample_size.clamp(1, n);
+
+    let mut indices: Vec<usize> = (0..n).collect();
+    indices.shuffle(&mut StdRng::seed_from_u64(seed));
+    indices.truncate(m);
+
+    let mut positives = 0usize;
+    let mut sampled = 0usize;
+    let mut questions = 0usize;
+    'outer: for &i in &indices {
+        let mut yes = 0u32;
+        let mut no = 0u32;
+        for _ in 0..votes.max(1) {
+            match oracle.ask_one(&items[i]) {
+                Ok(a) => {
+                    questions += 1;
+                    match a.value.as_choice() {
+                        Some(1) => yes += 1,
+                        _ => no += 1,
+                    }
+                }
+                Err(e) if e.is_resource_exhaustion() => {
+                    if yes + no == 0 {
+                        break 'outer;
+                    }
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if yes + no == 0 {
+            break;
+        }
+        sampled += 1;
+        if yes > no {
+            positives += 1;
+        }
+    }
+
+    if sampled == 0 {
+        return Err(CrowdError::EmptyInput("no sample item received any answer"));
+    }
+
+    let p_hat = positives as f64 / sampled as f64;
+    let fpc = if sampled < n {
+        ((n - sampled) as f64 / (n as f64 - 1.0).max(1.0)).sqrt()
+    } else {
+        0.0
+    };
+    let se = (p_hat * (1.0 - p_hat) / sampled as f64).sqrt() * fpc;
+    let estimate = p_hat * n as f64;
+    let half = z * se * n as f64;
+
+    Ok(CountEstimate {
+        estimate,
+        ci_low: (estimate - half).max(0.0),
+        ci_high: (estimate + half).min(n as f64),
+        sample_size: sampled,
+        sample_positives: positives,
+        questions_asked: questions,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdkit_core::answer::{Answer, AnswerValue};
+    use crowdkit_core::budget::Budget;
+    use crowdkit_core::ids::{TaskId, WorkerId};
+
+    struct TruthfulOracle {
+        budget: Budget,
+        next_worker: u64,
+        delivered: u64,
+    }
+
+    impl TruthfulOracle {
+        fn new(limit: f64) -> Self {
+            Self {
+                budget: Budget::new(limit),
+                next_worker: 0,
+                delivered: 0,
+            }
+        }
+    }
+
+    impl CrowdOracle for TruthfulOracle {
+        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+            self.budget.debit(1.0)?;
+            self.delivered += 1;
+            let w = WorkerId::new(self.next_worker);
+            self.next_worker += 1;
+            Ok(Answer::bare(task.id, w, task.truth.clone().unwrap()))
+        }
+        fn remaining_budget(&self) -> Option<f64> {
+            Some(self.budget.remaining())
+        }
+        fn answers_delivered(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    fn population(flags: &[bool]) -> Vec<Task> {
+        flags
+            .iter()
+            .enumerate()
+            .map(|(i, &f)| {
+                Task::binary(TaskId::new(i as u64), format!("i{i}"))
+                    .with_truth(AnswerValue::Choice(f as u32))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn full_sample_gives_exact_count_with_zero_width_interval() {
+        let flags: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect();
+        let items = population(&flags);
+        let mut oracle = TruthfulOracle::new(1e9);
+        let est = estimate_count(&mut oracle, &items, 100, 1, 1.96, 0).unwrap();
+        assert_eq!(est.estimate, 25.0);
+        assert_eq!(est.ci_low, 25.0);
+        assert_eq!(est.ci_high, 25.0);
+        assert_eq!(est.questions_asked, 100);
+    }
+
+    #[test]
+    fn partial_sample_is_close_and_covered() {
+        let flags: Vec<bool> = (0..2000).map(|i| i % 10 < 3).collect(); // 30 %
+        let items = population(&flags);
+        let mut oracle = TruthfulOracle::new(1e9);
+        let est = estimate_count(&mut oracle, &items, 400, 1, 1.96, 42).unwrap();
+        let truth = 600.0;
+        assert!(
+            (est.estimate - truth).abs() < 100.0,
+            "estimate {} vs truth {truth}",
+            est.estimate
+        );
+        assert!(est.ci_low <= truth && truth <= est.ci_high, "CI covers truth");
+        assert!(est.ci_high - est.ci_low > 0.0);
+    }
+
+    #[test]
+    fn larger_samples_tighten_the_interval() {
+        let flags: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
+        let items = population(&flags);
+        let width = |m: usize| -> f64 {
+            let mut oracle = TruthfulOracle::new(1e9);
+            let e = estimate_count(&mut oracle, &items, m, 1, 1.96, 7).unwrap();
+            e.ci_high - e.ci_low
+        };
+        assert!(width(800) < width(100));
+    }
+
+    #[test]
+    fn budget_exhaustion_estimates_from_partial_sample() {
+        let flags = vec![true; 100];
+        let items = population(&flags);
+        let mut oracle = TruthfulOracle::new(10.0);
+        let est = estimate_count(&mut oracle, &items, 50, 1, 1.96, 0).unwrap();
+        assert_eq!(est.sample_size, 10);
+        assert_eq!(est.estimate, 100.0, "all sampled items positive");
+    }
+
+    #[test]
+    fn empty_population_is_an_error() {
+        let mut oracle = TruthfulOracle::new(10.0);
+        assert!(matches!(
+            estimate_count(&mut oracle, &[], 10, 1, 1.96, 0).unwrap_err(),
+            CrowdError::EmptyInput(_)
+        ));
+    }
+
+    #[test]
+    fn zero_budget_is_an_error() {
+        let items = population(&[true, false]);
+        let mut oracle = TruthfulOracle::new(0.0);
+        assert!(estimate_count(&mut oracle, &items, 2, 1, 1.96, 0).is_err());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let flags: Vec<bool> = (0..500).map(|i| i % 3 == 0).collect();
+        let items = population(&flags);
+        let run = |seed| {
+            let mut oracle = TruthfulOracle::new(1e9);
+            estimate_count(&mut oracle, &items, 50, 1, 1.96, seed).unwrap()
+        };
+        assert_eq!(run(3), run(3));
+    }
+}

@@ -1,0 +1,275 @@
+//! Crowd FILL: completing missing cells of a table.
+//!
+//! CrowdDB's `CROWD` columns and the CrowdFill line of work let a query
+//! reference attributes the database does not have — "the phone number of
+//! this restaurant" — and buy them at query time. Each missing cell
+//! becomes an open-text task; `k` answers are reconciled by normalized
+//! plurality with a confidence score, and unresolved cells (no plurality)
+//! are reported rather than guessed.
+
+use std::collections::HashMap;
+
+use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::ids::{IdGen, TaskId};
+use crowdkit_core::task::{Task, TaskKind};
+use crowdkit_core::traits::CrowdOracle;
+
+/// A cell to be filled: which row (by caller-chosen key) and attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CellRef {
+    /// Caller's row key (e.g. primary key rendering).
+    pub row: String,
+    /// Attribute name being filled.
+    pub attribute: String,
+}
+
+/// One reconciled cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilledCell {
+    /// The winning value (normalized form as given by the plurality
+    /// winner's first occurrence).
+    pub value: String,
+    /// Fraction of answers agreeing with the winner.
+    pub support: f64,
+    /// All answers received (normalized), with counts.
+    pub answers: Vec<(String, u32)>,
+}
+
+/// The outcome of a fill run.
+#[derive(Debug, Clone, Default)]
+pub struct FillOutcome {
+    /// Cells successfully reconciled (strict plurality existed).
+    pub filled: HashMap<CellRef, FilledCell>,
+    /// Cells whose answers tied or that got no answers.
+    pub unresolved: Vec<CellRef>,
+    /// Crowd answers purchased.
+    pub questions_asked: usize,
+}
+
+/// Buys `k` open-text answers for each cell and reconciles by normalized
+/// plurality (trim + lowercase). A cell is `unresolved` when the top two
+/// normalized values tie or no answers arrived before exhaustion.
+///
+/// `prompt_for` renders the worker-facing question for a cell; in
+/// simulation it also attaches the latent truth.
+pub fn crowd_fill<O, F>(
+    oracle: &mut O,
+    cells: &[CellRef],
+    k: u32,
+    mut prompt_for: F,
+) -> Result<FillOutcome>
+where
+    O: CrowdOracle + ?Sized,
+    F: FnMut(TaskId, &CellRef) -> Task,
+{
+    if cells.is_empty() {
+        return Err(CrowdError::EmptyInput("cells"));
+    }
+    let mut ids = IdGen::new();
+    let mut out = FillOutcome::default();
+
+    'cells: for cell in cells {
+        let task = prompt_for(ids.next_task(), cell);
+        debug_assert!(
+            matches!(task.kind, TaskKind::Fill { .. } | TaskKind::OpenText),
+            "fill tasks must accept text answers"
+        );
+        let mut counts: HashMap<String, u32> = HashMap::new();
+        let mut first_form: HashMap<String, String> = HashMap::new();
+        let mut got = 0u32;
+        for _ in 0..k.max(1) {
+            match oracle.ask_one(&task) {
+                Ok(a) => {
+                    if let Some(text) = a.value.as_text() {
+                        let norm = text.trim().to_lowercase();
+                        if norm.is_empty() {
+                            continue;
+                        }
+                        first_form.entry(norm.clone()).or_insert_with(|| text.trim().to_owned());
+                        *counts.entry(norm).or_insert(0) += 1;
+                        got += 1;
+                        out.questions_asked += 1;
+                    }
+                }
+                Err(e) if e.is_resource_exhaustion() => {
+                    if got == 0 {
+                        out.unresolved.push(cell.clone());
+                        // Budget dead and nothing bought: remaining cells
+                        // will not fare better.
+                        for rest in &cells[cells.iter().position(|c| c == cell).unwrap() + 1..] {
+                            out.unresolved.push(rest.clone());
+                        }
+                        break 'cells;
+                    }
+                    break;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+
+        // Plurality with tie detection.
+        let mut tallies: Vec<(&String, u32)> = counts.iter().map(|(v, &c)| (v, c)).collect();
+        tallies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+        match tallies.as_slice() {
+            [] => out.unresolved.push(cell.clone()),
+            [(top, c), rest @ ..] => {
+                let tied = rest.first().map(|(_, c2)| c2 == c).unwrap_or(false);
+                if tied {
+                    out.unresolved.push(cell.clone());
+                } else {
+                    let answers: Vec<(String, u32)> = tallies
+                        .iter()
+                        .map(|(v, c)| ((*v).clone(), *c))
+                        .collect();
+                    out.filled.insert(
+                        cell.clone(),
+                        FilledCell {
+                            value: first_form[*top].clone(),
+                            support: *c as f64 / got as f64,
+                            answers,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    Ok(FillOutcome {
+        filled: out.filled,
+        unresolved: out.unresolved,
+        questions_asked: out.questions_asked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdkit_core::answer::{Answer, AnswerValue};
+    use crowdkit_core::budget::Budget;
+    use crowdkit_core::ids::WorkerId;
+
+    fn cell(row: &str, attr: &str) -> CellRef {
+        CellRef {
+            row: row.into(),
+            attribute: attr.into(),
+        }
+    }
+
+    fn fill_task(id: TaskId, c: &CellRef, truth: &str) -> Task {
+        Task::new(
+            id,
+            TaskKind::Fill {
+                attribute: c.attribute.clone(),
+            },
+            format!("{} of {}", c.attribute, c.row),
+        )
+        .with_truth(AnswerValue::Text(truth.into()))
+    }
+
+    /// Oracle answering fill tasks with their truth, with optional per-call
+    /// scripted overrides.
+    struct ScriptedOracle {
+        budget: Budget,
+        script: Vec<Option<String>>, // per-call override; None = truth
+        call: usize,
+        delivered: u64,
+    }
+
+    impl ScriptedOracle {
+        fn truthful(limit: f64) -> Self {
+            Self {
+                budget: Budget::new(limit),
+                script: Vec::new(),
+                call: 0,
+                delivered: 0,
+            }
+        }
+    }
+
+    impl CrowdOracle for ScriptedOracle {
+        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+            self.budget.debit(1.0)?;
+            let i = self.call;
+            self.call += 1;
+            self.delivered += 1;
+            let value = match self.script.get(i).cloned().flatten() {
+                Some(text) => AnswerValue::Text(text),
+                None => task.truth.clone().unwrap(),
+            };
+            Ok(Answer::bare(task.id, WorkerId::new(i as u64), value))
+        }
+        fn remaining_budget(&self) -> Option<f64> {
+            Some(self.budget.remaining())
+        }
+        fn answers_delivered(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    #[test]
+    fn unanimous_answers_fill_with_full_support() {
+        let cells = vec![cell("france", "capital"), cell("japan", "capital")];
+        let mut oracle = ScriptedOracle::truthful(1e9);
+        let out = crowd_fill(&mut oracle, &cells, 3, |id, c| {
+            fill_task(id, c, if c.row == "france" { "Paris" } else { "Tokyo" })
+        })
+        .unwrap();
+        assert_eq!(out.filled[&cells[0]].value, "Paris");
+        assert_eq!(out.filled[&cells[1]].value, "Tokyo");
+        assert_eq!(out.filled[&cells[0]].support, 1.0);
+        assert!(out.unresolved.is_empty());
+        assert_eq!(out.questions_asked, 6);
+    }
+
+    #[test]
+    fn plurality_wins_over_noise_and_case() {
+        let cells = vec![cell("france", "capital")];
+        let mut oracle = ScriptedOracle {
+            budget: Budget::new(1e9),
+            script: vec![
+                Some("  PARIS ".into()),
+                Some("paris".into()),
+                Some("Lyon".into()),
+            ],
+            call: 0,
+            delivered: 0,
+        };
+        let out = crowd_fill(&mut oracle, &cells, 3, |id, c| fill_task(id, c, "Paris")).unwrap();
+        let f = &out.filled[&cells[0]];
+        assert_eq!(f.value, "PARIS", "first seen surface form of the winner");
+        assert!((f.support - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_are_unresolved_not_guessed() {
+        let cells = vec![cell("x", "y")];
+        let mut oracle = ScriptedOracle {
+            budget: Budget::new(1e9),
+            script: vec![Some("a".into()), Some("b".into())],
+            call: 0,
+            delivered: 0,
+        };
+        let out = crowd_fill(&mut oracle, &cells, 2, |id, c| fill_task(id, c, "a")).unwrap();
+        assert!(out.filled.is_empty());
+        assert_eq!(out.unresolved, cells);
+    }
+
+    #[test]
+    fn budget_death_marks_remaining_cells_unresolved() {
+        let cells = vec![cell("a", "x"), cell("b", "x"), cell("c", "x")];
+        let mut oracle = ScriptedOracle::truthful(4.0);
+        let out = crowd_fill(&mut oracle, &cells, 3, |id, c| fill_task(id, c, "v")).unwrap();
+        // Cell a: 3 answers. Cell b: 1 answer (then exhausted, still
+        // reconciles from the single answer). Cell c: unresolved.
+        assert!(out.filled.contains_key(&cells[0]));
+        assert!(out.filled.contains_key(&cells[1]));
+        assert_eq!(out.unresolved, vec![cells[2].clone()]);
+        assert_eq!(out.questions_asked, 4);
+    }
+
+    #[test]
+    fn empty_cell_list_is_an_error() {
+        let mut oracle = ScriptedOracle::truthful(10.0);
+        assert!(crowd_fill(&mut oracle, &[], 3, |id, c| fill_task(id, c, "v")).is_err());
+    }
+}

@@ -1,0 +1,243 @@
+//! Union-find with cannot-link constraints — the data structure behind
+//! transitivity deduction in crowd entity resolution.
+//!
+//! Matches are must-link edges (union); non-matches are cannot-link edges
+//! between cluster representatives. Both relations are closed under the
+//! deduction rules:
+//!
+//! * `same(a, b) ∧ same(b, c) ⇒ same(a, c)` — free via union-find.
+//! * `same(a, b) ∧ diff(b, c) ⇒ diff(a, c)` — maintained by merging
+//!   cannot-link adjacency sets on union.
+
+use std::collections::{HashMap, HashSet};
+
+/// Union-find over `n` items with cannot-link tracking.
+#[derive(Debug, Clone)]
+pub struct ConstraintClustering {
+    parent: Vec<usize>,
+    rank: Vec<u8>,
+    /// Cannot-link adjacency between *representatives*.
+    different: HashMap<usize, HashSet<usize>>,
+}
+
+impl ConstraintClustering {
+    /// Creates `n` singleton clusters with no constraints.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n).collect(),
+            rank: vec![0; n],
+            different: HashMap::new(),
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if there are no items.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `i`'s cluster (with path compression).
+    pub fn find(&mut self, i: usize) -> usize {
+        let mut root = i;
+        while self.parent[root] != root {
+            root = self.parent[root];
+        }
+        let mut cur = i;
+        while self.parent[cur] != root {
+            let next = self.parent[cur];
+            self.parent[cur] = root;
+            cur = next;
+        }
+        root
+    }
+
+    /// Whether `a` and `b` are known to be the same entity.
+    pub fn known_same(&mut self, a: usize, b: usize) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Whether `a` and `b` are known to be different entities.
+    pub fn known_different(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.different
+            .get(&ra)
+            .map(|s| s.contains(&rb))
+            .unwrap_or(false)
+    }
+
+    /// Records that `a` and `b` match, merging their clusters and the
+    /// cannot-link sets of both representatives.
+    ///
+    /// Returns `false` (and does nothing) if the union would contradict a
+    /// known cannot-link constraint — the caller decides how to handle the
+    /// inconsistency (with noisy crowds, contradictions do happen).
+    pub fn record_same(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return true;
+        }
+        if self.known_different(ra, rb) {
+            return false;
+        }
+        // Union by rank.
+        let (winner, loser) = if self.rank[ra] >= self.rank[rb] {
+            (ra, rb)
+        } else {
+            (rb, ra)
+        };
+        if self.rank[winner] == self.rank[loser] {
+            self.rank[winner] += 1;
+        }
+        self.parent[loser] = winner;
+
+        // Merge the loser's cannot-link set into the winner's and repoint
+        // third-party references.
+        if let Some(loser_diffs) = self.different.remove(&loser) {
+            for other in loser_diffs {
+                if let Some(set) = self.different.get_mut(&other) {
+                    set.remove(&loser);
+                    set.insert(winner);
+                }
+                self.different.entry(winner).or_default().insert(other);
+            }
+        }
+        true
+    }
+
+    /// Records that `a` and `b` are different entities.
+    ///
+    /// Returns `false` (and does nothing) if they are already known to be
+    /// the same.
+    pub fn record_different(&mut self, a: usize, b: usize) -> bool {
+        let ra = self.find(a);
+        let rb = self.find(b);
+        if ra == rb {
+            return false;
+        }
+        self.different.entry(ra).or_default().insert(rb);
+        self.different.entry(rb).or_default().insert(ra);
+        true
+    }
+
+    /// Dense cluster labels: items in the same cluster share a label, and
+    /// labels are assigned by first appearance (so output is deterministic).
+    pub fn labels(&mut self) -> Vec<usize> {
+        let n = self.len();
+        let mut label_of_root: HashMap<usize, usize> = HashMap::new();
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let r = self.find(i);
+            let next = label_of_root.len();
+            let l = *label_of_root.entry(r).or_insert(next);
+            labels.push(l);
+        }
+        labels
+    }
+
+    /// Number of clusters.
+    pub fn num_clusters(&mut self) -> usize {
+        let n = self.len();
+        let mut roots = HashSet::new();
+        for i in 0..n {
+            roots.insert(self.find(i));
+        }
+        roots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_start_unrelated() {
+        let mut c = ConstraintClustering::new(3);
+        assert!(!c.known_same(0, 1));
+        assert!(!c.known_different(0, 1));
+        assert_eq!(c.num_clusters(), 3);
+    }
+
+    #[test]
+    fn positive_transitivity() {
+        let mut c = ConstraintClustering::new(4);
+        assert!(c.record_same(0, 1));
+        assert!(c.record_same(1, 2));
+        assert!(c.known_same(0, 2), "a=b ∧ b=c ⇒ a=c");
+        assert!(!c.known_same(0, 3));
+        assert_eq!(c.num_clusters(), 2);
+    }
+
+    #[test]
+    fn negative_transitivity() {
+        let mut c = ConstraintClustering::new(3);
+        assert!(c.record_same(0, 1));
+        assert!(c.record_different(1, 2));
+        assert!(c.known_different(0, 2), "a=b ∧ b≠c ⇒ a≠c");
+    }
+
+    #[test]
+    fn negative_transitivity_after_union() {
+        // diff recorded first, union second: constraint must follow the
+        // merged representative.
+        let mut c = ConstraintClustering::new(4);
+        assert!(c.record_different(0, 3));
+        assert!(c.record_same(0, 1));
+        assert!(c.record_same(1, 2));
+        assert!(c.known_different(2, 3), "constraint survives two unions");
+    }
+
+    #[test]
+    fn contradictions_are_rejected_not_applied() {
+        let mut c = ConstraintClustering::new(3);
+        assert!(c.record_different(0, 1));
+        assert!(!c.record_same(0, 1), "cannot merge cannot-linked items");
+        assert!(!c.known_same(0, 1));
+
+        let mut c2 = ConstraintClustering::new(2);
+        assert!(c2.record_same(0, 1));
+        assert!(!c2.record_different(0, 1), "cannot split merged items");
+    }
+
+    #[test]
+    fn labels_are_dense_and_consistent() {
+        let mut c = ConstraintClustering::new(5);
+        c.record_same(0, 2);
+        c.record_same(3, 4);
+        let labels = c.labels();
+        assert_eq!(labels[0], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[1]);
+        assert_ne!(labels[0], labels[3]);
+        // Dense labels start at 0.
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 1);
+    }
+
+    #[test]
+    fn self_pairs_are_trivially_same() {
+        let mut c = ConstraintClustering::new(2);
+        assert!(c.known_same(1, 1));
+        assert!(!c.known_different(1, 1));
+        assert!(c.record_same(1, 1));
+    }
+
+    #[test]
+    fn big_chain_of_unions_stays_correct() {
+        let n = 1000;
+        let mut c = ConstraintClustering::new(n);
+        for i in 0..n - 1 {
+            assert!(c.record_same(i, i + 1));
+        }
+        assert!(c.known_same(0, n - 1));
+        assert_eq!(c.num_clusters(), 1);
+    }
+}

@@ -1,0 +1,29 @@
+//! Crowd join / entity resolution.
+//!
+//! The canonical crowd-powered operator (CrowdER, Wang et al. 2012; the
+//! transitivity line of work, Wang/Vondrák et al. 2013–14). Resolving which
+//! records refer to the same real-world entity is machine-hard but
+//! crowd-easy — at a price of one question per candidate pair. The cost
+//! ladder the literature climbs, and this module implements:
+//!
+//! 1. **All pairs** — ask the crowd about every `n·(n−1)/2` pair.
+//! 2. **Blocking** ([`blocking`]) — only pairs whose machine similarity
+//!    clears a threshold reach the crowd.
+//! 3. **Transitivity deduction** ([`verify`]) — answers already given imply
+//!    others: `a=b ∧ b=c ⇒ a=c` (positive) and `a=b ∧ b≠c ⇒ a≠c`
+//!    (negative), so those pairs are never asked. Ask order matters:
+//!    asking high-similarity (likely-match) pairs first maximizes the
+//!    deduction yield — experiment E12 ablates exactly this.
+//!
+//! [`cluster`] provides the union-find with "cannot-link" constraint
+//! tracking that powers the deduction.
+
+pub mod batching;
+pub mod blocking;
+pub mod cluster;
+pub mod verify;
+
+pub use batching::{cluster_based_hits, hits_cover_all, pair_based_hits, RecordHit};
+pub use blocking::{all_pairs_count, candidate_pairs, jaccard, tokenize, CandidatePair};
+pub use cluster::ConstraintClustering;
+pub use verify::{crowd_join, AskOrder, JoinConfig, JoinOutcome};

@@ -1,0 +1,34 @@
+//! # crowdkit-ops
+//!
+//! Crowd-powered query operators — the tutorial's operator axis, one module
+//! per operator family:
+//!
+//! * [`filter`] — crowd selection (`WHERE crowd_predicate(item)`) with
+//!   adaptive per-item stopping.
+//! * [`join`] — crowd join / entity resolution: similarity blocking, crowd
+//!   pair verification, and transitivity-based answer deduction.
+//! * [`sort`] — sort / top-k / max from noisy pairwise comparisons, with
+//!   Borda, Copeland, Elo and Bradley–Terry rank aggregation and
+//!   tournament max.
+//! * [`agg`] — sampling-based COUNT/SUM estimation with confidence
+//!   intervals.
+//! * [`collect`] — open-world enumeration with species-richness estimation
+//!   (Good–Turing coverage, Chao1/Chao92).
+//! * [`fill`] — missing-cell completion with answer reconciliation.
+//! * [`categorize`] — taxonomy placement with hierarchy-aware voting.
+//!
+//! Every operator buys its answers exclusively through
+//! [`crowdkit_core::traits::CrowdOracle`] and reports what it spent, so
+//! experiments compare operators on *crowd questions asked* — the metric
+//! the cost-control literature optimizes.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod agg;
+pub mod categorize;
+pub mod collect;
+pub mod fill;
+pub mod filter;
+pub mod join;
+pub mod sort;

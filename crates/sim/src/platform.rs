@@ -1,0 +1,659 @@
+//! The simulated crowdsourcing platform.
+//!
+//! [`SimulatedCrowd`] is the stand-in for Amazon Mechanical Turk: it owns a
+//! worker [`Population`], a [`Budget`], a [`CostModel`] and a
+//! [`LatencyModel`], and serves answers through the
+//! [`CrowdOracle`] interface. Like a real platform it
+//! never assigns the same worker to the same task twice, debits the budget
+//! per answer, and timestamps answers on a simulated clock.
+
+use std::collections::{HashMap, HashSet};
+
+use crowdkit_core::answer::Answer;
+use crowdkit_core::budget::{Budget, CostLedger, CostModel};
+use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::ids::{TaskId, WorkerId};
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::CrowdOracle;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::latency::LatencyModel;
+use crate::population::Population;
+
+/// Builder for [`SimulatedCrowd`].
+#[derive(Debug, Clone)]
+pub struct PlatformBuilder {
+    population: Population,
+    budget: Budget,
+    cost_model: CostModel,
+    latency: LatencyModel,
+    seed: u64,
+    qualification: Option<Qualification>,
+    churn: Option<Churn>,
+}
+
+/// Worker churn: workers are not always online. Each worker follows a
+/// deterministic duty cycle (a per-worker phase offset over a shared
+/// period); when no eligible worker is online, the platform *waits* —
+/// advancing the simulated clock to the next arrival — before serving the
+/// answer. This is the worker-supply component of crowd latency.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Churn {
+    /// Fraction of time each worker is online, in `(0, 1]`.
+    pub duty_cycle: f64,
+    /// Length of one on/off cycle in simulated seconds.
+    pub period: f64,
+}
+
+impl Churn {
+    /// Deterministic phase offset of a worker within the period.
+    fn phase(&self, worker: WorkerId, seed: u64) -> f64 {
+        // Cheap splitmix-style hash → [0, 1).
+        let mut x = worker.raw() ^ seed.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        let u = (x >> 11) as f64 / (1u64 << 53) as f64;
+        u * self.period
+    }
+
+    /// Whether the worker is online at simulated time `t`.
+    fn online(&self, worker: WorkerId, seed: u64, t: f64) -> bool {
+        let pos = (t + self.phase(worker, seed)).rem_euclid(self.period);
+        pos < self.duty_cycle * self.period
+    }
+
+    /// The earliest time ≥ `t` at which the worker is online.
+    fn next_online(&self, worker: WorkerId, seed: u64, t: f64) -> f64 {
+        if self.online(worker, seed, t) {
+            return t;
+        }
+        let pos = (t + self.phase(worker, seed)).rem_euclid(self.period);
+        t + (self.period - pos)
+    }
+}
+
+/// A qualification test gating entry to the worker pool: each worker
+/// answers `questions` binary screening questions of the given difficulty;
+/// only workers whose private score reaches `pass_fraction` may take real
+/// tasks. Each administered question is paid at the platform's
+/// single-choice price (qualification is not free — that is the trade-off
+/// experiment E13 quantifies for gold injection).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Qualification {
+    /// Number of screening questions per worker.
+    pub questions: u32,
+    /// Minimum fraction answered correctly to pass (e.g. 0.7).
+    pub pass_fraction: f64,
+    /// Difficulty of the screening questions, in `[0, 1]`.
+    pub difficulty: f64,
+}
+
+impl PlatformBuilder {
+    /// Starts a builder over the given population with an unlimited budget,
+    /// unit costs, constant zero latency, and seed 0.
+    pub fn new(population: Population) -> Self {
+        Self {
+            population,
+            budget: Budget::unlimited(),
+            cost_model: CostModel::unit(),
+            latency: LatencyModel::Constant { secs: 0.0 },
+            seed: 0,
+            qualification: None,
+            churn: None,
+        }
+    }
+
+    /// Enables worker churn; see [`Churn`].
+    ///
+    /// # Panics
+    /// Panics if the duty cycle is not in `(0, 1]` or the period is not
+    /// positive.
+    pub fn churn(mut self, churn: Churn) -> Self {
+        assert!(
+            churn.duty_cycle > 0.0 && churn.duty_cycle <= 1.0,
+            "duty cycle must be in (0, 1]"
+        );
+        assert!(churn.period > 0.0, "churn period must be positive");
+        self.churn = Some(churn);
+        self
+    }
+
+    /// Gates the pool behind a qualification test; see [`Qualification`].
+    pub fn qualification(mut self, qualification: Qualification) -> Self {
+        self.qualification = Some(qualification);
+        self
+    }
+
+    /// Sets the budget.
+    pub fn budget(mut self, budget: Budget) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn cost_model(mut self, cost_model: CostModel) -> Self {
+        self.cost_model = cost_model;
+        self
+    }
+
+    /// Sets the latency model.
+    pub fn latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Sets the RNG seed (answers, worker choice and latency draws are all
+    /// deterministic functions of this seed).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Finishes the build, administering the qualification test (if any)
+    /// to every worker. Screening answers are paid from the budget and
+    /// recorded in the ledger under `"qualification"`; if the budget dies
+    /// mid-screening, the remaining workers are rejected unscreened.
+    pub fn build(self) -> SimulatedCrowd {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut budget = self.budget;
+        let mut ledger = CostLedger::new();
+        let population = match self.qualification {
+            None => self.population,
+            Some(q) => {
+                let screening = Task::binary(TaskId::new(u64::MAX), "qualification question")
+                    .with_difficulty(q.difficulty)
+                    .with_truth(crowdkit_core::answer::AnswerValue::Choice(1));
+                let price = self.cost_model.price(&screening.kind);
+                let passed: Vec<_> = self
+                    .population
+                    .workers()
+                    .iter()
+                    .filter(|w| {
+                        let mut correct = 0u32;
+                        for _ in 0..q.questions.max(1) {
+                            if budget.debit(price).is_err() {
+                                return false;
+                            }
+                            ledger.record("qualification", price);
+                            if w.answer(&screening, &mut rng)
+                                == crowdkit_core::answer::AnswerValue::Choice(1)
+                            {
+                                correct += 1;
+                            }
+                        }
+                        correct as f64 / q.questions.max(1) as f64 >= q.pass_fraction
+                    })
+                    .cloned()
+                    .collect();
+                Population::from_profiles(passed)
+            }
+        };
+        SimulatedCrowd {
+            population,
+            budget,
+            cost_model: self.cost_model,
+            latency: self.latency,
+            rng,
+            clock: 0.0,
+            asked: HashMap::new(),
+            ledger,
+            delivered: 0,
+            churn: self.churn,
+            seed: self.seed,
+        }
+    }
+}
+
+/// The simulated platform; implements [`CrowdOracle`].
+#[derive(Debug)]
+pub struct SimulatedCrowd {
+    population: Population,
+    budget: Budget,
+    cost_model: CostModel,
+    latency: LatencyModel,
+    rng: StdRng,
+    clock: f64,
+    /// Workers already assigned to each task (a worker answers a given task
+    /// at most once, as on real platforms).
+    asked: HashMap<TaskId, HashSet<WorkerId>>,
+    ledger: CostLedger,
+    delivered: u64,
+    churn: Option<Churn>,
+    seed: u64,
+}
+
+impl SimulatedCrowd {
+    /// Convenience constructor with platform defaults; see
+    /// [`PlatformBuilder::new`].
+    pub fn new(population: Population, seed: u64) -> Self {
+        PlatformBuilder::new(population).seed(seed).build()
+    }
+
+    /// The underlying population (e.g. to read true worker qualities when
+    /// scoring an experiment).
+    pub fn population(&self) -> &Population {
+        &self.population
+    }
+
+    /// Current simulated time in seconds.
+    pub fn now(&self) -> f64 {
+        self.clock
+    }
+
+    /// The spend ledger, categorized by task kind.
+    pub fn ledger(&self) -> &CostLedger {
+        &self.ledger
+    }
+
+    /// Budget state.
+    pub fn budget(&self) -> &Budget {
+        &self.budget
+    }
+
+    /// Picks an eligible worker for `task` uniformly at random among those
+    /// currently online (advancing the clock to the next arrival if nobody
+    /// is), or `None` if every worker already answered it.
+    fn pick_worker(&mut self, task: TaskId) -> Option<usize> {
+        let asked = self.asked.entry(task).or_default();
+        let eligible: Vec<usize> = self
+            .population
+            .workers()
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !asked.contains(&w.id))
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let Some(churn) = self.churn else {
+            return eligible.choose(&mut self.rng).copied();
+        };
+        let online: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|&i| churn.online(self.population.get(i).id, self.seed, self.clock))
+            .collect();
+        if let Some(&i) = online.choose(&mut self.rng) {
+            return Some(i);
+        }
+        // Nobody online: wait for the earliest eligible arrival.
+        let (next_i, next_t) = eligible
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    churn.next_online(self.population.get(i).id, self.seed, self.clock),
+                )
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("eligible is non-empty");
+        self.clock = next_t;
+        Some(next_i)
+    }
+}
+
+impl CrowdOracle for SimulatedCrowd {
+    fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+        let price = self.cost_model.price(&task.kind);
+        if !self.budget.can_afford(price) {
+            return Err(CrowdError::BudgetExhausted {
+                requested: price,
+                remaining: self.budget.remaining(),
+            });
+        }
+        let widx = self.pick_worker(task.id).ok_or(CrowdError::NoWorkerAvailable)?;
+        let worker = self.population.get(widx).clone();
+        self.budget.debit(price)?;
+        self.ledger.record(task.kind.name(), price);
+
+        let value = worker.answer(task, &mut self.rng);
+        let service = self.latency.sample(&mut self.rng);
+        self.clock += service;
+        self.asked.entry(task.id).or_default().insert(worker.id);
+        self.delivered += 1;
+
+        Ok(Answer {
+            task: task.id,
+            worker: worker.id,
+            value,
+            submitted_at: self.clock,
+            cost: price,
+        })
+    }
+
+    fn remaining_budget(&self) -> Option<f64> {
+        if self.budget.limit() == f64::MAX {
+            None
+        } else {
+            Some(self.budget.remaining())
+        }
+    }
+
+    fn answers_delivered(&self) -> u64 {
+        self.delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::population::PopulationBuilder;
+    use crowdkit_core::answer::AnswerValue;
+    use crowdkit_core::task::Task;
+
+    fn perfect_pop(n: usize) -> Population {
+        PopulationBuilder::new().reliable(n, 1.0, 1.0).build(0)
+    }
+
+    #[test]
+    fn ask_one_returns_correct_answer_from_perfect_worker() {
+        let mut crowd = SimulatedCrowd::new(perfect_pop(5), 1);
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+        let a = crowd.ask_one(&task).unwrap();
+        assert_eq!(a.value, AnswerValue::Choice(1));
+        assert_eq!(a.cost, 1.0);
+        assert_eq!(crowd.answers_delivered(), 1);
+    }
+
+    #[test]
+    fn same_worker_never_asked_twice_per_task() {
+        let mut crowd = SimulatedCrowd::new(perfect_pop(3), 1);
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
+        let answers = crowd.ask_many(&task, 3).unwrap();
+        let workers: HashSet<WorkerId> = answers.iter().map(|a| a.worker).collect();
+        assert_eq!(workers.len(), 3, "three distinct workers");
+        // Fourth ask on same task: pool exhausted.
+        let err = crowd.ask_one(&task).unwrap_err();
+        assert_eq!(err, CrowdError::NoWorkerAvailable);
+        // But a different task still works.
+        let other = Task::binary(TaskId::new(1), "q2").with_truth(AnswerValue::Choice(0));
+        assert!(crowd.ask_one(&other).is_ok());
+    }
+
+    #[test]
+    fn budget_is_enforced_and_ledger_tracks_spend() {
+        let pop = perfect_pop(10);
+        let mut crowd = PlatformBuilder::new(pop)
+            .budget(Budget::new(2.0))
+            .build();
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
+        assert!(crowd.ask_one(&task).is_ok());
+        assert!(crowd.ask_one(&task).is_ok());
+        let err = crowd.ask_one(&task).unwrap_err();
+        assert!(matches!(err, CrowdError::BudgetExhausted { .. }));
+        assert_eq!(crowd.ledger().entry("single_choice").unwrap().count, 2);
+        assert_eq!(crowd.remaining_budget(), Some(0.0));
+    }
+
+    #[test]
+    fn unlimited_budget_reports_none() {
+        let crowd = SimulatedCrowd::new(perfect_pop(2), 0);
+        assert_eq!(crowd.remaining_budget(), None);
+    }
+
+    #[test]
+    fn clock_advances_with_latency() {
+        let mut crowd = PlatformBuilder::new(perfect_pop(5))
+            .latency(LatencyModel::Constant { secs: 10.0 })
+            .build();
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
+        let a1 = crowd.ask_one(&task).unwrap();
+        let a2 = crowd.ask_one(&task).unwrap();
+        assert_eq!(a1.submitted_at, 10.0);
+        assert_eq!(a2.submitted_at, 20.0);
+        assert_eq!(crowd.now(), 20.0);
+    }
+
+    #[test]
+    fn platform_is_deterministic_per_seed() {
+        let run = |seed: u64| -> Vec<(u64, AnswerValue)> {
+            let pop = PopulationBuilder::new().reliable(20, 0.6, 0.9).build(3);
+            let mut crowd = SimulatedCrowd::new(pop, seed);
+            let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+            crowd
+                .ask_many(&task, 10)
+                .unwrap()
+                .into_iter()
+                .map(|a| (a.worker.raw(), a.value))
+                .collect()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn ask_many_partial_results_when_budget_dies_midway() {
+        let mut crowd = PlatformBuilder::new(perfect_pop(10))
+            .budget(Budget::new(3.0))
+            .build();
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
+        let answers = crowd.ask_many(&task, 5).unwrap();
+        assert_eq!(answers.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod qualification_tests {
+    use super::*;
+    use crate::population::PopulationBuilder;
+    use crowdkit_core::answer::AnswerValue;
+
+    fn mixed_pop() -> Population {
+        PopulationBuilder::new()
+            .reliable(20, 0.95, 1.0)
+            .spammers(20)
+            .build(3)
+    }
+
+    #[test]
+    fn qualification_filters_most_spammers() {
+        let crowd = PlatformBuilder::new(mixed_pop())
+            .qualification(Qualification {
+                questions: 8,
+                pass_fraction: 0.75,
+                difficulty: 0.2,
+            })
+            .seed(3)
+            .build();
+        let qualities = crowd.population().true_qualities();
+        let survivors = qualities.len();
+        let good = qualities.iter().filter(|&&q| q > 0.9).count();
+        assert!(survivors < 40, "screening rejected someone");
+        assert!(
+            good as f64 / survivors as f64 > 0.75,
+            "pool is mostly reliable after screening: {good}/{survivors}"
+        );
+    }
+
+    #[test]
+    fn qualification_spends_budget_and_records_ledger() {
+        let crowd = PlatformBuilder::new(mixed_pop())
+            .qualification(Qualification {
+                questions: 4,
+                pass_fraction: 0.75,
+                difficulty: 0.2,
+            })
+            .budget(Budget::new(1e6))
+            .build();
+        let entry = crowd.ledger().entry("qualification").unwrap();
+        assert_eq!(entry.count, 40 * 4, "every worker screened with 4 questions");
+        assert_eq!(crowd.budget().spent(), 160.0);
+    }
+
+    #[test]
+    fn exhausted_budget_rejects_remaining_workers() {
+        let crowd = PlatformBuilder::new(mixed_pop())
+            .qualification(Qualification {
+                questions: 4,
+                pass_fraction: 0.5,
+                difficulty: 0.2,
+            })
+            .budget(Budget::new(8.0)) // enough to screen two workers
+            .build();
+        assert!(crowd.population().len() <= 2);
+    }
+
+    #[test]
+    fn screened_pool_answers_more_accurately() {
+        let run = |screen: bool| -> f64 {
+            let mut b = PlatformBuilder::new(mixed_pop()).seed(9);
+            if screen {
+                b = b.qualification(Qualification {
+                    questions: 8,
+                    pass_fraction: 0.75,
+                    difficulty: 0.2,
+                });
+            }
+            let mut crowd = b.build();
+            let mut correct = 0;
+            let total = 200;
+            for i in 0..total {
+                let task = Task::binary(TaskId::new(i), "q").with_truth(AnswerValue::Choice(1));
+                if crowd.ask_one(&task).unwrap().value == AnswerValue::Choice(1) {
+                    correct += 1;
+                }
+            }
+            correct as f64 / total as f64
+        };
+        let unscreened = run(false);
+        let screened = run(true);
+        assert!(
+            screened > unscreened + 0.1,
+            "screened {screened:.2} vs unscreened {unscreened:.2}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod churn_tests {
+    use super::*;
+    use crate::population::PopulationBuilder;
+    use crowdkit_core::answer::AnswerValue;
+
+    fn pop(n: usize) -> Population {
+        PopulationBuilder::new().reliable(n, 1.0, 1.0).build(1)
+    }
+
+    fn crowd_with_churn(duty: f64, n: usize) -> SimulatedCrowd {
+        PlatformBuilder::new(pop(n))
+            .churn(Churn {
+                duty_cycle: duty,
+                period: 600.0,
+            })
+            .seed(4)
+            .build()
+    }
+
+    #[test]
+    fn full_duty_cycle_behaves_like_no_churn() {
+        let mut a = crowd_with_churn(1.0, 10);
+        let mut b = SimulatedCrowd::new(pop(10), 4);
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+        let ra: Vec<u64> = a.ask_many(&task, 5).unwrap().iter().map(|x| x.worker.raw()).collect();
+        let rb: Vec<u64> = b.ask_many(&task, 5).unwrap().iter().map(|x| x.worker.raw()).collect();
+        assert_eq!(ra, rb, "duty 1.0 never filters or waits");
+        assert_eq!(a.now(), b.now());
+    }
+
+    #[test]
+    fn scarce_workers_make_the_platform_wait() {
+        // One worker, tiny duty cycle: most asks must advance the clock to
+        // the worker's next online window.
+        let mut crowd = crowd_with_churn(0.05, 1);
+        let mut last = 0.0;
+        for t in 0..5u64 {
+            let task = Task::binary(TaskId::new(t), "q").with_truth(AnswerValue::Choice(1));
+            let a = crowd.ask_one(&task).unwrap();
+            assert!(a.submitted_at >= last);
+            last = a.submitted_at;
+        }
+        // With a 600 s period and 5% duty the clock cannot still be near 0
+        // unless every ask happened inside one 30 s window — it advances
+        // whenever the worker is offline. With zero service latency the
+        // clock only moves by waiting, and the answers all landed inside
+        // windows.
+        assert!(crowd.now() >= 0.0);
+        // Ask enough times across distinct tasks to be forced to wait at
+        // least once past the first window.
+        for t in 5..40u64 {
+            let task = Task::binary(TaskId::new(t), "q").with_truth(AnswerValue::Choice(1));
+            crowd.ask_one(&task).unwrap();
+        }
+        assert!(
+            crowd.now() > 0.0,
+            "a 5% duty cycle must eventually force waiting (clock {})",
+            crowd.now()
+        );
+    }
+
+    #[test]
+    fn churn_never_serves_an_offline_worker() {
+        let churn = Churn {
+            duty_cycle: 0.3,
+            period: 600.0,
+        };
+        let mut crowd = PlatformBuilder::new(pop(20)).churn(churn).seed(9).build();
+        for t in 0..50u64 {
+            let task = Task::binary(TaskId::new(t), "q").with_truth(AnswerValue::Choice(1));
+            let before = crowd.now();
+            let a = crowd.ask_one(&task).unwrap();
+            // The serving time (clock right before the latency draw, which
+            // is 0 here) must fall inside the worker's online window.
+            assert!(
+                churn.online(a.worker, 9, a.submitted_at),
+                "worker {} served while offline at {} (asked at {before})",
+                a.worker,
+                a.submitted_at
+            );
+        }
+    }
+
+    #[test]
+    fn lower_duty_cycles_cost_more_wall_clock() {
+        // Non-zero service time pushes the clock through the online
+        // windows, so scarce supply forces waits between answers.
+        let elapsed = |duty: f64| -> f64 {
+            let mut crowd = PlatformBuilder::new(pop(5))
+                .churn(Churn {
+                    duty_cycle: duty,
+                    period: 600.0,
+                })
+                .latency(LatencyModel::Constant { secs: 20.0 })
+                .seed(4)
+                .build();
+            for t in 0..60u64 {
+                let task = Task::binary(TaskId::new(t), "q").with_truth(AnswerValue::Choice(1));
+                crowd.ask_one(&task).unwrap();
+            }
+            crowd.now()
+        };
+        let busy = elapsed(0.9);
+        let scarce = elapsed(0.1);
+        assert!(
+            scarce > busy,
+            "10% duty ({scarce:.0}s) should take longer than 90% ({busy:.0}s)"
+        );
+    }
+
+    #[test]
+    fn exhausted_task_still_returns_no_worker() {
+        let mut crowd = crowd_with_churn(0.5, 2);
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+        assert!(crowd.ask_one(&task).is_ok());
+        assert!(crowd.ask_one(&task).is_ok());
+        assert_eq!(crowd.ask_one(&task).unwrap_err(), CrowdError::NoWorkerAvailable);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty cycle")]
+    fn zero_duty_cycle_rejected() {
+        let _ = PlatformBuilder::new(pop(1)).churn(Churn {
+            duty_cycle: 0.0,
+            period: 600.0,
+        });
+    }
+}

@@ -1,0 +1,123 @@
+//! Property-based tests for the platform simulator: determinism, budget
+//! safety, and statistical sanity of worker models.
+
+use crowdkit_core::answer::AnswerValue;
+use crowdkit_core::budget::Budget;
+use crowdkit_core::ids::TaskId;
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::CrowdOracle;
+use crowdkit_sim::dataset::LabelingDataset;
+use crowdkit_sim::latency::{LatencyModel, RoundSimulator, StragglerPolicy};
+use crowdkit_sim::population::PopulationBuilder;
+use crowdkit_sim::{PlatformBuilder, SimulatedCrowd};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Identical seeds produce identical answer streams; different seeds
+    /// are allowed to differ (and practically always do).
+    #[test]
+    fn platform_is_deterministic(seed in 0u64..1000, n_workers in 3usize..20) {
+        let run = |s: u64| {
+            let pop = PopulationBuilder::new().reliable(n_workers, 0.6, 0.95).build(s);
+            let mut crowd = SimulatedCrowd::new(pop, s);
+            let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+            crowd
+                .ask_many(&task, n_workers.min(5))
+                .unwrap()
+                .into_iter()
+                .map(|a| (a.worker.raw(), format!("{:?}", a.value)))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// The platform never delivers more answers than the budget allows,
+    /// and never assigns a worker twice to one task.
+    #[test]
+    fn budget_and_assignment_invariants(
+        limit in 0u32..30,
+        asks in 1usize..40,
+        n_workers in 2usize..12,
+    ) {
+        let pop = PopulationBuilder::new().reliable(n_workers, 0.8, 0.9).build(1);
+        let mut crowd = PlatformBuilder::new(pop)
+            .budget(Budget::new(limit as f64))
+            .build();
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
+        let mut workers = std::collections::HashSet::new();
+        let mut delivered = 0u32;
+        for _ in 0..asks {
+            match crowd.ask_one(&task) {
+                Ok(a) => {
+                    delivered += 1;
+                    prop_assert!(workers.insert(a.worker), "worker reused on one task");
+                }
+                Err(e) => prop_assert!(e.is_resource_exhaustion()),
+            }
+        }
+        prop_assert!(delivered <= limit.min(n_workers as u32));
+        prop_assert_eq!(crowd.answers_delivered(), delivered as u64);
+    }
+
+    /// Dataset generators are deterministic per seed and honour their
+    /// parameters.
+    #[test]
+    fn labeling_dataset_determinism(n in 1usize..100, k in 2usize..5, seed in 0u64..100) {
+        let a = LabelingDataset::generate(n, k, 1.0 / k as f64, (0.2, 0.8), seed);
+        let b = LabelingDataset::generate(n, k, 1.0 / k as f64, (0.2, 0.8), seed);
+        prop_assert_eq!(&a.truths, &b.truths);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.truths.iter().all(|&t| (t as usize) < k));
+    }
+
+    /// Latency samples are non-negative and finite for every model.
+    #[test]
+    fn latency_samples_are_sane(seed in 0u64..200, mean in 0.1f64..100.0) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for model in [
+            LatencyModel::Constant { secs: mean },
+            LatencyModel::Exponential { mean },
+            LatencyModel::LogNormal { mu: mean.ln(), sigma: 0.8 },
+        ] {
+            for _ in 0..50 {
+                let x = model.sample(&mut rng);
+                prop_assert!(x.is_finite() && x >= 0.0, "{model:?} sampled {x}");
+            }
+            prop_assert!(model.mean().is_finite() && model.mean() > 0.0);
+        }
+    }
+
+    /// The round simulator conserves answers: bought − dropped ≥ the
+    /// requested n×k under Wait/Reissue; rounds are positive.
+    #[test]
+    fn round_simulator_accounting(
+        n_tasks in 1usize..40,
+        k in 1usize..4,
+        round_size in 1usize..80,
+        seed in 0u64..50,
+    ) {
+        for policy in [
+            StragglerPolicy::Wait,
+            StragglerPolicy::Reissue { quantile: 0.8 },
+            StragglerPolicy::Drop { quantile: 0.9 },
+        ] {
+            let sim = RoundSimulator {
+                latency: LatencyModel::Exponential { mean: 10.0 },
+                pool: 16,
+                round_size,
+                policy,
+            };
+            let out = sim.run(n_tasks, k, seed);
+            prop_assert!(out.rounds >= 1);
+            prop_assert!(out.total_time >= 0.0 && out.total_time.is_finite());
+            prop_assert!(out.answers_bought >= n_tasks * k);
+            if matches!(policy, StragglerPolicy::Wait) {
+                prop_assert_eq!(out.answers_bought, n_tasks * k);
+                prop_assert_eq!(out.answers_dropped, 0);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! CrowdSQL abstract syntax.
+
+use crate::value::Value;
+
+/// A (possibly qualified) column reference.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ColumnRef {
+    /// Table qualifier, if written (`t.c`).
+    pub table: Option<String>,
+    /// Column name.
+    pub column: String,
+}
+
+impl ColumnRef {
+    /// An unqualified reference.
+    pub fn bare(column: impl Into<String>) -> Self {
+        Self {
+            table: None,
+            column: column.into(),
+        }
+    }
+
+    /// A qualified reference.
+    pub fn qualified(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Self {
+            table: Some(table.into()),
+            column: column.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnRef {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.table {
+            Some(t) => write!(f, "{t}.{}", self.column),
+            None => write!(f, "{}", self.column),
+        }
+    }
+}
+
+/// A scalar expression: a column or a literal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Column reference.
+    Column(ColumnRef),
+    /// Literal value.
+    Literal(Value),
+}
+
+impl std::fmt::Display for Expr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Expr::Column(c) => write!(f, "{c}"),
+            Expr::Literal(v) => write!(f, "{v}"),
+        }
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum CompareOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+impl std::fmt::Display for CompareOp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            CompareOp::Eq => "=",
+            CompareOp::Ne => "!=",
+            CompareOp::Lt => "<",
+            CompareOp::Le => "<=",
+            CompareOp::Gt => ">",
+            CompareOp::Ge => ">=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// One conjunct of a WHERE clause.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Predicate {
+    /// Machine-evaluable comparison.
+    Compare {
+        /// Left expression.
+        left: Expr,
+        /// Operator.
+        op: CompareOp,
+        /// Right expression.
+        right: Expr,
+    },
+    /// `CROWDEQUAL(a, b)` — crowd-verified semantic equality.
+    CrowdEqual {
+        /// Left expression.
+        left: Expr,
+        /// Right expression.
+        right: Expr,
+    },
+}
+
+impl std::fmt::Display for Predicate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Predicate::Compare { left, op, right } => write!(f, "{left} {op} {right}"),
+            Predicate::CrowdEqual { left, right } => write!(f, "CROWDEQUAL({left}, {right})"),
+        }
+    }
+}
+
+/// ORDER BY specification.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OrderBy {
+    /// Machine sort on a column.
+    Machine {
+        /// The sort column.
+        column: ColumnRef,
+        /// Ascending?
+        asc: bool,
+    },
+    /// `CROWDORDER(col)` — crowd-judged ordering (always "best first").
+    Crowd {
+        /// The column whose values workers compare.
+        column: ColumnRef,
+    },
+}
+
+/// A SELECT statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Select {
+    /// Projected columns; empty = `*` (or `COUNT(*)` when `count` is set).
+    pub projection: Vec<ColumnRef>,
+    /// True for `SELECT COUNT(*)`: the result is a single row with the
+    /// row count.
+    pub count: bool,
+    /// Tables in the FROM clause (1 = scan, 2 = cross join + predicates).
+    pub from: Vec<String>,
+    /// Conjunctive WHERE predicates.
+    pub predicates: Vec<Predicate>,
+    /// Optional ordering.
+    pub order_by: Option<OrderBy>,
+    /// Optional row limit.
+    pub limit: Option<usize>,
+}
+
+/// Column declaration in CREATE TABLE.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnDecl {
+    /// Column name.
+    pub name: String,
+    /// Declared type.
+    pub is_int: bool,
+    /// Whether the column is crowd-filled (`CROWD TEXT` / `CROWD INT`).
+    pub crowd: bool,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE [CROWD] TABLE name (cols…)`. A crowd *table* marks every
+    /// column crowd-fillable and allows open-ended row acquisition.
+    CreateTable {
+        /// Table name.
+        name: String,
+        /// Column declarations.
+        columns: Vec<ColumnDecl>,
+        /// Whole-table crowd flag.
+        crowd: bool,
+    },
+    /// `INSERT INTO name VALUES (…), (…)`.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Row literals.
+        rows: Vec<Vec<Value>>,
+    },
+    /// A SELECT query.
+    Select(Select),
+    /// `EXPLAIN SELECT …` — plan without executing.
+    Explain(Select),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        let p = Predicate::Compare {
+            left: Expr::Column(ColumnRef::qualified("t", "c")),
+            op: CompareOp::Le,
+            right: Expr::Literal(Value::Int(5)),
+        };
+        assert_eq!(p.to_string(), "t.c <= 5");
+        let q = Predicate::CrowdEqual {
+            left: Expr::Column(ColumnRef::bare("a")),
+            right: Expr::Literal(Value::text("x")),
+        };
+        assert_eq!(q.to_string(), "CROWDEQUAL(a, 'x')");
+    }
+}

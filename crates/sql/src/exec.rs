@@ -1,0 +1,1162 @@
+//! Plan execution against a crowd oracle.
+//!
+//! The executor walks a [`PlanNode`] tree bottom-up. Machine operators are
+//! ordinary relational evaluation; crowd operators buy answers through the
+//! [`CrowdOracle`] using tasks rendered by a [`TaskFactory`]:
+//!
+//! * **CrowdFill** — `votes` open-text answers per NULL cell, reconciled
+//!   by normalized plurality; reconciled values are written back to the
+//!   base table so later queries reuse them (CrowdDB's behaviour).
+//! * **CrowdFilter** — `votes` binary judgements per `CROWDEQUAL`,
+//!   majority decides; verdicts are cached per value pair within a query.
+//! * **CrowdSort** — full pairwise comparisons ranked by Copeland score,
+//!   or a top-k tournament when the optimizer pushed a LIMIT into it.
+
+use std::collections::HashMap;
+
+use crowdkit_core::answer::Preference;
+use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::ids::{IdGen, TaskId};
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::CrowdOracle;
+use crowdkit_ops::sort::rankers::copeland;
+use crowdkit_ops::sort::tournament::crowd_top_k;
+use crowdkit_ops::sort::{collect_comparisons, order_by_scores, ComparisonGraph};
+
+use crate::ast::{ColumnRef, CompareOp, Expr, Predicate, Statement};
+use crate::catalog::{Catalog, ColumnType};
+use crate::parser::parse_statement;
+use crate::plan::{optimize, plan_query, PlanNode};
+use crate::value::Value;
+
+/// Renders the crowd-facing tasks for the three crowd operators. In
+/// simulation, implementations attach the latent ground truth so simulated
+/// workers can answer; against a live platform they would render HTML.
+pub trait TaskFactory {
+    /// Task asking for the value of `column` for the given row of `table`.
+    fn fill_task(&mut self, id: TaskId, table: &str, row: &[Value], column: &str) -> Task;
+
+    /// Binary task asking whether `left` and `right` denote the same thing
+    /// (label 1 = yes).
+    fn equal_task(&mut self, id: TaskId, left: &Value, right: &Value) -> Task;
+
+    /// Pairwise task asking which of `left`/`right` ranks higher
+    /// (`Preference::Left` = left).
+    fn compare_task(&mut self, id: TaskId, left: &Value, right: &Value) -> Task;
+}
+
+/// Crowd spend of one query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueryStats {
+    /// Total crowd answers purchased.
+    pub questions: u64,
+    /// NULL cells filled.
+    pub cells_filled: u64,
+    /// CROWDEQUAL verdicts bought (cache misses).
+    pub equal_checks: u64,
+    /// Pairwise comparison matches played.
+    pub comparisons: u64,
+    /// Rows returned.
+    pub rows_out: usize,
+}
+
+/// One column of an intermediate result.
+#[derive(Debug, Clone)]
+struct ColBinding {
+    table: String,
+    column: String,
+    base_index: usize,
+    ty: ColumnType,
+}
+
+/// An intermediate row: values plus base-table provenance for write-back.
+#[derive(Debug, Clone)]
+struct ExecRow {
+    values: Vec<Value>,
+    /// `(table, base row index)` per FROM table contributing to this row.
+    prov: Vec<(String, usize)>,
+}
+
+struct CrowdCtx<'a> {
+    oracle: &'a mut dyn CrowdOracle,
+    factory: &'a mut dyn TaskFactory,
+    votes: u32,
+    ids: IdGen,
+    stats: QueryStats,
+    equal_cache: HashMap<(String, String), bool>,
+    writebacks: Vec<(String, usize, usize, Value)>,
+}
+
+/// A CrowdSQL session: catalog plus statement execution.
+#[derive(Debug, Default)]
+pub struct Session {
+    catalog: Catalog,
+}
+
+impl Session {
+    /// An empty session.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Read access to the catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Executes a CREATE TABLE or INSERT statement.
+    pub fn execute_ddl(&mut self, sql: &str) -> Result<()> {
+        match parse_statement(sql)? {
+            Statement::CreateTable {
+                name,
+                columns,
+                crowd,
+            } => self.catalog.create_table(&name, &columns, crowd),
+            Statement::Insert { table, rows } => self.catalog.insert(&table, rows),
+            _ => Err(CrowdError::Semantic(
+                "expected CREATE TABLE or INSERT".into(),
+            )),
+        }
+    }
+
+    /// Renders the plan of a SELECT (optimized or naive) without running
+    /// it.
+    pub fn explain(&self, sql: &str, optimized: bool) -> Result<String> {
+        let select = match parse_statement(sql)? {
+            Statement::Select(s) | Statement::Explain(s) => s,
+            _ => return Err(CrowdError::Semantic("expected a SELECT".into())),
+        };
+        let plan = if optimized {
+            optimize(&select, &self.catalog)?
+        } else {
+            plan_query(&select, &self.catalog)?
+        };
+        Ok(plan.to_string())
+    }
+
+    /// Runs a SELECT that must not require the crowd. Fails with
+    /// [`CrowdError::Unsupported`] if the plan contains a crowd operator.
+    pub fn query_machine(&mut self, sql: &str) -> Result<Vec<Vec<Value>>> {
+        let select = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            _ => return Err(CrowdError::Semantic("expected a SELECT".into())),
+        };
+        let plan = optimize(&select, &self.catalog)?;
+        let (_, rows, _) = self.exec(&plan, None)?;
+        Ok(rows.into_iter().map(|r| r.values).collect())
+    }
+
+    /// Runs a SELECT, buying crowd answers as the plan demands.
+    ///
+    /// `optimized` selects between the optimized and the naive plan —
+    /// experiment E10 runs both and compares `QueryStats::questions`.
+    pub fn query_crowd<O, F>(
+        &mut self,
+        sql: &str,
+        oracle: &mut O,
+        factory: &mut F,
+        votes: u32,
+        optimized: bool,
+    ) -> Result<(Vec<Vec<Value>>, QueryStats)>
+    where
+        O: CrowdOracle,
+        F: TaskFactory,
+    {
+        let select = match parse_statement(sql)? {
+            Statement::Select(s) => s,
+            _ => return Err(CrowdError::Semantic("expected a SELECT".into())),
+        };
+        let plan = if optimized {
+            optimize(&select, &self.catalog)?
+        } else {
+            plan_query(&select, &self.catalog)?
+        };
+        let before = oracle.answers_delivered();
+        let ctx = CrowdCtx {
+            oracle,
+            factory,
+            votes: votes.max(1),
+            ids: IdGen::new(),
+            stats: QueryStats::default(),
+            equal_cache: HashMap::new(),
+            writebacks: Vec::new(),
+        };
+        let (_, rows, mut ctx) = self.exec(&plan, Some(ctx))?;
+        // Persist purchased cells so later queries reuse them.
+        let mut stats = QueryStats::default();
+        if let Some(c) = ctx.take() {
+            for (table, row, col, value) in c.writebacks {
+                self.catalog.write_cell(&table, row, col, value)?;
+            }
+            stats = c.stats;
+        }
+        stats.questions = oracle.answers_delivered() - before;
+        stats.rows_out = rows.len();
+        Ok((rows.into_iter().map(|r| r.values).collect(), stats))
+    }
+
+    /// Recursive plan execution. `ctx = None` means machine-only; hitting
+    /// a crowd operator then fails.
+    #[allow(clippy::type_complexity)]
+    fn exec<'a>(
+        &self,
+        plan: &PlanNode,
+        ctx: Option<CrowdCtx<'a>>,
+    ) -> Result<(Vec<ColBinding>, Vec<ExecRow>, Option<CrowdCtx<'a>>)> {
+        match plan {
+            PlanNode::Scan { table } => {
+                let def = self.catalog.table(table)?;
+                let schema: Vec<ColBinding> = def
+                    .columns
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| ColBinding {
+                        table: table.clone(),
+                        column: c.name.clone(),
+                        base_index: i,
+                        ty: c.ty,
+                    })
+                    .collect();
+                let rows = self
+                    .catalog
+                    .rows(table)?
+                    .iter()
+                    .enumerate()
+                    .map(|(i, r)| ExecRow {
+                        values: r.clone(),
+                        prov: vec![(table.clone(), i)],
+                    })
+                    .collect();
+                Ok((schema, rows, ctx))
+            }
+            PlanNode::Join { left, right } => {
+                let (ls, lr, ctx) = self.exec(left, ctx)?;
+                let (rs, rr, ctx) = self.exec(right, ctx)?;
+                let mut schema = ls;
+                schema.extend(rs);
+                let mut rows = Vec::with_capacity(lr.len() * rr.len());
+                for a in &lr {
+                    for b in &rr {
+                        let mut values = a.values.clone();
+                        values.extend(b.values.iter().cloned());
+                        let mut prov = a.prov.clone();
+                        prov.extend(b.prov.iter().cloned());
+                        rows.push(ExecRow { values, prov });
+                    }
+                }
+                Ok((schema, rows, ctx))
+            }
+            PlanNode::HashJoin {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                let (ls, lr, ctx) = self.exec(left, ctx)?;
+                let (rs, rr, ctx) = self.exec(right, ctx)?;
+                let li = resolve_in_schema(left_col, &ls)?;
+                let ri = resolve_in_schema(right_col, &rs)?;
+                // Build side: the right input, keyed by join value.
+                let mut table: HashMap<&Value, Vec<&ExecRow>> = HashMap::new();
+                for b in &rr {
+                    if !b.values[ri].is_null() {
+                        table.entry(&b.values[ri]).or_default().push(b);
+                    }
+                }
+                let mut schema = ls;
+                schema.extend(rs.iter().cloned());
+                let mut rows = Vec::new();
+                for a in &lr {
+                    if a.values[li].is_null() {
+                        continue; // NULL keys never match
+                    }
+                    if let Some(matches) = table.get(&a.values[li]) {
+                        for b in matches {
+                            let mut values = a.values.clone();
+                            values.extend(b.values.iter().cloned());
+                            let mut prov = a.prov.clone();
+                            prov.extend(b.prov.iter().cloned());
+                            rows.push(ExecRow { values, prov });
+                        }
+                    }
+                }
+                Ok((schema, rows, ctx))
+            }
+            PlanNode::MachineFilter { input, predicates } => {
+                let (schema, rows, ctx) = self.exec(input, ctx)?;
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut pass = true;
+                    for p in predicates {
+                        if !eval_machine_predicate(p, &schema, &row)? {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if pass {
+                        kept.push(row);
+                    }
+                }
+                Ok((schema, kept, ctx))
+            }
+            PlanNode::CrowdFill { input, columns } => {
+                let (schema, mut rows, ctx) = self.exec(input, ctx)?;
+                let mut c = ctx.ok_or(CrowdError::Unsupported(
+                    "plan requires the crowd (CrowdFill) but no oracle was provided",
+                ))?;
+                for (table, column) in columns {
+                    let Some(idx) = schema.iter().position(|b| {
+                        &b.table == table && &b.column == column
+                    }) else {
+                        continue;
+                    };
+                    let ty = schema[idx].ty;
+                    let base_index = schema[idx].base_index;
+                    for row in &mut rows {
+                        if !row.values[idx].is_null() {
+                            continue;
+                        }
+                        let Some(&(_, base_row)) = row
+                            .prov
+                            .iter()
+                            .find(|(t, _)| t == table)
+                        else {
+                            continue;
+                        };
+                        let value =
+                            fill_cell(&mut c, table, &row.values, column, ty)?;
+                        if let Some(v) = value {
+                            row.values[idx] = v.clone();
+                            c.writebacks.push((table.clone(), base_row, base_index, v));
+                            c.stats.cells_filled += 1;
+                        }
+                    }
+                }
+                Ok((schema, rows, Some(c)))
+            }
+            PlanNode::CrowdFilter { input, predicates } => {
+                let (schema, rows, ctx) = self.exec(input, ctx)?;
+                let mut c = ctx.ok_or(CrowdError::Unsupported(
+                    "plan requires the crowd (CrowdFilter) but no oracle was provided",
+                ))?;
+                let mut kept = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let mut pass = true;
+                    for p in predicates {
+                        let Predicate::CrowdEqual { left, right } = p else {
+                            return Err(CrowdError::Execution(
+                                "machine predicate in CrowdFilter".into(),
+                            ));
+                        };
+                        let lv = eval_expr(left, &schema, &row)?;
+                        let rv = eval_expr(right, &schema, &row)?;
+                        if lv.is_null() || rv.is_null() {
+                            pass = false;
+                            break;
+                        }
+                        if !crowd_equal(&mut c, &lv, &rv)? {
+                            pass = false;
+                            break;
+                        }
+                    }
+                    if pass {
+                        kept.push(row);
+                    }
+                }
+                Ok((schema, kept, Some(c)))
+            }
+            PlanNode::MachineSort { input, column, asc } => {
+                let (schema, mut rows, ctx) = self.exec(input, ctx)?;
+                let idx = resolve_in_schema(column, &schema)?;
+                rows.sort_by(|a, b| {
+                    let ord = a.values[idx]
+                        .compare(&b.values[idx])
+                        .unwrap_or(std::cmp::Ordering::Greater); // NULLs last
+                    if *asc {
+                        ord
+                    } else {
+                        ord.reverse()
+                    }
+                });
+                Ok((schema, rows, ctx))
+            }
+            PlanNode::CrowdSort {
+                input,
+                column,
+                top_k,
+            } => {
+                let (schema, rows, ctx) = self.exec(input, ctx)?;
+                if rows.len() <= 1 {
+                    return Ok((schema, rows, ctx));
+                }
+                let mut c = ctx.ok_or(CrowdError::Unsupported(
+                    "plan requires the crowd (CrowdSort) but no oracle was provided",
+                ))?;
+                let idx = resolve_in_schema(column, &schema)?;
+                let values: Vec<Value> =
+                    rows.iter().map(|r| r.values[idx].clone()).collect();
+                let order = crowd_sort_order(&mut c, &values, *top_k)?;
+                let mut out = Vec::with_capacity(order.len());
+                for i in order {
+                    out.push(rows[i].clone());
+                }
+                Ok((schema, out, Some(c)))
+            }
+            PlanNode::Limit { input, n } => {
+                let (schema, mut rows, ctx) = self.exec(input, ctx)?;
+                rows.truncate(*n);
+                Ok((schema, rows, ctx))
+            }
+            PlanNode::CountStar { input } => {
+                let (_, rows, ctx) = self.exec(input, ctx)?;
+                let schema = vec![ColBinding {
+                    table: String::new(),
+                    column: "count".to_owned(),
+                    base_index: 0,
+                    ty: ColumnType::Int,
+                }];
+                let out = vec![ExecRow {
+                    values: vec![Value::Int(rows.len() as i64)],
+                    prov: Vec::new(),
+                }];
+                Ok((schema, out, ctx))
+            }
+            PlanNode::Project { input, columns } => {
+                let (schema, rows, ctx) = self.exec(input, ctx)?;
+                if columns.is_empty() {
+                    return Ok((schema, rows, ctx));
+                }
+                let indices: Vec<usize> = columns
+                    .iter()
+                    .map(|c| resolve_in_schema(c, &schema))
+                    .collect::<Result<_>>()?;
+                let out_schema: Vec<ColBinding> =
+                    indices.iter().map(|&i| schema[i].clone()).collect();
+                let out_rows = rows
+                    .into_iter()
+                    .map(|r| ExecRow {
+                        values: indices.iter().map(|&i| r.values[i].clone()).collect(),
+                        prov: r.prov,
+                    })
+                    .collect();
+                Ok((out_schema, out_rows, ctx))
+            }
+        }
+    }
+}
+
+/// Resolves a column reference within an executor schema.
+fn resolve_in_schema(c: &ColumnRef, schema: &[ColBinding]) -> Result<usize> {
+    let matches: Vec<usize> = schema
+        .iter()
+        .enumerate()
+        .filter(|(_, b)| {
+            b.column == c.column && c.table.as_ref().map(|t| t == &b.table).unwrap_or(true)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [] => Err(CrowdError::Semantic(format!("unknown column '{c}'"))),
+        [one] => Ok(*one),
+        _ => Err(CrowdError::Semantic(format!("ambiguous column '{c}'"))),
+    }
+}
+
+fn eval_expr(e: &Expr, schema: &[ColBinding], row: &ExecRow) -> Result<Value> {
+    match e {
+        Expr::Literal(v) => Ok(v.clone()),
+        Expr::Column(c) => Ok(row.values[resolve_in_schema(c, schema)?].clone()),
+    }
+}
+
+/// SQL WHERE semantics: NULL comparisons drop the row.
+fn eval_machine_predicate(p: &Predicate, schema: &[ColBinding], row: &ExecRow) -> Result<bool> {
+    let Predicate::Compare { left, op, right } = p else {
+        return Err(CrowdError::Execution(
+            "crowd predicate in MachineFilter".into(),
+        ));
+    };
+    let lv = eval_expr(left, schema, row)?;
+    let rv = eval_expr(right, schema, row)?;
+    Ok(match op {
+        CompareOp::Eq => lv.sql_eq(&rv).unwrap_or(false),
+        CompareOp::Ne => lv.sql_eq(&rv).map(|b| !b).unwrap_or(false),
+        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
+            match lv.compare(&rv) {
+                None => false,
+                Some(ord) => match op {
+                    CompareOp::Lt => ord.is_lt(),
+                    CompareOp::Le => ord.is_le(),
+                    CompareOp::Gt => ord.is_gt(),
+                    CompareOp::Ge => ord.is_ge(),
+                    _ => unreachable!(),
+                },
+            }
+        }
+    })
+}
+
+/// Buys and reconciles one fill. Returns `None` on tie/no-answer (the cell
+/// stays NULL).
+fn fill_cell(
+    c: &mut CrowdCtx<'_>,
+    table: &str,
+    row_values: &[Value],
+    column: &str,
+    ty: ColumnType,
+) -> Result<Option<Value>> {
+    let task = c.factory.fill_task(c.ids.next_task(), table, row_values, column);
+    let mut counts: HashMap<String, u32> = HashMap::new();
+    let mut surface: HashMap<String, String> = HashMap::new();
+    for _ in 0..c.votes {
+        match c.oracle.ask_one(&task) {
+            Ok(a) => {
+                if let Some(text) = a.value.as_text() {
+                    let norm = text.trim().to_lowercase();
+                    if norm.is_empty() {
+                        continue;
+                    }
+                    surface
+                        .entry(norm.clone())
+                        .or_insert_with(|| text.trim().to_owned());
+                    *counts.entry(norm).or_insert(0) += 1;
+                }
+            }
+            Err(e) if e.is_resource_exhaustion() => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let mut tallies: Vec<(String, u32)> = counts.into_iter().collect();
+    tallies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    let winner = match tallies.as_slice() {
+        [] => return Ok(None),
+        [(_, c1), (_, c2), ..] if c1 == c2 => return Ok(None),
+        [(top, _), ..] => surface[top].clone(),
+    };
+    Ok(Some(match ty {
+        ColumnType::Int => match winner.parse::<i64>() {
+            Ok(i) => Value::Int(i),
+            Err(_) => return Ok(None),
+        },
+        ColumnType::Text => Value::Text(winner),
+    }))
+}
+
+/// Buys (or reuses) one CROWDEQUAL verdict.
+fn crowd_equal(c: &mut CrowdCtx<'_>, left: &Value, right: &Value) -> Result<bool> {
+    let mut key = (left.display_raw(), right.display_raw());
+    if key.0 > key.1 {
+        std::mem::swap(&mut key.0, &mut key.1);
+    }
+    if let Some(&v) = c.equal_cache.get(&key) {
+        return Ok(v);
+    }
+    let task = c.factory.equal_task(c.ids.next_task(), left, right);
+    let mut yes = 0u32;
+    let mut no = 0u32;
+    for _ in 0..c.votes {
+        match c.oracle.ask_one(&task) {
+            Ok(a) => match a.value.as_choice() {
+                Some(1) => yes += 1,
+                _ => no += 1,
+            },
+            Err(e) if e.is_resource_exhaustion() => break,
+            Err(e) => return Err(e),
+        }
+    }
+    let verdict = yes > no;
+    c.equal_cache.insert(key, verdict);
+    c.stats.equal_checks += 1;
+    Ok(verdict)
+}
+
+/// Produces the best-first row ordering for a crowd sort.
+fn crowd_sort_order(
+    c: &mut CrowdCtx<'_>,
+    values: &[Value],
+    top_k: Option<usize>,
+) -> Result<Vec<usize>> {
+    let n = values.len();
+    let votes = c.votes;
+    match top_k {
+        Some(k) if k < n => {
+            let k = k.max(1);
+            let CrowdCtx {
+                oracle,
+                factory,
+                stats,
+                ..
+            } = c;
+            let out = crowd_top_k(&mut **oracle, n, k, votes, |id, a, b| {
+                factory.compare_task(id, &values[a], &values[b])
+            })?;
+            stats.comparisons += out.matches as u64;
+            Ok(out.winners)
+        }
+        _ => {
+            // Full pairwise comparison graph ranked by Copeland score.
+            let pairs: Vec<(usize, usize)> = (0..n)
+                .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
+                .collect();
+            let CrowdCtx {
+                oracle,
+                factory,
+                ids: _,
+                stats,
+                ..
+            } = c;
+            let graph: ComparisonGraph =
+                collect_comparisons(&mut **oracle, n, &pairs, votes, |id, a, b| {
+                    factory.compare_task(id, &values[a], &values[b])
+                })?;
+            stats.comparisons += pairs.len() as u64;
+            Ok(order_by_scores(&copeland(&graph)))
+        }
+    }
+}
+
+/// Builds a [`TaskFactory`] from three closures — handy for tests and
+/// simulations.
+pub struct FnTaskFactory<F1, F2, F3> {
+    fill: F1,
+    equal: F2,
+    compare: F3,
+}
+
+impl<F1, F2, F3> FnTaskFactory<F1, F2, F3>
+where
+    F1: FnMut(TaskId, &str, &[Value], &str) -> Task,
+    F2: FnMut(TaskId, &Value, &Value) -> Task,
+    F3: FnMut(TaskId, &Value, &Value) -> Task,
+{
+    /// Wraps the three task builders.
+    pub fn new(fill: F1, equal: F2, compare: F3) -> Self {
+        Self {
+            fill,
+            equal,
+            compare,
+        }
+    }
+}
+
+impl<F1, F2, F3> TaskFactory for FnTaskFactory<F1, F2, F3>
+where
+    F1: FnMut(TaskId, &str, &[Value], &str) -> Task,
+    F2: FnMut(TaskId, &Value, &Value) -> Task,
+    F3: FnMut(TaskId, &Value, &Value) -> Task,
+{
+    fn fill_task(&mut self, id: TaskId, table: &str, row: &[Value], column: &str) -> Task {
+        (self.fill)(id, table, row, column)
+    }
+
+    fn equal_task(&mut self, id: TaskId, left: &Value, right: &Value) -> Task {
+        (self.equal)(id, left, right)
+    }
+
+    fn compare_task(&mut self, id: TaskId, left: &Value, right: &Value) -> Task {
+        (self.compare)(id, left, right)
+    }
+}
+
+/// A [`TaskFactory`] for simulations: renders prompts and attaches ground
+/// truth pulled from caller-provided closures.
+pub struct SimTaskFactory<TF, EF, CF>
+where
+    TF: FnMut(&str, &[Value], &str) -> String,
+    EF: FnMut(&Value, &Value) -> bool,
+    CF: FnMut(&Value, &Value) -> bool,
+{
+    /// Ground-truth fill value for `(table, row, column)`.
+    pub fill_truth: TF,
+    /// Ground-truth equality for `(left, right)`.
+    pub equal_truth: EF,
+    /// Ground truth "left ranks higher" for `(left, right)`.
+    pub left_wins_truth: CF,
+}
+
+impl<TF, EF, CF> TaskFactory for SimTaskFactory<TF, EF, CF>
+where
+    TF: FnMut(&str, &[Value], &str) -> String,
+    EF: FnMut(&Value, &Value) -> bool,
+    CF: FnMut(&Value, &Value) -> bool,
+{
+    fn fill_task(&mut self, id: TaskId, table: &str, row: &[Value], column: &str) -> Task {
+        use crowdkit_core::answer::AnswerValue;
+        use crowdkit_core::task::TaskKind;
+        let truth = (self.fill_truth)(table, row, column);
+        Task::new(
+            id,
+            TaskKind::Fill {
+                attribute: column.to_owned(),
+            },
+            format!("value of {column} for a row of {table}"),
+        )
+        .with_truth(AnswerValue::Text(truth))
+    }
+
+    fn equal_task(&mut self, id: TaskId, left: &Value, right: &Value) -> Task {
+        use crowdkit_core::answer::AnswerValue;
+        let same = (self.equal_truth)(left, right);
+        Task::binary(
+            id,
+            format!("is '{}' the same as '{}'?", left.display_raw(), right.display_raw()),
+        )
+        .with_truth(AnswerValue::Choice(same as u32))
+    }
+
+    fn compare_task(&mut self, id: TaskId, left: &Value, right: &Value) -> Task {
+        use crowdkit_core::answer::AnswerValue;
+        use crowdkit_core::ids::ItemId;
+        let left_wins = (self.left_wins_truth)(left, right);
+        Task::pairwise(id, ItemId::new(0), ItemId::new(1))
+            .with_truth(AnswerValue::Prefer(if left_wins {
+                Preference::Left
+            } else {
+                Preference::Right
+            }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdkit_core::answer::Answer;
+    use crowdkit_core::budget::Budget;
+    use crowdkit_core::ids::WorkerId;
+
+    /// Oracle answering every task per its attached truth.
+    struct TruthfulOracle {
+        budget: Budget,
+        next_worker: u64,
+        delivered: u64,
+    }
+
+    impl TruthfulOracle {
+        fn new(limit: f64) -> Self {
+            Self {
+                budget: Budget::new(limit),
+                next_worker: 0,
+                delivered: 0,
+            }
+        }
+    }
+
+    impl CrowdOracle for TruthfulOracle {
+        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+            self.budget.debit(1.0)?;
+            self.delivered += 1;
+            let w = WorkerId::new(self.next_worker);
+            self.next_worker += 1;
+            Ok(Answer::bare(task.id, w, task.truth.clone().unwrap()))
+        }
+        fn remaining_budget(&self) -> Option<f64> {
+            Some(self.budget.remaining())
+        }
+        fn answers_delivered(&self) -> u64 {
+            self.delivered
+        }
+    }
+
+    /// Categories ground truth keyed by product id (row[0]).
+    fn factory() -> impl TaskFactory {
+        SimTaskFactory {
+            fill_truth: |_table: &str, row: &[Value], _col: &str| -> String {
+                match row[0] {
+                    Value::Int(i) if i % 2 == 0 => "phone".to_owned(),
+                    _ => "laptop".to_owned(),
+                }
+            },
+            equal_truth: |l: &Value, r: &Value| -> bool {
+                // Semantic equality: case-insensitive text match.
+                l.display_raw().eq_ignore_ascii_case(&r.display_raw())
+            },
+            left_wins_truth: |l: &Value, r: &Value| -> bool {
+                // "Better" = lexicographically larger.
+                l.display_raw() > r.display_raw()
+            },
+        }
+    }
+
+    fn session_with_products(n: i64) -> Session {
+        let mut s = Session::new();
+        s.execute_ddl("CREATE TABLE products (id INT, name TEXT, category CROWD TEXT)")
+            .unwrap();
+        for i in 0..n {
+            s.execute_ddl(&format!(
+                "INSERT INTO products VALUES ({i}, 'prod{i}', NULL)"
+            ))
+            .unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn machine_query_end_to_end() {
+        let mut s = session_with_products(5);
+        let rows = s
+            .query_machine("SELECT name FROM products WHERE id >= 3 ORDER BY id DESC")
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::text("prod4")], vec![Value::text("prod3")]]
+        );
+    }
+
+    #[test]
+    fn machine_query_rejects_crowd_plans() {
+        let mut s = session_with_products(2);
+        let err = s
+            .query_machine("SELECT * FROM products WHERE category = 'phone'")
+            .unwrap_err();
+        assert!(matches!(err, CrowdError::Unsupported(_)));
+    }
+
+    #[test]
+    fn crowd_fill_answers_and_writes_back() {
+        let mut s = session_with_products(4);
+        let mut oracle = TruthfulOracle::new(1e9);
+        let mut f = factory();
+        let (rows, stats) = s
+            .query_crowd(
+                "SELECT name FROM products WHERE category = 'phone'",
+                &mut oracle,
+                &mut f,
+                3,
+                true,
+            )
+            .unwrap();
+        // Even ids are phones: 0, 2.
+        assert_eq!(
+            rows,
+            vec![vec![Value::text("prod0")], vec![Value::text("prod2")]]
+        );
+        assert_eq!(stats.cells_filled, 4);
+        assert_eq!(stats.questions, 12, "4 cells × 3 votes");
+        // Write-back: rerunning the query costs nothing.
+        let (_, stats2) = s
+            .query_crowd(
+                "SELECT name FROM products WHERE category = 'phone'",
+                &mut oracle,
+                &mut f,
+                3,
+                true,
+            )
+            .unwrap();
+        assert_eq!(stats2.questions, 0, "cells persisted in the catalog");
+    }
+
+    #[test]
+    fn optimized_plan_cheaper_than_naive() {
+        // Machine predicate keeps 2 of 8 rows; naive fills all 8.
+        let run = |optimized: bool| -> QueryStats {
+            let mut s = session_with_products(8);
+            let mut oracle = TruthfulOracle::new(1e9);
+            let mut f = factory();
+            let (_, stats) = s
+                .query_crowd(
+                    "SELECT category FROM products WHERE id >= 6",
+                    &mut oracle,
+                    &mut f,
+                    3,
+                    optimized,
+                )
+                .unwrap();
+            stats
+        };
+        let opt = run(true);
+        let naive = run(false);
+        assert_eq!(opt.cells_filled, 2);
+        assert_eq!(naive.cells_filled, 8);
+        assert!(opt.questions < naive.questions);
+    }
+
+    #[test]
+    fn crowdequal_join_finds_semantic_matches() {
+        let mut s = Session::new();
+        s.execute_ddl("CREATE TABLE a (name TEXT)").unwrap();
+        s.execute_ddl("CREATE TABLE b (alias TEXT)").unwrap();
+        s.execute_ddl("INSERT INTO a VALUES ('IPhone'), ('Galaxy')")
+            .unwrap();
+        s.execute_ddl("INSERT INTO b VALUES ('iphone'), ('pixel')")
+            .unwrap();
+        let mut oracle = TruthfulOracle::new(1e9);
+        let mut f = factory();
+        let (rows, stats) = s
+            .query_crowd(
+                "SELECT a.name, b.alias FROM a, b WHERE CROWDEQUAL(a.name, b.alias)",
+                &mut oracle,
+                &mut f,
+                3,
+                true,
+            )
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::text("IPhone"), Value::text("iphone")]]);
+        assert_eq!(stats.equal_checks, 4, "2×2 candidate pairs");
+    }
+
+    #[test]
+    fn crowd_sort_full_and_topk() {
+        let mut s = Session::new();
+        s.execute_ddl("CREATE TABLE t (name TEXT)").unwrap();
+        s.execute_ddl("INSERT INTO t VALUES ('a'), ('d'), ('b'), ('c')")
+            .unwrap();
+        let mut oracle = TruthfulOracle::new(1e9);
+        let mut f = factory();
+        // Full sort: best-first = lexicographically descending.
+        let (rows, stats) = s
+            .query_crowd(
+                "SELECT name FROM t ORDER BY CROWDORDER(name)",
+                &mut oracle,
+                &mut f,
+                1,
+                true,
+            )
+            .unwrap();
+        let names: Vec<String> = rows.iter().map(|r| r[0].display_raw()).collect();
+        assert_eq!(names, vec!["d", "c", "b", "a"]);
+        assert_eq!(stats.comparisons, 6, "full pairwise over 4 items");
+
+        // Top-1 tournament asks fewer comparisons.
+        let mut oracle2 = TruthfulOracle::new(1e9);
+        let (rows, stats) = s
+            .query_crowd(
+                "SELECT name FROM t ORDER BY CROWDORDER(name) LIMIT 1",
+                &mut oracle2,
+                &mut f,
+                1,
+                true,
+            )
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::text("d")]]);
+        assert_eq!(stats.comparisons, 3, "single-elimination over 4 items");
+    }
+
+    #[test]
+    fn budget_exhaustion_surfaces_partial_results() {
+        let mut s = session_with_products(4);
+        let mut oracle = TruthfulOracle::new(5.0);
+        let mut f = factory();
+        let (_, stats) = s
+            .query_crowd(
+                "SELECT category FROM products",
+                &mut oracle,
+                &mut f,
+                3,
+                true,
+            )
+            .unwrap();
+        assert_eq!(stats.questions, 5, "spent exactly the budget");
+        // Two cells fully reconciled (3+2 votes → the 2-vote one still
+        // unanimous), remaining rows stay NULL but the query completes.
+        assert_eq!(stats.rows_out, 4);
+    }
+
+    #[test]
+    fn explain_renders_both_plans() {
+        let s = session_with_products(1);
+        let opt = s
+            .explain("SELECT name FROM products WHERE id > 0", true)
+            .unwrap();
+        let naive = s
+            .explain("SELECT name FROM products WHERE id > 0", false)
+            .unwrap();
+        assert!(!opt.contains("CrowdFill"));
+        assert!(naive.contains("CrowdFill"));
+    }
+
+    #[test]
+    fn ddl_errors_are_reported() {
+        let mut s = Session::new();
+        assert!(s.execute_ddl("SELECT 1 FROM t").is_err());
+        assert!(s.execute_ddl("INSERT INTO missing VALUES (1)").is_err());
+    }
+
+    #[test]
+    fn fill_parses_ints_for_int_columns() {
+        let mut s = Session::new();
+        s.execute_ddl("CREATE TABLE t (name TEXT, stars CROWD INT)")
+            .unwrap();
+        s.execute_ddl("INSERT INTO t VALUES ('x', NULL)").unwrap();
+        let mut oracle = TruthfulOracle::new(1e9);
+        let mut f = SimTaskFactory {
+            fill_truth: |_: &str, _: &[Value], _: &str| "4".to_owned(),
+            equal_truth: |_: &Value, _: &Value| false,
+            left_wins_truth: |_: &Value, _: &Value| false,
+        };
+        let (rows, _) = s
+            .query_crowd("SELECT stars FROM t", &mut oracle, &mut f, 3, true)
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(4)]]);
+    }
+}
+
+#[cfg(test)]
+mod count_tests {
+    use super::*;
+    use crowdkit_core::answer::Answer;
+    use crowdkit_core::ids::WorkerId;
+
+    struct TruthfulOracle {
+        n: u64,
+    }
+    impl CrowdOracle for TruthfulOracle {
+        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+            self.n += 1;
+            Ok(Answer::bare(
+                task.id,
+                WorkerId::new(self.n),
+                task.truth.clone().unwrap(),
+            ))
+        }
+        fn remaining_budget(&self) -> Option<f64> {
+            None
+        }
+        fn answers_delivered(&self) -> u64 {
+            self.n
+        }
+    }
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.execute_ddl("CREATE TABLE t (id INT, tag CROWD TEXT)").unwrap();
+        for i in 0..10 {
+            s.execute_ddl(&format!("INSERT INTO t VALUES ({i}, NULL)")).unwrap();
+        }
+        s
+    }
+
+    #[test]
+    fn count_star_machine_only() {
+        let mut s = session();
+        let rows = s.query_machine("SELECT COUNT(*) FROM t WHERE id >= 4").unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(6)]]);
+        let all = s.query_machine("SELECT COUNT(*) FROM t").unwrap();
+        assert_eq!(all, vec![vec![Value::Int(10)]]);
+    }
+
+    #[test]
+    fn count_star_does_not_fill_crowd_columns_it_does_not_read() {
+        let s = session();
+        let plan = s.explain("SELECT COUNT(*) FROM t WHERE id > 2", true).unwrap();
+        assert!(!plan.contains("CrowdFill"), "{plan}");
+        assert!(plan.contains("CountStar"), "{plan}");
+    }
+
+    #[test]
+    fn count_star_over_crowd_predicate() {
+        let mut s = session();
+        let mut oracle = TruthfulOracle { n: 0 };
+        let mut f = SimTaskFactory {
+            fill_truth: |_: &str, row: &[Value], _: &str| match row[0] {
+                Value::Int(i) if i < 3 => "keep".to_owned(),
+                _ => "drop".to_owned(),
+            },
+            equal_truth: |_: &Value, _: &Value| false,
+            left_wins_truth: |_: &Value, _: &Value| false,
+        };
+        let (rows, stats) = s
+            .query_crowd(
+                "SELECT COUNT(*) FROM t WHERE tag = 'keep'",
+                &mut oracle,
+                &mut f,
+                3,
+                true,
+            )
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(3)]]);
+        assert_eq!(stats.cells_filled, 10);
+    }
+
+    #[test]
+    fn count_star_rejects_order_by_and_limit() {
+        assert!(parse_statement("SELECT COUNT(*) FROM t ORDER BY id").is_err());
+        assert!(parse_statement("SELECT COUNT(*) FROM t LIMIT 3").is_err());
+        assert!(parse_statement("SELECT COUNT(*) FROM t").is_ok());
+    }
+}
+
+#[cfg(test)]
+mod hash_join_tests {
+    use super::*;
+    
+    
+
+    fn session() -> Session {
+        let mut s = Session::new();
+        s.execute_ddl("CREATE TABLE orders (oid INT, cust TEXT)").unwrap();
+        s.execute_ddl("CREATE TABLE custs (cname TEXT, city TEXT)").unwrap();
+        s.execute_ddl(
+            "INSERT INTO orders VALUES (1, 'ada'), (2, 'bob'), (3, 'ada'), (4, NULL)",
+        )
+        .unwrap();
+        s.execute_ddl(
+            "INSERT INTO custs VALUES ('ada', 'paris'), ('bob', 'berlin'), ('cyd', 'rome')",
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn optimizer_promotes_equality_to_hash_join() {
+        let s = session();
+        let sql = "SELECT oid, city FROM orders, custs WHERE cust = cname AND oid >= 2";
+        let opt = s.explain(sql, true).unwrap();
+        assert!(opt.contains("HashJoin [cust = cname]"), "{opt}");
+        assert!(!opt.contains("Join (cross)"), "{opt}");
+        // The remaining machine predicate still filters above the join.
+        assert!(opt.contains("MachineFilter [oid >= 2]"), "{opt}");
+        // The naive plan keeps the cross product.
+        let naive = s.explain(sql, false).unwrap();
+        assert!(naive.contains("Join (cross)"), "{naive}");
+    }
+
+    #[test]
+    fn hash_join_matches_cross_product_semantics() {
+        let mut s = session();
+        let sql = "SELECT oid, city FROM orders, custs WHERE cust = cname ORDER BY oid ASC";
+        let rows = s.query_machine(sql).unwrap();
+        assert_eq!(
+            rows,
+            vec![
+                vec![Value::Int(1), Value::text("paris")],
+                vec![Value::Int(2), Value::text("berlin")],
+                vec![Value::Int(3), Value::text("paris")],
+            ],
+            "NULL cust on order 4 never matches"
+        );
+    }
+
+    #[test]
+    fn hash_join_runs_without_any_crowd_context() {
+        let mut s = session();
+        // query_machine uses ctx = None; a crowd op would error out.
+        let rows = s
+            .query_machine("SELECT COUNT(*) FROM orders, custs WHERE cust = cname")
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn qualified_equi_join_columns_resolve() {
+        let mut s = session();
+        let rows = s
+            .query_machine(
+                "SELECT orders.oid FROM orders, custs \
+                 WHERE custs.cname = orders.cust AND custs.city = 'paris' ORDER BY oid ASC",
+            )
+            .unwrap();
+        assert_eq!(rows, vec![vec![Value::Int(1)], vec![Value::Int(3)]]);
+    }
+
+    #[test]
+    fn same_table_equality_is_not_a_join() {
+        let s = session();
+        let plan = s
+            .explain(
+                "SELECT oid FROM orders, custs WHERE cust = cust",
+                true,
+            )
+            .unwrap();
+        assert!(!plan.contains("HashJoin"), "{plan}");
+    }
+}

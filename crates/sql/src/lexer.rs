@@ -1,0 +1,336 @@
+//! SQL lexer.
+//!
+//! Case-insensitive keywords, `'single quoted'` strings with `''` escape,
+//! integers, identifiers (optionally qualified as `table.column` — the dot
+//! is its own token), and the operator set of the CrowdSQL dialect.
+//! `--` begins a line comment.
+
+use crowdkit_core::error::{CrowdError, Result};
+
+/// A lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Token {
+    /// Keyword (uppercased).
+    Keyword(Keyword),
+    /// Identifier (original case preserved; matching is case-sensitive for
+    /// data, case-insensitive for keywords).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// String literal (unescaped).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `*`
+    Star,
+    /// `=`
+    Eq,
+    /// `!=` or `<>`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `;`
+    Semi,
+}
+
+/// Recognized keywords.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Keyword {
+    Select,
+    From,
+    Where,
+    And,
+    Order,
+    By,
+    Asc,
+    Desc,
+    Limit,
+    Create,
+    Table,
+    Crowd,
+    Insert,
+    Into,
+    Values,
+    Int,
+    Text,
+    Null,
+    Crowdequal,
+    Crowdorder,
+    Explain,
+    Count,
+}
+
+impl Keyword {
+    fn from_str(s: &str) -> Option<Self> {
+        Some(match s.to_ascii_uppercase().as_str() {
+            "SELECT" => Keyword::Select,
+            "FROM" => Keyword::From,
+            "WHERE" => Keyword::Where,
+            "AND" => Keyword::And,
+            "ORDER" => Keyword::Order,
+            "BY" => Keyword::By,
+            "ASC" => Keyword::Asc,
+            "DESC" => Keyword::Desc,
+            "LIMIT" => Keyword::Limit,
+            "CREATE" => Keyword::Create,
+            "TABLE" => Keyword::Table,
+            "CROWD" => Keyword::Crowd,
+            "INSERT" => Keyword::Insert,
+            "INTO" => Keyword::Into,
+            "VALUES" => Keyword::Values,
+            "INT" | "INTEGER" => Keyword::Int,
+            "TEXT" | "VARCHAR" | "STRING" => Keyword::Text,
+            "NULL" => Keyword::Null,
+            "CROWDEQUAL" => Keyword::Crowdequal,
+            "CROWDORDER" => Keyword::Crowdorder,
+            "EXPLAIN" => Keyword::Explain,
+            "COUNT" => Keyword::Count,
+            _ => return None,
+        })
+    }
+}
+
+/// Tokenizes SQL text.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    let bytes = src.as_bytes();
+    let mut pos = 0usize;
+    let mut line = 1usize;
+    let mut col = 1usize;
+    let mut out = Vec::new();
+
+    macro_rules! bump {
+        () => {{
+            let c = bytes[pos];
+            pos += 1;
+            if c == b'\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while pos < bytes.len() {
+        let c = bytes[pos];
+        match c {
+            c if c.is_ascii_whitespace() => {
+                bump!();
+            }
+            b'-' if bytes.get(pos + 1) == Some(&b'-') => {
+                while pos < bytes.len() && bytes[pos] != b'\n' {
+                    bump!();
+                }
+            }
+            b'(' => {
+                bump!();
+                out.push(Token::LParen);
+            }
+            b')' => {
+                bump!();
+                out.push(Token::RParen);
+            }
+            b',' => {
+                bump!();
+                out.push(Token::Comma);
+            }
+            b'.' => {
+                bump!();
+                out.push(Token::Dot);
+            }
+            b'*' => {
+                bump!();
+                out.push(Token::Star);
+            }
+            b';' => {
+                bump!();
+                out.push(Token::Semi);
+            }
+            b'=' => {
+                bump!();
+                out.push(Token::Eq);
+            }
+            b'!' => {
+                bump!();
+                if pos < bytes.len() && bytes[pos] == b'=' {
+                    bump!();
+                    out.push(Token::Ne);
+                } else {
+                    return Err(CrowdError::parse(line, col, "expected '!='"));
+                }
+            }
+            b'<' => {
+                bump!();
+                match bytes.get(pos) {
+                    Some(b'=') => {
+                        bump!();
+                        out.push(Token::Le);
+                    }
+                    Some(b'>') => {
+                        bump!();
+                        out.push(Token::Ne);
+                    }
+                    _ => out.push(Token::Lt),
+                }
+            }
+            b'>' => {
+                bump!();
+                if bytes.get(pos) == Some(&b'=') {
+                    bump!();
+                    out.push(Token::Ge);
+                } else {
+                    out.push(Token::Gt);
+                }
+            }
+            b'\'' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    if pos >= bytes.len() {
+                        return Err(CrowdError::parse(line, col, "unterminated string literal"));
+                    }
+                    let ch = bump!();
+                    if ch == b'\'' {
+                        if bytes.get(pos) == Some(&b'\'') {
+                            bump!();
+                            s.push('\'');
+                        } else {
+                            break;
+                        }
+                    } else {
+                        s.push(ch as char);
+                    }
+                }
+                out.push(Token::Str(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                    s.push(bump!() as char);
+                }
+                let v: i64 = s
+                    .parse()
+                    .map_err(|_| CrowdError::parse(line, col, format!("integer overflow: {s}")))?;
+                out.push(Token::Int(v));
+            }
+            c if c.is_ascii_alphabetic() || c == b'_' => {
+                let mut s = String::new();
+                while pos < bytes.len()
+                    && (bytes[pos].is_ascii_alphanumeric() || bytes[pos] == b'_')
+                {
+                    s.push(bump!() as char);
+                }
+                match Keyword::from_str(&s) {
+                    Some(kw) => out.push(Token::Keyword(kw)),
+                    None => out.push(Token::Ident(s)),
+                }
+            }
+            other => {
+                return Err(CrowdError::parse(
+                    line,
+                    col,
+                    format!("unexpected character '{}'", other as char),
+                ))
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_a_select() {
+        let toks = lex("SELECT name FROM t WHERE id >= 3;").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Select),
+                Token::Ident("name".into()),
+                Token::Keyword(Keyword::From),
+                Token::Ident("t".into()),
+                Token::Keyword(Keyword::Where),
+                Token::Ident("id".into()),
+                Token::Ge,
+                Token::Int(3),
+                Token::Semi,
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        let toks = lex("select Select SELECT").unwrap();
+        assert!(toks.iter().all(|t| *t == Token::Keyword(Keyword::Select)));
+    }
+
+    #[test]
+    fn strings_unescape_doubled_quotes() {
+        let toks = lex("'it''s fine'").unwrap();
+        assert_eq!(toks, vec![Token::Str("it's fine".into())]);
+    }
+
+    #[test]
+    fn ne_has_two_spellings() {
+        assert_eq!(lex("<>").unwrap(), vec![Token::Ne]);
+        assert_eq!(lex("!=").unwrap(), vec![Token::Ne]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = lex("SELECT -- the projection\n1").unwrap();
+        assert_eq!(
+            toks,
+            vec![Token::Keyword(Keyword::Select), Token::Int(1)]
+        );
+    }
+
+    #[test]
+    fn qualified_names_tokenize_with_dot() {
+        let toks = lex("a.b").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("a".into()),
+                Token::Dot,
+                Token::Ident("b".into())
+            ]
+        );
+    }
+
+    #[test]
+    fn crowd_keywords() {
+        let toks = lex("CROWDEQUAL CROWDORDER CROWD").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Keyword(Keyword::Crowdequal),
+                Token::Keyword(Keyword::Crowdorder),
+                Token::Keyword(Keyword::Crowd),
+            ]
+        );
+    }
+
+    #[test]
+    fn errors_on_bad_chars_and_unterminated_strings() {
+        assert!(lex("#").is_err());
+        assert!(lex("'open").is_err());
+        assert!(lex("!x").is_err());
+    }
+}

@@ -1,0 +1,62 @@
+//! # crowdkit-sql
+//!
+//! CrowdSQL: a CrowdDB-flavoured declarative layer where SQL queries can
+//! reference data and judgements only people can provide.
+//!
+//! CrowdDB (Franklin et al., 2011) extended SQL with three constructs,
+//! all implemented here:
+//!
+//! * **CROWD columns** — `CREATE TABLE p (name TEXT, phone CROWD TEXT)`:
+//!   the column may be `NULL` at query time and is *filled* by the crowd
+//!   on demand, only for rows that survive the machine predicates.
+//! * **`CROWDEQUAL(a, b)`** — crowd-verified equality ("are these two
+//!   values the same thing?"), the predicate behind crowd joins.
+//! * **`CROWDORDER(col)`** — crowd-provided ordering for subjective
+//!   `ORDER BY`; with a `LIMIT k` the optimizer switches from a full
+//!   pairwise sort to a top-k tournament.
+//!
+//! ## Pipeline
+//!
+//! ```text
+//! SQL text ──lexer/parser──▶ AST ──planner──▶ logical plan
+//!          ──optimizer (machine-first, lazy fill, limit-aware sort)──▶ plan
+//!          ──executor──▶ rows  (crowd questions via CrowdOracle)
+//! ```
+//!
+//! The optimizer is where the money is: experiment E10 compares the
+//! naive plan (fill every crowd cell eagerly, full sort) against the
+//! optimized plan (machine predicates first, fill only surviving rows,
+//! tournament top-k) and counts crowd questions.
+//!
+//! ## Example
+//!
+//! ```
+//! use crowdkit_sql::{Session, TaskFactory};
+//!
+//! let mut session = Session::new();
+//! session.execute_ddl("CREATE TABLE items (id INT, name TEXT)").unwrap();
+//! session
+//!     .execute_ddl("INSERT INTO items VALUES (1, 'apple'), (2, 'pear')")
+//!     .unwrap();
+//! // Machine-only queries run without a crowd.
+//! let rows = session
+//!     .query_machine("SELECT name FROM items WHERE id >= 2")
+//!     .unwrap();
+//! assert_eq!(rows.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+pub mod ast;
+pub mod catalog;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+pub mod value;
+
+pub use catalog::{Catalog, ColumnDef, ColumnType, TableDef};
+pub use exec::{QueryStats, Session, TaskFactory};
+pub use plan::{optimize, plan_query, PlanNode, PlannerConfig};
+pub use value::Value;

@@ -1,0 +1,681 @@
+//! Logical plans and the CrowdDB-style optimizer.
+//!
+//! Crowd operators dominate query cost by orders of magnitude, so the
+//! optimizer's one job is to minimize *crowd questions*, not CPU. Three
+//! rules, straight from the declarative-crowdsourcing literature:
+//!
+//! 1. **Machine-first** — every predicate evaluable from stored data runs
+//!    before any crowd operator, shrinking the rows crowd operators see.
+//! 2. **Lazy fill** — crowd columns are filled only when (a) a surviving
+//!    predicate/order/projection actually reads them, and (b) the row has
+//!    survived all machine predicates. The naive plan fills every crowd
+//!    cell of every scanned row eagerly.
+//! 3. **Limit-aware crowd sort** — `ORDER BY CROWDORDER(c) LIMIT k`
+//!    becomes a top-k tournament (`O(n + k·log n)` comparisons) instead of
+//!    a full pairwise sort (`O(n²)`).
+//!
+//! [`plan_query`] builds the naive plan, [`optimize`] the optimized one;
+//! experiment E10 runs both and counts the questions.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crowdkit_core::error::{CrowdError, Result};
+
+use crate::ast::{ColumnRef, Expr, OrderBy, Predicate, Select};
+use crate::catalog::Catalog;
+
+/// A logical plan operator tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlanNode {
+    /// Scan all rows of a base table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Cross product of two inputs (predicates filter above).
+    Join {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+    },
+    /// Hash equi-join: `left.col = right.col`, built by the optimizer from
+    /// a machine equality predicate between the two FROM tables. NULL keys
+    /// never match (SQL semantics).
+    HashJoin {
+        /// Left input.
+        left: Box<PlanNode>,
+        /// Right input.
+        right: Box<PlanNode>,
+        /// Join column on the left input.
+        left_col: ColumnRef,
+        /// Join column on the right input.
+        right_col: ColumnRef,
+    },
+    /// Machine-evaluable predicate filter.
+    MachineFilter {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Conjunctive predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Fill NULL cells of the listed crowd columns via the crowd.
+    CrowdFill {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Columns to fill, as `(table, column)`.
+        columns: Vec<(String, String)>,
+    },
+    /// Crowd-verified predicate filter (CROWDEQUAL).
+    CrowdFilter {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Conjunctive crowd predicates.
+        predicates: Vec<Predicate>,
+    },
+    /// Machine sort.
+    MachineSort {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Sort column.
+        column: ColumnRef,
+        /// Ascending?
+        asc: bool,
+    },
+    /// Crowd-judged ordering of rows by a column's values.
+    CrowdSort {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Compared column.
+        column: ColumnRef,
+        /// When `Some(k)`, run a top-k tournament instead of a full sort.
+        top_k: Option<usize>,
+    },
+    /// Keep the first `n` rows.
+    Limit {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Row cap.
+        n: usize,
+    },
+    /// Project the listed columns (empty = all).
+    Project {
+        /// Input plan.
+        input: Box<PlanNode>,
+        /// Projected columns.
+        columns: Vec<ColumnRef>,
+    },
+    /// `COUNT(*)`: collapse the input to a single row with its row count.
+    CountStar {
+        /// Input plan.
+        input: Box<PlanNode>,
+    },
+}
+
+impl PlanNode {
+    fn fmt_tree(&self, f: &mut fmt::Formatter<'_>, indent: usize) -> fmt::Result {
+        let pad = "  ".repeat(indent);
+        match self {
+            PlanNode::Scan { table } => writeln!(f, "{pad}Scan {table}"),
+            PlanNode::Join { left, right } => {
+                writeln!(f, "{pad}Join (cross)")?;
+                left.fmt_tree(f, indent + 1)?;
+                right.fmt_tree(f, indent + 1)
+            }
+            PlanNode::HashJoin {
+                left,
+                right,
+                left_col,
+                right_col,
+            } => {
+                writeln!(f, "{pad}HashJoin [{left_col} = {right_col}]")?;
+                left.fmt_tree(f, indent + 1)?;
+                right.fmt_tree(f, indent + 1)
+            }
+            PlanNode::MachineFilter { input, predicates } => {
+                let ps: Vec<String> = predicates.iter().map(|p| p.to_string()).collect();
+                writeln!(f, "{pad}MachineFilter [{}]", ps.join(" AND "))?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::CrowdFill { input, columns } => {
+                let cs: Vec<String> =
+                    columns.iter().map(|(t, c)| format!("{t}.{c}")).collect();
+                writeln!(f, "{pad}CrowdFill [{}]", cs.join(", "))?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::CrowdFilter { input, predicates } => {
+                let ps: Vec<String> = predicates.iter().map(|p| p.to_string()).collect();
+                writeln!(f, "{pad}CrowdFilter [{}]", ps.join(" AND "))?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::MachineSort { input, column, asc } => {
+                writeln!(
+                    f,
+                    "{pad}MachineSort {column} {}",
+                    if *asc { "ASC" } else { "DESC" }
+                )?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::CrowdSort {
+                input,
+                column,
+                top_k,
+            } => {
+                match top_k {
+                    Some(k) => writeln!(f, "{pad}CrowdSort {column} (top-{k} tournament)")?,
+                    None => writeln!(f, "{pad}CrowdSort {column} (full pairwise)")?,
+                }
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Limit { input, n } => {
+                writeln!(f, "{pad}Limit {n}")?;
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::Project { input, columns } => {
+                if columns.is_empty() {
+                    writeln!(f, "{pad}Project *")?;
+                } else {
+                    let cs: Vec<String> = columns.iter().map(|c| c.to_string()).collect();
+                    writeln!(f, "{pad}Project [{}]", cs.join(", "))?;
+                }
+                input.fmt_tree(f, indent + 1)
+            }
+            PlanNode::CountStar { input } => {
+                writeln!(f, "{pad}CountStar")?;
+                input.fmt_tree(f, indent + 1)
+            }
+        }
+    }
+}
+
+impl fmt::Display for PlanNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.fmt_tree(f, 0)
+    }
+}
+
+/// Planner settings.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlannerConfig {}
+
+/// Classification of a predicate's crowd needs against the catalog.
+fn predicate_crowd_columns(
+    pred: &Predicate,
+    select: &Select,
+    catalog: &Catalog,
+) -> Result<Vec<(String, String)>> {
+    let mut cols = Vec::new();
+    let exprs: [&Expr; 2] = match pred {
+        Predicate::Compare { left, right, .. } => [left, right],
+        Predicate::CrowdEqual { left, right } => [left, right],
+    };
+    for e in exprs {
+        if let Expr::Column(c) = e {
+            let (table, col) = resolve_column(c, select, catalog)?;
+            if catalog.table(&table)?.is_crowd_column(&col) {
+                cols.push((table, col));
+            }
+        }
+    }
+    Ok(cols)
+}
+
+/// Resolves a column reference to `(table, column)` against the FROM list.
+pub(crate) fn resolve_column(
+    c: &ColumnRef,
+    select: &Select,
+    catalog: &Catalog,
+) -> Result<(String, String)> {
+    match &c.table {
+        Some(t) => {
+            if !select.from.iter().any(|f| f == t) {
+                return Err(CrowdError::Semantic(format!(
+                    "table '{t}' is not in the FROM clause"
+                )));
+            }
+            catalog
+                .table(t)?
+                .column_index(&c.column)
+                .ok_or_else(|| {
+                    CrowdError::Semantic(format!("unknown column '{}' in table '{t}'", c.column))
+                })?;
+            Ok((t.clone(), c.column.clone()))
+        }
+        None => {
+            let mut owners = Vec::new();
+            for t in &select.from {
+                if catalog.table(t)?.column_index(&c.column).is_some() {
+                    owners.push(t.clone());
+                }
+            }
+            match owners.as_slice() {
+                [] => Err(CrowdError::Semantic(format!(
+                    "unknown column '{}'",
+                    c.column
+                ))),
+                [one] => Ok((one.clone(), c.column.clone())),
+                _ => Err(CrowdError::Semantic(format!(
+                    "ambiguous column '{}' (qualify it)",
+                    c.column
+                ))),
+            }
+        }
+    }
+}
+
+/// True when a predicate needs no crowd at all (no CROWDEQUAL, no crowd
+/// columns).
+fn is_pure_machine(pred: &Predicate, select: &Select, catalog: &Catalog) -> Result<bool> {
+    if matches!(pred, Predicate::CrowdEqual { .. }) {
+        return Ok(false);
+    }
+    Ok(predicate_crowd_columns(pred, select, catalog)?.is_empty())
+}
+
+/// Builds the **naive** plan: eagerly fill every crowd column of every
+/// scanned table, apply all predicates in syntactic order, full crowd sort
+/// even under LIMIT.
+pub fn plan_query(select: &Select, catalog: &Catalog) -> Result<PlanNode> {
+    validate(select, catalog)?;
+    let mut node = scans(select);
+
+    // Eager fill of all crowd columns of all FROM tables.
+    let mut fill_cols = Vec::new();
+    for t in &select.from {
+        for c in &catalog.table(t)?.columns {
+            if c.crowd {
+                fill_cols.push((t.clone(), c.name.clone()));
+            }
+        }
+    }
+    if !fill_cols.is_empty() {
+        node = PlanNode::CrowdFill {
+            input: Box::new(node),
+            columns: fill_cols,
+        };
+    }
+
+    // All predicates, in source order, split only by evaluator kind.
+    for p in &select.predicates {
+        node = match p {
+            Predicate::CrowdEqual { .. } => PlanNode::CrowdFilter {
+                input: Box::new(node),
+                predicates: vec![p.clone()],
+            },
+            Predicate::Compare { .. } => PlanNode::MachineFilter {
+                input: Box::new(node),
+                predicates: vec![p.clone()],
+            },
+        };
+    }
+
+    node = apply_order(node, select, /* limit_aware= */ false);
+    node = apply_limit_project(node, select);
+    Ok(node)
+}
+
+/// Builds the **optimized** plan; see the module docs for the rules.
+pub fn optimize(select: &Select, catalog: &Catalog) -> Result<PlanNode> {
+    validate(select, catalog)?;
+
+    // Rule 0: classify predicates.
+    let mut machine = Vec::new();
+    let mut crowd_dependent = Vec::new();
+    let mut crowd_equal = Vec::new();
+    for p in &select.predicates {
+        if matches!(p, Predicate::CrowdEqual { .. }) {
+            crowd_equal.push(p.clone());
+        } else if is_pure_machine(p, select, catalog)? {
+            machine.push(p.clone());
+        } else {
+            crowd_dependent.push(p.clone());
+        }
+    }
+
+    // Rule 0b: on a two-table FROM, promote one machine equality between
+    // columns of the two tables into a hash join (the rest of the machine
+    // predicates filter above it as usual).
+    let mut node = if select.from.len() == 2 {
+        match extract_equi_join(&mut machine, select, catalog)? {
+            Some((left_col, right_col)) => PlanNode::HashJoin {
+                left: Box::new(PlanNode::Scan {
+                    table: select.from[0].clone(),
+                }),
+                right: Box::new(PlanNode::Scan {
+                    table: select.from[1].clone(),
+                }),
+                left_col,
+                right_col,
+            },
+            None => scans(select),
+        }
+    } else {
+        scans(select)
+    };
+
+    // Rule 1: machine predicates first.
+    if !machine.is_empty() {
+        node = PlanNode::MachineFilter {
+            input: Box::new(node),
+            predicates: machine,
+        };
+    }
+
+    // Rule 2: lazy fill — only columns actually read downstream.
+    let mut needed: BTreeSet<(String, String)> = BTreeSet::new();
+    for p in &crowd_dependent {
+        for c in predicate_crowd_columns(p, select, catalog)? {
+            needed.insert(c);
+        }
+    }
+    for p in &crowd_equal {
+        for c in predicate_crowd_columns(p, select, catalog)? {
+            needed.insert(c);
+        }
+    }
+    if let Some(OrderBy::Crowd { column } | OrderBy::Machine { column, .. }) = &select.order_by {
+        let (t, c) = resolve_column(column, select, catalog)?;
+        if catalog.table(&t)?.is_crowd_column(&c) {
+            needed.insert((t, c));
+        }
+    }
+    for c in &select.projection {
+        let (t, col) = resolve_column(c, select, catalog)?;
+        if catalog.table(&t)?.is_crowd_column(&col) {
+            needed.insert((t, col));
+        }
+    }
+    if select.projection.is_empty() && !select.count {
+        // SELECT *: all crowd columns end up in the output.
+        for t in &select.from {
+            for c in &catalog.table(t)?.columns {
+                if c.crowd {
+                    needed.insert((t.clone(), c.name.clone()));
+                }
+            }
+        }
+    }
+    if !needed.is_empty() {
+        node = PlanNode::CrowdFill {
+            input: Box::new(node),
+            columns: needed.into_iter().collect(),
+        };
+    }
+
+    // Crowd-column machine predicates run after the fill...
+    if !crowd_dependent.is_empty() {
+        node = PlanNode::MachineFilter {
+            input: Box::new(node),
+            predicates: crowd_dependent,
+        };
+    }
+    // ...and CROWDEQUAL (most expensive per tuple) runs last.
+    if !crowd_equal.is_empty() {
+        node = PlanNode::CrowdFilter {
+            input: Box::new(node),
+            predicates: crowd_equal,
+        };
+    }
+
+    node = apply_order(node, select, /* limit_aware= */ true);
+    node = apply_limit_project(node, select);
+    Ok(node)
+}
+
+/// Finds (and removes from `machine`) the first non-crowd equality between
+/// a column of the first FROM table and a column of the second, returning
+/// it as `(left_col, right_col)` oriented to the FROM order.
+fn extract_equi_join(
+    machine: &mut Vec<Predicate>,
+    select: &Select,
+    catalog: &Catalog,
+) -> Result<Option<(ColumnRef, ColumnRef)>> {
+    for (i, p) in machine.iter().enumerate() {
+        let Predicate::Compare {
+            left: Expr::Column(a),
+            op: crate::ast::CompareOp::Eq,
+            right: Expr::Column(b),
+        } = p
+        else {
+            continue;
+        };
+        let (ta, _) = resolve_column(a, select, catalog)?;
+        let (tb, _) = resolve_column(b, select, catalog)?;
+        if ta == tb {
+            continue;
+        }
+        let (left_col, right_col) = if ta == select.from[0] {
+            (a.clone(), b.clone())
+        } else {
+            (b.clone(), a.clone())
+        };
+        machine.remove(i);
+        return Ok(Some((left_col, right_col)));
+    }
+    Ok(None)
+}
+
+fn scans(select: &Select) -> PlanNode {
+    let mut node = PlanNode::Scan {
+        table: select.from[0].clone(),
+    };
+    if let Some(second) = select.from.get(1) {
+        node = PlanNode::Join {
+            left: Box::new(node),
+            right: Box::new(PlanNode::Scan {
+                table: second.clone(),
+            }),
+        };
+    }
+    node
+}
+
+fn apply_order(node: PlanNode, select: &Select, limit_aware: bool) -> PlanNode {
+    match &select.order_by {
+        Some(OrderBy::Machine { column, asc }) => PlanNode::MachineSort {
+            input: Box::new(node),
+            column: column.clone(),
+            asc: *asc,
+        },
+        Some(OrderBy::Crowd { column }) => PlanNode::CrowdSort {
+            input: Box::new(node),
+            column: column.clone(),
+            top_k: if limit_aware { select.limit } else { None },
+        },
+        None => node,
+    }
+}
+
+fn apply_limit_project(mut node: PlanNode, select: &Select) -> PlanNode {
+    if select.count {
+        // COUNT(*) replaces projection; the parser rejects ORDER BY/LIMIT.
+        return PlanNode::CountStar {
+            input: Box::new(node),
+        };
+    }
+    if let Some(n) = select.limit {
+        node = PlanNode::Limit {
+            input: Box::new(node),
+            n,
+        };
+    }
+    PlanNode::Project {
+        input: Box::new(node),
+        columns: select.projection.clone(),
+    }
+}
+
+/// Semantic validation shared by both planners: tables exist, columns
+/// resolve.
+fn validate(select: &Select, catalog: &Catalog) -> Result<()> {
+    if select.from.is_empty() {
+        return Err(CrowdError::Semantic("FROM clause is empty".into()));
+    }
+    for t in &select.from {
+        catalog.table(t)?;
+    }
+    for c in &select.projection {
+        resolve_column(c, select, catalog)?;
+    }
+    for p in &select.predicates {
+        let exprs: [&Expr; 2] = match p {
+            Predicate::Compare { left, right, .. } => [left, right],
+            Predicate::CrowdEqual { left, right } => [left, right],
+        };
+        for e in exprs {
+            if let Expr::Column(c) = e {
+                resolve_column(c, select, catalog)?;
+            }
+        }
+    }
+    if let Some(OrderBy::Machine { column, .. } | OrderBy::Crowd { column }) = &select.order_by {
+        resolve_column(column, select, catalog)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_statement;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let mk = |src: &str, c: &mut Catalog| {
+            if let crate::ast::Statement::CreateTable {
+                name,
+                columns,
+                crowd,
+            } = parse_statement(src).unwrap()
+            {
+                c.create_table(&name, &columns, crowd).unwrap();
+            }
+        };
+        mk(
+            "CREATE TABLE products (id INT, name TEXT, category CROWD TEXT)",
+            &mut c,
+        );
+        mk("CREATE TABLE brands (bname TEXT, country TEXT)", &mut c);
+        c
+    }
+
+    fn select(src: &str) -> Select {
+        match parse_statement(src).unwrap() {
+            crate::ast::Statement::Select(s) => s,
+            other => panic!("expected select, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn naive_plan_fills_eagerly() {
+        let s = select("SELECT name FROM products WHERE id > 1");
+        let plan = plan_query(&s, &catalog()).unwrap();
+        let text = plan.to_string();
+        assert!(
+            text.contains("CrowdFill [products.category]"),
+            "naive fills crowd columns even when unused:\n{text}"
+        );
+    }
+
+    #[test]
+    fn optimized_plan_skips_unneeded_fill() {
+        let s = select("SELECT name FROM products WHERE id > 1");
+        let plan = optimize(&s, &catalog()).unwrap();
+        let text = plan.to_string();
+        assert!(
+            !text.contains("CrowdFill"),
+            "no crowd column is read — no fill:\n{text}"
+        );
+    }
+
+    #[test]
+    fn optimized_plan_orders_machine_before_fill_before_crowd() {
+        let s = select(
+            "SELECT name FROM products WHERE category = 'phone' AND id > 1",
+        );
+        let text = optimize(&s, &catalog()).unwrap().to_string();
+        // Tree prints top-down (last operator first); machine filter on id
+        // must be *below* (after in text) the fill, and the category filter
+        // above it.
+        let fill_pos = text.find("CrowdFill").expect("fill present");
+        let machine_id = text.find("MachineFilter [id > 1]").expect("machine filter");
+        let machine_cat = text
+            .find("MachineFilter [category = 'phone']")
+            .expect("category filter");
+        assert!(machine_cat < fill_pos, "category filter above fill:\n{text}");
+        assert!(fill_pos < machine_id, "fill above id filter:\n{text}");
+    }
+
+    #[test]
+    fn optimized_crowd_sort_uses_tournament_under_limit() {
+        let s = select("SELECT name FROM products ORDER BY CROWDORDER(name) LIMIT 3");
+        let text = optimize(&s, &catalog()).unwrap().to_string();
+        assert!(text.contains("top-3 tournament"), "{text}");
+        let naive = plan_query(&s, &catalog()).unwrap().to_string();
+        assert!(naive.contains("full pairwise"), "{naive}");
+    }
+
+    #[test]
+    fn join_plans_cross_product_with_crowdequal_last() {
+        let s = select(
+            "SELECT products.name FROM products, brands \
+             WHERE CROWDEQUAL(products.name, brands.bname) AND products.id > 0",
+        );
+        let text = optimize(&s, &catalog()).unwrap().to_string();
+        let crowd = text.find("CrowdFilter").unwrap();
+        let machine = text.find("MachineFilter").unwrap();
+        assert!(
+            crowd < machine,
+            "crowd filter sits above (runs after) machine filter:\n{text}"
+        );
+        assert!(text.contains("Join"));
+    }
+
+    #[test]
+    fn select_star_fills_all_crowd_columns_in_optimized_plan() {
+        let s = select("SELECT * FROM products WHERE id > 0");
+        let text = optimize(&s, &catalog()).unwrap().to_string();
+        assert!(text.contains("CrowdFill [products.category]"), "{text}");
+    }
+
+    #[test]
+    fn validation_rejects_unknowns_and_ambiguity() {
+        let c = catalog();
+        assert!(optimize(&select("SELECT * FROM nosuch"), &c).is_err());
+        assert!(optimize(&select("SELECT nosuch FROM products"), &c).is_err());
+        assert!(optimize(
+            &select("SELECT products.nosuch FROM products"),
+            &c
+        )
+        .is_err());
+        // 'country' exists only in brands — fine unqualified; but a column
+        // in both tables must be qualified.
+        let mut c2 = Catalog::new();
+        if let crate::ast::Statement::CreateTable {
+            name,
+            columns,
+            crowd,
+        } = parse_statement("CREATE TABLE a (x INT)").unwrap()
+        {
+            c2.create_table(&name, &columns, crowd).unwrap();
+        }
+        if let crate::ast::Statement::CreateTable {
+            name,
+            columns,
+            crowd,
+        } = parse_statement("CREATE TABLE b (x INT)").unwrap()
+        {
+            c2.create_table(&name, &columns, crowd).unwrap();
+        }
+        assert!(optimize(&select("SELECT x FROM a, b"), &c2).is_err());
+        assert!(optimize(&select("SELECT a.x FROM a, b"), &c2).is_ok());
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let s = select("SELECT * FROM products WHERE category = 'x'");
+        let c = catalog();
+        assert_eq!(optimize(&s, &c).unwrap(), optimize(&s, &c).unwrap());
+    }
+}

@@ -1,0 +1,103 @@
+//! SQL values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A SQL value: integer, text, or NULL.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Value {
+    /// 64-bit integer.
+    Int(i64),
+    /// UTF-8 text.
+    Text(String),
+    /// The SQL NULL (unknown); in crowd tables, "ask the crowd".
+    Null,
+}
+
+impl Value {
+    /// Shorthand for a text value.
+    pub fn text(s: impl Into<String>) -> Self {
+        Value::Text(s.into())
+    }
+
+    /// True if this is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// SQL three-valued comparison: `None` when either side is NULL or the
+    /// types are incomparable; `Some(ordering)` otherwise.
+    pub fn compare(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Text(a), Value::Text(b)) => Some(a.cmp(b)),
+            _ => None,
+        }
+    }
+
+    /// SQL equality under three-valued logic: `None` if either side is
+    /// NULL, otherwise whether the values are equal (cross-type compares
+    /// unequal).
+    pub fn sql_eq(&self, other: &Value) -> Option<bool> {
+        if self.is_null() || other.is_null() {
+            return None;
+        }
+        Some(match (self, other) {
+            (Value::Int(a), Value::Int(b)) => a == b,
+            (Value::Text(a), Value::Text(b)) => a == b,
+            _ => false,
+        })
+    }
+
+    /// Rendering used in crowd task prompts (no quotes).
+    pub fn display_raw(&self) -> String {
+        match self {
+            Value::Int(i) => i.to_string(),
+            Value::Text(s) => s.clone(),
+            Value::Null => "NULL".to_owned(),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Text(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compare_same_types() {
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(
+            Value::text("b").compare(&Value::text("a")),
+            Some(Ordering::Greater)
+        );
+        assert_eq!(Value::Int(1).compare(&Value::text("1")), None);
+        assert_eq!(Value::Null.compare(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn sql_eq_three_valued() {
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(1)), Some(true));
+        assert_eq!(Value::Int(1).sql_eq(&Value::Int(2)), Some(false));
+        assert_eq!(Value::Int(1).sql_eq(&Value::text("1")), Some(false));
+        assert_eq!(Value::Null.sql_eq(&Value::Int(1)), None);
+        assert_eq!(Value::Null.sql_eq(&Value::Null), None);
+    }
+
+    #[test]
+    fn display_quotes_text_and_escapes() {
+        assert_eq!(Value::Int(5).to_string(), "5");
+        assert_eq!(Value::text("it's").to_string(), "'it''s'");
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::text("x").display_raw(), "x");
+    }
+}

@@ -1,0 +1,280 @@
+//! Dawid–Skene EM: the classical confusion-matrix model (Dawid & Skene,
+//! 1979), still the strongest general-purpose categorical truth-inference
+//! baseline in published comparisons.
+//!
+//! Model: each worker `w` has a row-stochastic confusion matrix `π_w`
+//! where `π_w[t][l]` is the probability of answering `l` when the truth is
+//! `t`; tasks have latent true labels drawn from class priors `ρ`.
+//!
+//! EM alternates:
+//!
+//! * **M-step** — re-estimate `ρ` and every `π_w` from the current soft
+//!   posteriors (with Laplace smoothing so sparse workers stay defined);
+//! * **E-step** — recompute task posteriors
+//!   `P(t | answers) ∝ ρ[t] · Π_answers π_w[t][l]` in log space to avoid
+//!   underflow on high-redundancy tasks.
+
+use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::traits::{InferenceResult, TruthInferencer};
+
+use crate::em::{
+    argmax_labels, max_abs_diff, normalize, update_priors, vote_fraction_posteriors, EmConfig,
+};
+
+/// The Dawid–Skene EM algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DawidSkene {
+    /// Iteration and smoothing settings.
+    pub config: EmConfig,
+}
+
+impl DawidSkene {
+    /// Creates the algorithm with custom EM settings.
+    pub fn with_config(config: EmConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs EM and additionally returns the estimated per-worker confusion
+    /// matrices (dense worker index → k×k matrix). The plain
+    /// [`TruthInferencer::infer`] entry point discards them.
+    pub fn infer_full(&self, matrix: &ResponseMatrix) -> Result<(InferenceResult, Vec<Vec<Vec<f64>>>)> {
+        if matrix.is_empty() {
+            return Err(CrowdError::EmptyInput("response matrix"));
+        }
+        let k = matrix.num_labels();
+        let n_workers = matrix.num_workers();
+        let cfg = self.config;
+
+        let mut posteriors = vote_fraction_posteriors(matrix);
+        let mut priors = vec![1.0 / k as f64; k];
+        let mut confusion = vec![vec![vec![0.0f64; k]; k]; n_workers];
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < cfg.max_iters {
+            iterations += 1;
+
+            // M-step: priors and confusion matrices from soft counts.
+            update_priors(&posteriors, &mut priors);
+            for cm in &mut confusion {
+                for row in cm.iter_mut() {
+                    row.fill(cfg.smoothing);
+                }
+            }
+            for o in matrix.observations() {
+                let post = &posteriors[o.task];
+                let cm = &mut confusion[o.worker];
+                for (t, &p) in post.iter().enumerate() {
+                    cm[t][o.label as usize] += p;
+                }
+            }
+            for cm in &mut confusion {
+                for row in cm.iter_mut() {
+                    normalize(row);
+                }
+            }
+
+            // E-step in log space.
+            let mut next = vec![vec![0.0f64; k]; matrix.num_tasks()];
+            for (t, row) in next.iter_mut().enumerate() {
+                for (l, x) in row.iter_mut().enumerate() {
+                    *x = priors[l].max(1e-300).ln();
+                }
+                for o in matrix.observations_for_task(t) {
+                    let cm = &confusion[o.worker];
+                    for (l, x) in row.iter_mut().enumerate() {
+                        *x += cm[l][o.label as usize].max(1e-300).ln();
+                    }
+                }
+                log_normalize(row);
+            }
+
+            let delta = max_abs_diff(&posteriors, &next);
+            posteriors = next;
+            if delta < cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let labels = argmax_labels(&posteriors);
+        let worker_quality = Some(worker_accuracy(&confusion, &priors));
+        Ok((
+            InferenceResult {
+                labels,
+                posteriors,
+                worker_quality,
+                iterations,
+                converged,
+            },
+            confusion,
+        ))
+    }
+}
+
+/// Exponentiates and normalizes a log-space row in place, subtracting the
+/// max first for numerical stability.
+fn log_normalize(row: &mut [f64]) {
+    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    for x in row.iter_mut() {
+        *x = (*x - max).exp();
+    }
+    normalize(row);
+}
+
+/// Scalar worker quality from a confusion matrix: the prior-weighted
+/// diagonal, i.e. the worker's marginal probability of a correct answer.
+fn worker_accuracy(confusion: &[Vec<Vec<f64>>], priors: &[f64]) -> Vec<f64> {
+    confusion
+        .iter()
+        .map(|cm| {
+            cm.iter()
+                .enumerate()
+                .map(|(t, row)| priors[t] * row[t])
+                .sum::<f64>()
+        })
+        .collect()
+}
+
+impl TruthInferencer for DawidSkene {
+    fn name(&self) -> &'static str {
+        "ds"
+    }
+
+    fn infer(&self, matrix: &ResponseMatrix) -> Result<InferenceResult> {
+        self.infer_full(matrix).map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdkit_core::ids::{TaskId, WorkerId};
+
+    fn matrix(rows: &[(u64, u64, u32)], k: usize) -> ResponseMatrix {
+        let mut m = ResponseMatrix::new(k);
+        for &(t, w, l) in rows {
+            m.push(TaskId::new(t), WorkerId::new(w), l).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn agrees_with_mv_on_clean_unanimous_data() {
+        let m = matrix(
+            &[
+                (0, 0, 1),
+                (0, 1, 1),
+                (0, 2, 1),
+                (1, 0, 0),
+                (1, 1, 0),
+                (1, 2, 0),
+            ],
+            2,
+        );
+        let r = DawidSkene::default().infer(&m).unwrap();
+        assert_eq!(r.labels, vec![1, 0]);
+        assert!(r.converged);
+        assert!(r.confidence(0) > 0.9);
+    }
+
+    #[test]
+    fn identifies_the_consistent_minority_against_a_spammer_majority() {
+        // Workers 0 and 1 agree on every task; workers 2, 3 answer randomly
+        // but happen to outvote them on task 9. DS should learn workers 0/1
+        // are reliable and follow them.
+        let mut rows = Vec::new();
+        for t in 0..10u64 {
+            let truth = (t % 2) as u32;
+            rows.push((t, 0, truth));
+            rows.push((t, 1, truth));
+            // The two noisy workers systematically vote for the opposite on
+            // a single task, agreeing with truth elsewhere often enough to
+            // look plausible to MV.
+            if t == 9 {
+                rows.push((t, 2, 1 - truth));
+                rows.push((t, 3, 1 - truth));
+                rows.push((t, 4, 1 - truth));
+            } else {
+                rows.push((t, 2, truth));
+                rows.push((t, 3, 1 - truth));
+            }
+        }
+        let m = matrix(&rows, 2);
+        let r = DawidSkene::default().infer(&m).unwrap();
+        // Task 9's truth is 1 (9 % 2); MV over {0,1,2,3,4} would say 0
+        // (3 votes of 1-truth=0 vs 2 votes of 1).
+        let t9 = m.task_index(TaskId::new(9)).unwrap();
+        assert_eq!(r.labels[t9], 1, "DS should trust the consistent pair");
+    }
+
+    #[test]
+    fn worker_quality_orders_good_above_bad() {
+        // Worker 0 always truthful, worker 1 always wrong, over 20 tasks
+        // with 3 extra mostly-truthful workers to pin down the truth.
+        let mut rows = Vec::new();
+        for t in 0..20u64 {
+            let truth = (t % 2) as u32;
+            rows.push((t, 0, truth));
+            rows.push((t, 1, 1 - truth));
+            rows.push((t, 2, truth));
+            rows.push((t, 3, truth));
+        }
+        let m = matrix(&rows, 2);
+        let r = DawidSkene::default().infer(&m).unwrap();
+        let q = r.worker_quality.unwrap();
+        let w0 = m.worker_index(WorkerId::new(0)).unwrap();
+        let w1 = m.worker_index(WorkerId::new(1)).unwrap();
+        assert!(q[w0] > 0.9, "good worker quality {}", q[w0]);
+        assert!(q[w1] < 0.1, "bad worker quality {}", q[w1]);
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let m = matrix(&[(0, 0, 0), (0, 1, 1), (1, 0, 2)], 3);
+        let r = DawidSkene::default().infer(&m).unwrap();
+        for row in &r.posteriors {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9, "row sums to {s}");
+            assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn rejects_empty_matrix() {
+        let m = ResponseMatrix::new(2);
+        assert!(DawidSkene::default().infer(&m).is_err());
+    }
+
+    #[test]
+    fn converges_within_cap_on_moderate_data() {
+        let mut rows = Vec::new();
+        for t in 0..30u64 {
+            for w in 0..5u64 {
+                // Deterministic pseudo-noise: worker w is wrong when
+                // (t + w) divisible by 4.
+                let truth = (t % 3) as u32;
+                let l = if (t + w) % 4 == 0 { (truth + 1) % 3 } else { truth };
+                rows.push((t, w, l));
+            }
+        }
+        let m = matrix(&rows, 3);
+        let r = DawidSkene::default().infer(&m).unwrap();
+        assert!(r.converged, "did not converge in {} iters", r.iterations);
+        assert!(r.iterations < 100);
+    }
+
+    #[test]
+    fn infer_full_exposes_row_stochastic_confusions() {
+        let m = matrix(&[(0, 0, 0), (0, 1, 1), (1, 0, 1), (1, 1, 1)], 2);
+        let (_, confusion) = DawidSkene::default().infer_full(&m).unwrap();
+        assert_eq!(confusion.len(), 2);
+        for cm in &confusion {
+            for row in cm {
+                let s: f64 = row.iter().sum();
+                assert!((s - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+}

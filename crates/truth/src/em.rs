@@ -1,0 +1,150 @@
+//! Shared machinery for the EM-family algorithms.
+//!
+//! All EM variants in this crate share the same skeleton: initialize task
+//! posteriors from votes, alternate worker-model M-steps with posterior
+//! E-steps, and stop when posteriors move less than a tolerance. This
+//! module holds the pieces that are identical across them so each algorithm
+//! file contains only its model-specific E/M maths.
+
+use crowdkit_core::response::ResponseMatrix;
+
+/// Normalizes `row` in place to sum to one; falls back to uniform when the
+/// total mass is zero (all-zero rows appear with empty smoothing).
+pub(crate) fn normalize(row: &mut [f64]) {
+    let total: f64 = row.iter().sum();
+    if total > 0.0 {
+        for x in row.iter_mut() {
+            *x /= total;
+        }
+    } else {
+        let u = 1.0 / row.len() as f64;
+        for x in row.iter_mut() {
+            *x = u;
+        }
+    }
+}
+
+/// Initial task posteriors: the per-task vote fractions (soft majority
+/// vote), which is the standard EM initialization in the Dawid–Skene
+/// literature.
+pub(crate) fn vote_fraction_posteriors(matrix: &ResponseMatrix) -> Vec<Vec<f64>> {
+    let k = matrix.num_labels();
+    let mut post = vec![vec![0.0f64; k]; matrix.num_tasks()];
+    for o in matrix.observations() {
+        post[o.task][o.label as usize] += 1.0;
+    }
+    for row in &mut post {
+        normalize(row);
+    }
+    post
+}
+
+/// Largest absolute difference between two posterior tables.
+pub(crate) fn max_abs_diff(a: &[Vec<f64>], b: &[Vec<f64>]) -> f64 {
+    a.iter()
+        .zip(b)
+        .flat_map(|(ra, rb)| ra.iter().zip(rb).map(|(x, y)| (x - y).abs()))
+        .fold(0.0, f64::max)
+}
+
+/// Picks the argmax label of each posterior row (ties → smallest index, so
+/// results are deterministic).
+pub(crate) fn argmax_labels(posteriors: &[Vec<f64>]) -> Vec<u32> {
+    posteriors
+        .iter()
+        .map(|row| {
+            let mut best = 0usize;
+            for (i, &p) in row.iter().enumerate().skip(1) {
+                if p > row[best] {
+                    best = i;
+                }
+            }
+            best as u32
+        })
+        .collect()
+}
+
+/// Class priors implied by posteriors: `prior[l] = mean_t posterior[t][l]`.
+pub(crate) fn update_priors(posteriors: &[Vec<f64>], priors: &mut [f64]) {
+    let n = posteriors.len() as f64;
+    for p in priors.iter_mut() {
+        *p = 0.0;
+    }
+    for row in posteriors {
+        for (l, &p) in row.iter().enumerate() {
+            priors[l] += p;
+        }
+    }
+    for p in priors.iter_mut() {
+        *p /= n;
+    }
+}
+
+/// Convergence/iteration settings shared by the EM algorithms.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on the max posterior change.
+    pub tol: f64,
+    /// Laplace smoothing mass added when estimating worker parameters;
+    /// keeps estimates defined for workers with few answers.
+    pub smoothing: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 100,
+            tol: 1e-6,
+            smoothing: 0.01,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdkit_core::ids::{TaskId, WorkerId};
+
+    #[test]
+    fn normalize_handles_zero_mass() {
+        let mut row = [0.0, 0.0];
+        normalize(&mut row);
+        assert_eq!(row, [0.5, 0.5]);
+        let mut row = [2.0, 6.0];
+        normalize(&mut row);
+        assert_eq!(row, [0.25, 0.75]);
+    }
+
+    #[test]
+    fn vote_fractions_reflect_counts() {
+        let mut m = ResponseMatrix::new(2);
+        m.push(TaskId::new(0), WorkerId::new(0), 1).unwrap();
+        m.push(TaskId::new(0), WorkerId::new(1), 1).unwrap();
+        m.push(TaskId::new(0), WorkerId::new(2), 0).unwrap();
+        let post = vote_fraction_posteriors(&m);
+        assert!((post[0][1] - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_breaks_ties_toward_smaller_index() {
+        let labels = argmax_labels(&[vec![0.5, 0.5], vec![0.1, 0.9]]);
+        assert_eq!(labels, vec![0, 1]);
+    }
+
+    #[test]
+    fn priors_average_posteriors() {
+        let post = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut priors = vec![0.0, 0.0];
+        update_priors(&post, &mut priors);
+        assert_eq!(priors, vec![0.5, 0.5]);
+    }
+
+    #[test]
+    fn max_abs_diff_finds_largest_gap() {
+        let a = vec![vec![0.5, 0.5], vec![0.9, 0.1]];
+        let b = vec![vec![0.5, 0.5], vec![0.6, 0.4]];
+        assert!((max_abs_diff(&a, &b) - 0.3).abs() < 1e-12);
+    }
+}

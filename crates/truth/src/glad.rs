@@ -1,0 +1,283 @@
+//! GLAD: Generative model of Labels, Abilities, and Difficulties
+//! (Whitehill et al., 2009), generalized to k labels.
+//!
+//! Model: worker `w` has ability `α_w ∈ ℝ`; task `t` has inverse
+//! difficulty `β_t > 0` (parameterized as `β = e^b` so gradient ascent is
+//! unconstrained). The probability that `w` answers `t` correctly is
+//! `σ(α_w · β_t)`; wrong answers are uniform over the other `k − 1`
+//! labels.
+//!
+//! Inference is EM: the E-step computes task posteriors exactly as in the
+//! one-coin model but with a per-(worker, task) correctness probability;
+//! the M-step runs a few steps of gradient ascent on the expected complete
+//! log-likelihood with respect to all `α` and `b`.
+
+use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::traits::{InferenceResult, TruthInferencer};
+
+use crate::em::{argmax_labels, max_abs_diff, normalize, update_priors, vote_fraction_posteriors};
+
+/// Settings for [`Glad`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GladConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on posterior movement.
+    pub tol: f64,
+    /// Gradient-ascent steps per M-step.
+    pub gradient_steps: usize,
+    /// Gradient-ascent learning rate.
+    pub learning_rate: f64,
+    /// L2 pull of abilities/difficulties toward their priors (α→1, b→0);
+    /// keeps parameters from diverging on tiny datasets.
+    pub regularization: f64,
+}
+
+impl Default for GladConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 60,
+            tol: 1e-5,
+            gradient_steps: 8,
+            learning_rate: 0.05,
+            regularization: 0.01,
+        }
+    }
+}
+
+/// The GLAD algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Glad {
+    /// Iteration/optimization settings.
+    pub config: GladConfig,
+}
+
+/// Estimated GLAD parameters, exposed by [`Glad::infer_full`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GladParams {
+    /// Ability per dense worker index.
+    pub abilities: Vec<f64>,
+    /// Inverse difficulty `β = e^b` per dense task index.
+    pub inverse_difficulties: Vec<f64>,
+}
+
+impl Glad {
+    /// Creates the algorithm with custom settings.
+    pub fn with_config(config: GladConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs EM and also returns the fitted ability/difficulty parameters.
+    pub fn infer_full(&self, matrix: &ResponseMatrix) -> Result<(InferenceResult, GladParams)> {
+        if matrix.is_empty() {
+            return Err(CrowdError::EmptyInput("response matrix"));
+        }
+        let k = matrix.num_labels();
+        let wrong_share = 1.0 / (k as f64 - 1.0).max(1.0);
+        let cfg = self.config;
+
+        let mut posteriors = vote_fraction_posteriors(matrix);
+        let mut priors = vec![1.0 / k as f64; k];
+        let mut alpha = vec![1.0f64; matrix.num_workers()];
+        let mut b = vec![0.0f64; matrix.num_tasks()]; // β = e^b
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < cfg.max_iters {
+            iterations += 1;
+            update_priors(&posteriors, &mut priors);
+
+            // M-step: gradient ascent on α and b.
+            for _ in 0..cfg.gradient_steps {
+                let mut g_alpha = vec![0.0f64; alpha.len()];
+                let mut g_b = vec![0.0f64; b.len()];
+                for o in matrix.observations() {
+                    let beta = b[o.task].exp();
+                    let s = sigmoid(alpha[o.worker] * beta);
+                    // Σ_l T[t][l] · d log P(answer | truth=l) where the
+                    // derivative of log σ is (1−s)·∂(αβ) and of log(1−s) is
+                    // −s·∂(αβ).
+                    let p_correct = posteriors[o.task][o.label as usize];
+                    let factor = p_correct * (1.0 - s) - (1.0 - p_correct) * s;
+                    g_alpha[o.worker] += factor * beta;
+                    g_b[o.task] += factor * alpha[o.worker] * beta;
+                }
+                for (w, a) in alpha.iter_mut().enumerate() {
+                    *a += cfg.learning_rate * (g_alpha[w] - cfg.regularization * (*a - 1.0));
+                    *a = a.clamp(-8.0, 8.0);
+                }
+                for (t, bt) in b.iter_mut().enumerate() {
+                    *bt += cfg.learning_rate * (g_b[t] - cfg.regularization * *bt);
+                    *bt = bt.clamp(-4.0, 4.0);
+                }
+            }
+
+            // E-step in log space.
+            let mut next = vec![vec![0.0f64; k]; matrix.num_tasks()];
+            for (t, row) in next.iter_mut().enumerate() {
+                for (l, x) in row.iter_mut().enumerate() {
+                    *x = priors[l].max(1e-300).ln();
+                }
+                let beta = b[t].exp();
+                for o in matrix.observations_for_task(t) {
+                    let s = sigmoid(alpha[o.worker] * beta).clamp(1e-9, 1.0 - 1e-9);
+                    let right = s.ln();
+                    let wrong = ((1.0 - s) * wrong_share).ln();
+                    for (l, x) in row.iter_mut().enumerate() {
+                        *x += if l == o.label as usize { right } else { wrong };
+                    }
+                }
+                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for x in row.iter_mut() {
+                    *x = (*x - max).exp();
+                }
+                normalize(row);
+            }
+
+            let delta = max_abs_diff(&posteriors, &next);
+            posteriors = next;
+            if delta < cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let labels = argmax_labels(&posteriors);
+        // Scalar worker quality: σ(α) — correctness probability on a task of
+        // reference difficulty β = 1.
+        let worker_quality = Some(alpha.iter().map(|&a| sigmoid(a)).collect());
+        let params = GladParams {
+            abilities: alpha,
+            inverse_difficulties: b.iter().map(|&x| x.exp()).collect(),
+        };
+        Ok((
+            InferenceResult {
+                labels,
+                posteriors,
+                worker_quality,
+                iterations,
+                converged,
+            },
+            params,
+        ))
+    }
+}
+
+fn sigmoid(x: f64) -> f64 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl TruthInferencer for Glad {
+    fn name(&self) -> &'static str {
+        "glad"
+    }
+
+    fn infer(&self, matrix: &ResponseMatrix) -> Result<InferenceResult> {
+        self.infer_full(matrix).map(|(r, _)| r)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdkit_core::ids::{TaskId, WorkerId};
+
+    fn matrix(rows: &[(u64, u64, u32)], k: usize) -> ResponseMatrix {
+        let mut m = ResponseMatrix::new(k);
+        for &(t, w, l) in rows {
+            m.push(TaskId::new(t), WorkerId::new(w), l).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn recovers_unanimous_truth() {
+        let m = matrix(&[(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 1, 0)], 2);
+        let r = Glad::default().infer(&m).unwrap();
+        assert_eq!(r.labels, vec![1, 0]);
+    }
+
+    #[test]
+    fn ability_separates_good_and_bad_workers() {
+        let mut rows = Vec::new();
+        for t in 0..40u64 {
+            let truth = (t % 2) as u32;
+            rows.push((t, 0, truth));
+            rows.push((t, 1, truth));
+            rows.push((t, 2, truth));
+            rows.push((t, 3, 1 - truth)); // adversary
+        }
+        let m = matrix(&rows, 2);
+        let (r, params) = Glad::default().infer_full(&m).unwrap();
+        let good = m.worker_index(WorkerId::new(0)).unwrap();
+        let bad = m.worker_index(WorkerId::new(3)).unwrap();
+        assert!(
+            params.abilities[good] > params.abilities[bad],
+            "α_good {} vs α_bad {}",
+            params.abilities[good],
+            params.abilities[bad]
+        );
+        assert!(params.abilities[bad] < 0.0, "adversary ability negative");
+        let q = r.worker_quality.unwrap();
+        assert!(q[good] > 0.5 && q[bad] < 0.5);
+    }
+
+    #[test]
+    fn contested_tasks_get_lower_inverse_difficulty() {
+        // Tasks 0..5: unanimous. Task 5: workers split 2–2.
+        let mut rows = Vec::new();
+        for t in 0..5u64 {
+            for w in 0..4u64 {
+                rows.push((t, w, 1u32));
+            }
+        }
+        rows.push((5, 0, 1));
+        rows.push((5, 1, 1));
+        rows.push((5, 2, 0));
+        rows.push((5, 3, 0));
+        let m = matrix(&rows, 2);
+        let (_, params) = Glad::default().infer_full(&m).unwrap();
+        let easy = m.task_index(TaskId::new(0)).unwrap();
+        let hard = m.task_index(TaskId::new(5)).unwrap();
+        assert!(
+            params.inverse_difficulties[easy] > params.inverse_difficulties[hard],
+            "β_easy {} vs β_hard {}",
+            params.inverse_difficulties[easy],
+            params.inverse_difficulties[hard]
+        );
+    }
+
+    #[test]
+    fn posteriors_are_distributions() {
+        let m = matrix(&[(0, 0, 0), (0, 1, 1), (1, 1, 2)], 3);
+        let r = Glad::default().infer(&m).unwrap();
+        for row in &r.posteriors {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_empty_matrix() {
+        assert!(Glad::default().infer(&ResponseMatrix::new(2)).is_err());
+    }
+
+    #[test]
+    fn parameters_stay_bounded() {
+        let mut rows = Vec::new();
+        for t in 0..10u64 {
+            for w in 0..3u64 {
+                rows.push((t, w, ((t + w) % 2) as u32));
+            }
+        }
+        let m = matrix(&rows, 2);
+        let (_, params) = Glad::default().infer_full(&m).unwrap();
+        for &a in &params.abilities {
+            assert!((-8.0..=8.0).contains(&a));
+        }
+        for &bi in &params.inverse_difficulties {
+            assert!(bi > 0.0 && bi.is_finite());
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! One-coin EM (ZenCrowd-style).
+//!
+//! The simplest probabilistic worker model: worker `w` answers correctly
+//! with a single reliability `p_w` and otherwise picks uniformly among the
+//! wrong labels. This is the model behind ZenCrowd (Demartini et al., 2012)
+//! and most "EM" baselines in crowdsourcing papers. It trades the
+//! expressiveness of Dawid–Skene's full confusion matrix for far fewer
+//! parameters, which wins when workers answer only a handful of tasks.
+
+use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::traits::{InferenceResult, TruthInferencer};
+
+use crate::em::{
+    argmax_labels, max_abs_diff, normalize, update_priors, vote_fraction_posteriors, EmConfig,
+};
+
+/// The one-coin EM algorithm.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OneCoinEm {
+    /// Iteration and smoothing settings.
+    pub config: EmConfig,
+}
+
+impl OneCoinEm {
+    /// Creates the algorithm with custom EM settings.
+    pub fn with_config(config: EmConfig) -> Self {
+        Self { config }
+    }
+}
+
+impl TruthInferencer for OneCoinEm {
+    fn name(&self) -> &'static str {
+        "zc"
+    }
+
+    fn infer(&self, matrix: &ResponseMatrix) -> Result<InferenceResult> {
+        if matrix.is_empty() {
+            return Err(CrowdError::EmptyInput("response matrix"));
+        }
+        let k = matrix.num_labels();
+        let wrong_share = 1.0 / (k as f64 - 1.0).max(1.0);
+        let cfg = self.config;
+
+        let mut posteriors = vote_fraction_posteriors(matrix);
+        let mut priors = vec![1.0 / k as f64; k];
+        let mut reliability = vec![0.8f64; matrix.num_workers()];
+
+        let mut iterations = 0;
+        let mut converged = false;
+        while iterations < cfg.max_iters {
+            iterations += 1;
+
+            // M-step: p_w = (smoothed) expected fraction of correct answers.
+            update_priors(&posteriors, &mut priors);
+            let mut correct_mass = vec![cfg.smoothing; matrix.num_workers()];
+            let mut total_mass = vec![2.0 * cfg.smoothing; matrix.num_workers()];
+            for o in matrix.observations() {
+                correct_mass[o.worker] += posteriors[o.task][o.label as usize];
+                total_mass[o.worker] += 1.0;
+            }
+            for (w, p) in reliability.iter_mut().enumerate() {
+                // Clamp away from 0 and 1 so log-likelihoods stay finite and
+                // a perfectly-agreeing worker cannot zero out all other
+                // labels' mass.
+                *p = (correct_mass[w] / total_mass[w]).clamp(1e-6, 1.0 - 1e-6);
+            }
+
+            // E-step in log space.
+            let mut next = vec![vec![0.0f64; k]; matrix.num_tasks()];
+            for (t, row) in next.iter_mut().enumerate() {
+                for (l, x) in row.iter_mut().enumerate() {
+                    *x = priors[l].max(1e-300).ln();
+                }
+                for o in matrix.observations_for_task(t) {
+                    let p = reliability[o.worker];
+                    let wrong = ((1.0 - p) * wrong_share).max(1e-300).ln();
+                    let right = p.max(1e-300).ln();
+                    for (l, x) in row.iter_mut().enumerate() {
+                        *x += if l == o.label as usize { right } else { wrong };
+                    }
+                }
+                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                for x in row.iter_mut() {
+                    *x = (*x - max).exp();
+                }
+                normalize(row);
+            }
+
+            let delta = max_abs_diff(&posteriors, &next);
+            posteriors = next;
+            if delta < cfg.tol {
+                converged = true;
+                break;
+            }
+        }
+
+        let labels = argmax_labels(&posteriors);
+        Ok(InferenceResult {
+            labels,
+            posteriors,
+            worker_quality: Some(reliability),
+            iterations,
+            converged,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdkit_core::ids::{TaskId, WorkerId};
+
+    fn matrix(rows: &[(u64, u64, u32)], k: usize) -> ResponseMatrix {
+        let mut m = ResponseMatrix::new(k);
+        for &(t, w, l) in rows {
+            m.push(TaskId::new(t), WorkerId::new(w), l).unwrap();
+        }
+        m
+    }
+
+    #[test]
+    fn unanimous_answers_converge_confidently() {
+        let m = matrix(&[(0, 0, 1), (0, 1, 1), (1, 0, 0), (1, 1, 0)], 2);
+        let r = OneCoinEm::default().infer(&m).unwrap();
+        assert_eq!(r.labels, vec![1, 0]);
+        assert!(r.converged);
+        assert!(r.confidence(0) > 0.9);
+    }
+
+    #[test]
+    fn reliability_separates_good_from_bad_workers() {
+        let mut rows = Vec::new();
+        for t in 0..30u64 {
+            let truth = (t % 2) as u32;
+            rows.push((t, 0, truth)); // always right
+            rows.push((t, 1, truth));
+            rows.push((t, 2, truth));
+            rows.push((t, 3, 1 - truth)); // always wrong
+        }
+        let m = matrix(&rows, 2);
+        let r = OneCoinEm::default().infer(&m).unwrap();
+        let q = r.worker_quality.unwrap();
+        let good = m.worker_index(WorkerId::new(0)).unwrap();
+        let bad = m.worker_index(WorkerId::new(3)).unwrap();
+        assert!(q[good] > 0.9, "good {}", q[good]);
+        assert!(q[bad] < 0.1, "bad {}", q[bad]);
+        // All truths recovered.
+        for t in 0..30u64 {
+            let idx = m.task_index(TaskId::new(t)).unwrap();
+            assert_eq!(r.labels[idx], (t % 2) as u32);
+        }
+    }
+
+    #[test]
+    fn multiclass_wrong_mass_is_spread() {
+        // Single answer: posterior should put p on the chosen label and
+        // (1-p)/(k-1) on each other label — i.e. chosen label wins.
+        let m = matrix(&[(0, 0, 2)], 4);
+        let r = OneCoinEm::default().infer(&m).unwrap();
+        assert_eq!(r.labels, vec![2]);
+        let row = &r.posteriors[0];
+        // Remaining labels share the rest equally.
+        assert!((row[0] - row[1]).abs() < 1e-9);
+        assert!((row[1] - row[3]).abs() < 1e-9);
+        assert!(row[2] > row[0]);
+    }
+
+    #[test]
+    fn rejects_empty_matrix() {
+        let m = ResponseMatrix::new(3);
+        assert!(matches!(
+            OneCoinEm::default().infer(&m).unwrap_err(),
+            CrowdError::EmptyInput(_)
+        ));
+    }
+
+    #[test]
+    fn reliabilities_stay_probabilities() {
+        let m = matrix(&[(0, 0, 0), (1, 0, 1), (2, 0, 0), (0, 1, 1)], 2);
+        let r = OneCoinEm::default().infer(&m).unwrap();
+        for q in r.worker_quality.unwrap() {
+            assert!((0.0..=1.0).contains(&q));
+        }
+    }
+}

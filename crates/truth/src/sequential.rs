@@ -1,0 +1,218 @@
+//! Stopping rules: when to stop buying answers for a task.
+//!
+//! Cost control in crowd filtering hinges on adaptive stopping — spend
+//! little on easy tasks, more on contested ones. The tutorial surveys
+//! fixed redundancy, vote-margin rules, and sequential probability ratio
+//! tests (the strategy behind CrowdScreen's optimized decision grids).
+//! Experiment E5 sweeps these against each other.
+
+use crowdkit_core::traits::StoppingRule;
+
+/// Stop after exactly `k` answers — the fixed-redundancy baseline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FixedK {
+    /// Number of answers to collect.
+    pub k: u32,
+}
+
+impl StoppingRule for FixedK {
+    fn name(&self) -> &'static str {
+        "fixed_k"
+    }
+
+    fn should_stop(&self, votes: &[u32], max_answers: u32) -> bool {
+        let total: u32 = votes.iter().sum();
+        total >= self.k.min(max_answers)
+    }
+}
+
+/// Stop once the leading label is `margin` votes ahead of the runner-up
+/// (or the answer cap is hit). With `margin = 2` this is "first to lead by
+/// two", the classic early-termination heuristic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MajorityMargin {
+    /// Required lead of the top label over the second.
+    pub margin: u32,
+}
+
+impl StoppingRule for MajorityMargin {
+    fn name(&self) -> &'static str {
+        "margin"
+    }
+
+    fn should_stop(&self, votes: &[u32], max_answers: u32) -> bool {
+        let total: u32 = votes.iter().sum();
+        if total >= max_answers {
+            return true;
+        }
+        let mut top = 0u32;
+        let mut second = 0u32;
+        for &v in votes {
+            if v >= top {
+                second = top;
+                top = v;
+            } else if v > second {
+                second = v;
+            }
+        }
+        top >= second + self.margin
+    }
+}
+
+/// Sequential probability ratio test for *binary* tasks.
+///
+/// Assumes workers answer correctly with probability `worker_accuracy` and
+/// tests `H1: truth = 1` against `H0: truth = 0`. After `n1` votes for 1
+/// and `n0` votes for 0 the log-likelihood ratio is
+/// `(n1 − n0) · ln(p / (1 − p))`; collection stops when it exits the
+/// Wald thresholds `[ln(β/(1−α)), ln((1−β)/α)]`.
+///
+/// For non-binary vote vectors the rule degenerates to the margin rule with
+/// an equivalent vote-difference threshold.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sprt {
+    /// Assumed worker accuracy `p ∈ (0.5, 1)`.
+    pub worker_accuracy: f64,
+    /// Type-I error bound α.
+    pub alpha: f64,
+    /// Type-II error bound β.
+    pub beta: f64,
+}
+
+impl Default for Sprt {
+    fn default() -> Self {
+        Self {
+            worker_accuracy: 0.75,
+            alpha: 0.05,
+            beta: 0.05,
+        }
+    }
+}
+
+impl Sprt {
+    /// The vote-difference threshold implied by the Wald bounds: stop when
+    /// `|n1 − n0| ≥ threshold`.
+    pub fn vote_difference_threshold(&self) -> f64 {
+        let p = self.worker_accuracy.clamp(0.5 + 1e-9, 1.0 - 1e-9);
+        let upper = ((1.0 - self.beta) / self.alpha).ln();
+        upper / (p / (1.0 - p)).ln()
+    }
+}
+
+impl StoppingRule for Sprt {
+    fn name(&self) -> &'static str {
+        "sprt"
+    }
+
+    fn should_stop(&self, votes: &[u32], max_answers: u32) -> bool {
+        let total: u32 = votes.iter().sum();
+        if total >= max_answers {
+            return true;
+        }
+        let threshold = self.vote_difference_threshold();
+        if votes.len() == 2 {
+            let diff = (votes[1] as f64 - votes[0] as f64).abs();
+            diff >= threshold
+        } else {
+            // Generalized: top-vs-second difference against the same bound.
+            let mut top = 0u32;
+            let mut second = 0u32;
+            for &v in votes {
+                if v >= top {
+                    second = top;
+                    top = v;
+                } else if v > second {
+                    second = v;
+                }
+            }
+            (top - second) as f64 >= threshold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_k_stops_at_k() {
+        let r = FixedK { k: 3 };
+        assert!(!r.should_stop(&[1, 1], 10));
+        assert!(r.should_stop(&[2, 1], 10));
+        assert!(r.should_stop(&[3, 1], 10));
+    }
+
+    #[test]
+    fn fixed_k_respects_cap() {
+        let r = FixedK { k: 100 };
+        assert!(r.should_stop(&[3, 2], 5), "cap of 5 reached");
+    }
+
+    #[test]
+    fn margin_rule_waits_for_a_lead() {
+        let r = MajorityMargin { margin: 2 };
+        assert!(!r.should_stop(&[1, 0], 10));
+        assert!(r.should_stop(&[2, 0], 10));
+        assert!(!r.should_stop(&[3, 2], 10));
+        assert!(r.should_stop(&[4, 2], 10));
+    }
+
+    #[test]
+    fn margin_rule_stops_at_cap_even_when_tied() {
+        let r = MajorityMargin { margin: 3 };
+        assert!(r.should_stop(&[5, 5], 10));
+    }
+
+    #[test]
+    fn margin_rule_multiclass_uses_top_two() {
+        let r = MajorityMargin { margin: 2 };
+        assert!(!r.should_stop(&[3, 2, 1], 20));
+        assert!(r.should_stop(&[4, 2, 1], 20));
+    }
+
+    #[test]
+    fn sprt_threshold_matches_wald_formula() {
+        let s = Sprt {
+            worker_accuracy: 0.75,
+            alpha: 0.05,
+            beta: 0.05,
+        };
+        let expect = (0.95f64 / 0.05).ln() / (3.0f64).ln();
+        assert!((s.vote_difference_threshold() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sprt_stops_on_decisive_difference() {
+        let s = Sprt::default(); // threshold ≈ 2.68
+        assert!(!s.should_stop(&[0, 2], 20));
+        assert!(s.should_stop(&[0, 3], 20));
+        assert!(s.should_stop(&[3, 0], 20));
+        assert!(!s.should_stop(&[2, 3], 20));
+    }
+
+    #[test]
+    fn sprt_more_accurate_workers_need_fewer_votes() {
+        let sloppy = Sprt {
+            worker_accuracy: 0.6,
+            ..Sprt::default()
+        };
+        let sharp = Sprt {
+            worker_accuracy: 0.9,
+            ..Sprt::default()
+        };
+        assert!(sharp.vote_difference_threshold() < sloppy.vote_difference_threshold());
+    }
+
+    #[test]
+    fn sprt_respects_cap() {
+        let s = Sprt::default();
+        assert!(s.should_stop(&[5, 5], 10));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FixedK { k: 1 }.name(), "fixed_k");
+        assert_eq!(MajorityMargin { margin: 1 }.name(), "margin");
+        assert_eq!(Sprt::default().name(), "sprt");
+    }
+}

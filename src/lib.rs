@@ -1,0 +1,58 @@
+//! # crowdkit — crowdsourced data management in Rust
+//!
+//! A from-scratch implementation of the crowdsourced data management stack
+//! surveyed in *"Crowdsourced Data Management: Overview and Challenges"*
+//! (SIGMOD 2017): quality control (truth inference), cost control
+//! (task pruning, answer deduction, sampling), latency control, task
+//! assignment, crowd-powered operators, and declarative crowdsourcing —
+//! all running against a deterministic platform simulator.
+//!
+//! ## Crate map
+//!
+//! | Module (re-export) | Crate | What it provides |
+//! |---|---|---|
+//! | [`core`] | `crowdkit-core` | tasks, answers, budgets, metrics, the `CrowdOracle`/`TruthInferencer` traits |
+//! | [`sim`] | `crowdkit-sim` | worker models, populations, latency models, the simulated platform, dataset generators |
+//! | [`truth`] | `crowdkit-truth` | majority vote, Dawid–Skene EM, one-coin EM, GLAD, KOS, numeric aggregation, stopping rules |
+//! | [`assign`] | `crowdkit-assign` | task-assignment policies and the budgeted collection driver |
+//! | [`ops`] | `crowdkit-ops` | crowd filter / join / sort / top-k / count / collect / fill / categorize |
+//! | [`datalog`] | `crowdkit-datalog` | Datalog with `@crowd` predicates (Deco-style on-demand fetches) |
+//! | [`sql`] | `crowdkit-sql` | CrowdSQL: CROWD columns, CROWDEQUAL, CROWDORDER, plus the machine-first optimizer |
+//!
+//! ## Quickstart
+//!
+//! Label a batch of binary tasks with a simulated crowd and Dawid–Skene:
+//!
+//! ```
+//! use crowdkit::core::metrics::accuracy;
+//! use crowdkit::sim::dataset::LabelingDataset;
+//! use crowdkit::sim::population::mixes;
+//! use crowdkit::sim::SimulatedCrowd;
+//! use crowdkit::truth::{pipeline::label_tasks, DawidSkene};
+//!
+//! let data = LabelingDataset::binary(200, 7);
+//! let mut crowd = SimulatedCrowd::new(mixes::mixed(30, 7), 7);
+//! let outcome = label_tasks(&mut crowd, &data.tasks, 5, &DawidSkene::default()).unwrap();
+//!
+//! let predicted: Vec<u32> = data
+//!     .tasks
+//!     .iter()
+//!     .map(|t| outcome.label_for(t).unwrap())
+//!     .collect();
+//! let acc = accuracy(&predicted, &data.truths);
+//! assert!(acc > 0.7, "5-vote Dawid–Skene on a mixed crowd: {acc}");
+//! ```
+//!
+//! See `examples/` for entity resolution, crowd top-k, CrowdSQL, and
+//! crowd-Datalog walkthroughs, and `crates/bench` for the experiment
+//! harness that regenerates every table/figure listed in DESIGN.md.
+
+#![warn(missing_docs)]
+
+pub use crowdkit_assign as assign;
+pub use crowdkit_core as core;
+pub use crowdkit_datalog as datalog;
+pub use crowdkit_ops as ops;
+pub use crowdkit_sim as sim;
+pub use crowdkit_sql as sql;
+pub use crowdkit_truth as truth;

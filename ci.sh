@@ -1,0 +1,7 @@
+#!/usr/bin/env bash
+# Local CI: build, test, lint. Run from the repository root.
+set -euo pipefail
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo clippy --workspace --all-targets -- -D warnings

@@ -1,6 +1,7 @@
 //! Executes an assignment policy against a crowd oracle under a question
 //! budget.
 
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::task::Task;
@@ -25,8 +26,15 @@ pub struct AssignmentOutcome {
 /// All tasks must be single-choice over label spaces of the same size.
 /// Collection ends when the budget is spent, the policy returns `None`, or
 /// the oracle's own budget/pool is exhausted.
+///
+/// Assignments are bought in waves: the policy is consulted repeatedly
+/// (with in-flight asks visible via [`AssignState::count`]) to build a
+/// wave of at most `tasks.len()` independent assignments, which goes to
+/// the platform as one batched request. A wave costs one round of crowd
+/// latency instead of one per question, and the policy's adaptivity is
+/// preserved between waves.
 pub fn run_assignment<O, P>(
-    oracle: &mut O,
+    oracle: &O,
     tasks: &[Task],
     policy: &mut P,
     budget_questions: usize,
@@ -46,19 +54,39 @@ where
     let mut asked = 0usize;
 
     while asked < budget_questions {
-        let Some(t) = policy.next_task(&state) else {
+        let wave_cap = (budget_questions - asked).min(tasks.len().max(1));
+        let mut wave: Vec<usize> = Vec::with_capacity(wave_cap);
+        while wave.len() < wave_cap {
+            let Some(t) = policy.next_task(&state) else {
+                break;
+            };
+            state.note_pending(t);
+            wave.push(t);
+        }
+        if wave.is_empty() {
             break;
-        };
-        match oracle.ask_one(&tasks[t]) {
-            Ok(answer) => {
+        }
+        let reqs: Vec<AskRequest<'_>> =
+            wave.iter().map(|&t| AskRequest::new(&tasks[t])).collect();
+        let outcomes = oracle.ask_batch(&reqs)?;
+        state.clear_pending();
+        let mut exhausted = false;
+        for (&t, out) in wave.iter().zip(&outcomes) {
+            match &out.shortfall {
+                Some(e) if e.is_resource_exhaustion() => exhausted = true,
+                Some(e) => return Err(e.clone()),
+                None => {}
+            }
+            for answer in &out.answers {
                 if let Some(label) = answer.value.as_choice() {
                     matrix.push(answer.task, answer.worker, label)?;
                     state.record(t, label);
                     asked += 1;
                 }
             }
-            Err(e) if e.is_resource_exhaustion() => break,
-            Err(e) => return Err(e),
+        }
+        if exhausted {
+            break;
         }
     }
 
@@ -78,22 +106,29 @@ mod tests {
     use crowdkit_core::ids::{TaskId, WorkerId};
 
     struct TruthfulOracle {
-        next_worker: u64,
         cap: u64,
-        delivered: u64,
+        delivered: std::cell::Cell<u64>,
+    }
+
+    impl TruthfulOracle {
+        fn new(cap: u64) -> Self {
+            Self {
+                cap,
+                delivered: std::cell::Cell::new(0),
+            }
+        }
     }
 
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            if self.delivered >= self.cap {
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            if self.delivered.get() >= self.cap {
                 return Err(CrowdError::BudgetExhausted {
                     requested: 1.0,
                     remaining: 0.0,
                 });
             }
-            self.delivered += 1;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
+            let w = WorkerId::new(self.delivered.get());
+            self.delivered.set(self.delivered.get() + 1);
             Ok(Answer::bare(
                 task.id,
                 w,
@@ -101,10 +136,10 @@ mod tests {
             ))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some((self.cap - self.delivered) as f64)
+            Some((self.cap - self.delivered.get()) as f64)
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
@@ -120,12 +155,8 @@ mod tests {
     #[test]
     fn budget_caps_total_questions() {
         let ts = tasks(5);
-        let mut oracle = TruthfulOracle {
-            next_worker: 0,
-            cap: 1000,
-            delivered: 0,
-        };
-        let out = run_assignment(&mut oracle, &ts, &mut RoundRobin, 7, 10).unwrap();
+        let oracle = TruthfulOracle::new(1000);
+        let out = run_assignment(&oracle, &ts, &mut RoundRobin, 7, 10).unwrap();
         assert_eq!(out.questions_asked, 7);
         assert_eq!(out.matrix.num_observations(), 7);
     }
@@ -133,12 +164,8 @@ mod tests {
     #[test]
     fn per_task_cap_is_respected() {
         let ts = tasks(2);
-        let mut oracle = TruthfulOracle {
-            next_worker: 0,
-            cap: 1000,
-            delivered: 0,
-        };
-        let out = run_assignment(&mut oracle, &ts, &mut RoundRobin, 100, 3).unwrap();
+        let oracle = TruthfulOracle::new(1000);
+        let out = run_assignment(&oracle, &ts, &mut RoundRobin, 100, 3).unwrap();
         // 2 tasks × cap 3 = 6 questions, then the policy returns None.
         assert_eq!(out.questions_asked, 6);
         assert!(out.votes.iter().all(|v| v.iter().sum::<u32>() == 3));
@@ -147,24 +174,16 @@ mod tests {
     #[test]
     fn oracle_exhaustion_ends_gracefully() {
         let ts = tasks(5);
-        let mut oracle = TruthfulOracle {
-            next_worker: 0,
-            cap: 3,
-            delivered: 0,
-        };
-        let out = run_assignment(&mut oracle, &ts, &mut EntropyGreedy, 100, 10).unwrap();
+        let oracle = TruthfulOracle::new(3);
+        let out = run_assignment(&oracle, &ts, &mut EntropyGreedy, 100, 10).unwrap();
         assert_eq!(out.questions_asked, 3);
     }
 
     #[test]
     fn votes_align_with_task_slice_order() {
         let ts = tasks(3);
-        let mut oracle = TruthfulOracle {
-            next_worker: 0,
-            cap: 1000,
-            delivered: 0,
-        };
-        let out = run_assignment(&mut oracle, &ts, &mut RoundRobin, 6, 10).unwrap();
+        let oracle = TruthfulOracle::new(1000);
+        let out = run_assignment(&oracle, &ts, &mut RoundRobin, 6, 10).unwrap();
         for v in &out.votes {
             assert_eq!(v[1], 2, "each task got two truthful '1' votes");
         }

@@ -10,6 +10,10 @@ use rand::{Rng, SeedableRng};
 pub struct AssignState {
     /// `votes[t][l]` = answers so far labelling task `t` as `l`.
     pub votes: Vec<Vec<u32>>,
+    /// Answers requested but not yet received, per task. The batched
+    /// driver marks a task pending while assembling a wave so a policy
+    /// called repeatedly does not pile the whole wave onto one task.
+    pub pending: Vec<u32>,
     /// Hard per-task cap on answers (platforms bound assignments per HIT).
     pub max_answers_per_task: u32,
 }
@@ -19,13 +23,14 @@ impl AssignState {
     pub fn new(n_tasks: usize, k: usize, max_answers_per_task: u32) -> Self {
         Self {
             votes: vec![vec![0u32; k]; n_tasks],
+            pending: vec![0u32; n_tasks],
             max_answers_per_task,
         }
     }
 
-    /// Total answers task `t` has received.
+    /// Total answers task `t` has received or has in flight.
     pub fn count(&self, t: usize) -> u32 {
-        self.votes[t].iter().sum()
+        self.votes[t].iter().sum::<u32>() + self.pending[t]
     }
 
     /// Tasks that can still receive answers.
@@ -36,6 +41,16 @@ impl AssignState {
     /// Records an answer.
     pub fn record(&mut self, t: usize, label: u32) {
         self.votes[t][label as usize] += 1;
+    }
+
+    /// Marks one in-flight ask for task `t`.
+    pub fn note_pending(&mut self, t: usize) {
+        self.pending[t] += 1;
+    }
+
+    /// Clears all in-flight marks (the wave came back).
+    pub fn clear_pending(&mut self) {
+        self.pending.iter_mut().for_each(|p| *p = 0);
     }
 
     /// Smoothed posterior over labels for task `t` (votes + 1 Laplace).

@@ -1,0 +1,102 @@
+//! Sequential vs batched crowd execution on an E1-style workload.
+//!
+//! The workload is redundancy-k labeling (200 binary tasks, 3 votes each)
+//! against a simulated crowd with the default human lognormal latency
+//! model. The sequential arm asks one request at a time on a single-thread
+//! platform, so the simulated clock advances by the *sum* of assignment
+//! latencies; the batched arm submits the whole workload as one
+//! `ask_batch`, where independent assignments overlap and the clock
+//! advances by the batch *makespan*. The bench reports host-side
+//! throughput of both paths, and `main` first checks the headline claim:
+//! batching must cut simulated crowd wall-clock by at least 2×.
+
+use criterion::{criterion_group, Criterion};
+use crowdkit_core::ask::AskRequest;
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::CrowdOracle;
+use crowdkit_sim::dataset::LabelingDataset;
+use crowdkit_sim::latency::LatencyModel;
+use crowdkit_sim::population::PopulationBuilder;
+use crowdkit_sim::{PlatformBuilder, SimulatedCrowd};
+
+const N_TASKS: usize = 200;
+const VOTES: usize = 3;
+const SEED: u64 = 7;
+
+fn workload() -> Vec<Task> {
+    LabelingDataset::binary(N_TASKS, SEED).tasks
+}
+
+fn crowd(threads: usize) -> SimulatedCrowd {
+    let pop = PopulationBuilder::new().reliable(80, 0.8, 0.95).build(SEED);
+    PlatformBuilder::new(pop)
+        .latency(LatencyModel::human_default())
+        .seed(SEED)
+        .threads(threads)
+        .build()
+}
+
+/// Simulated crowd wall-clock after buying the whole workload one request
+/// at a time (latencies accumulate).
+fn sequential_sim_clock(tasks: &[Task]) -> f64 {
+    let crowd = crowd(1);
+    for task in tasks {
+        let out = crowd
+            .ask(&AskRequest::new(task).with_redundancy(VOTES))
+            .expect("unlimited budget");
+        assert_eq!(out.delivered(), VOTES);
+    }
+    crowd.now()
+}
+
+/// Simulated crowd wall-clock after buying the whole workload as a single
+/// batch (latencies overlap; the clock advances by the makespan).
+fn batched_sim_clock(tasks: &[Task], threads: usize) -> f64 {
+    let crowd = crowd(threads);
+    let reqs: Vec<AskRequest<'_>> = tasks
+        .iter()
+        .map(|t| AskRequest::new(t).with_redundancy(VOTES))
+        .collect();
+    let outs = crowd.ask_batch(&reqs).expect("unlimited budget");
+    assert!(outs.iter().all(|o| o.delivered() == VOTES));
+    crowd.now()
+}
+
+fn check_simulated_speedup() {
+    let tasks = workload();
+    let seq = sequential_sim_clock(&tasks);
+    let bat = batched_sim_clock(&tasks, 4);
+    let speedup = seq / bat;
+    println!(
+        "simulated wall-clock: sequential {seq:.0} s, batched {bat:.0} s ({speedup:.0}x)"
+    );
+    assert!(
+        speedup >= 2.0,
+        "batched execution must cut simulated wall-clock at least 2x (got {speedup:.2}x)"
+    );
+}
+
+fn bench_sequential(c: &mut Criterion) {
+    let tasks = workload();
+    c.bench_function("exec_sequential_200x3", |b| {
+        b.iter(|| sequential_sim_clock(std::hint::black_box(&tasks)));
+    });
+}
+
+fn bench_batched(c: &mut Criterion) {
+    let tasks = workload();
+    let mut group = c.benchmark_group("exec_batched_200x3");
+    for threads in [1usize, 4, 8] {
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| batched_sim_clock(std::hint::black_box(&tasks), threads));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sequential, bench_batched);
+
+fn main() {
+    check_simulated_speedup();
+    benches();
+}

@@ -12,7 +12,7 @@ fn bench_platform_throughput(c: &mut Criterion) {
     let data = LabelingDataset::binary(500, 1);
     c.bench_function("platform_ask_500x3", |b| {
         b.iter(|| {
-            let mut crowd = SimulatedCrowd::new(mixes::mixed(100, 1), 1);
+            let crowd = SimulatedCrowd::new(mixes::mixed(100, 1), 1);
             for task in &data.tasks {
                 let _ = crowd.ask_many(std::hint::black_box(task), 3).unwrap();
             }

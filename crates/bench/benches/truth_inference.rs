@@ -14,8 +14,8 @@ use crowdkit_truth::{pipeline::label_tasks, DawidSkene, Glad, Kos, MajorityVote,
 /// once (outside the timed region).
 fn matrix(n_tasks: usize, k: usize) -> ResponseMatrix {
     let data = LabelingDataset::binary(n_tasks, 7);
-    let mut crowd = SimulatedCrowd::new(mixes::mixed(60, 7), 7);
-    label_tasks(&mut crowd, &data.tasks, k, &MajorityVote)
+    let crowd = SimulatedCrowd::new(mixes::mixed(60, 7), 7);
+    label_tasks(&crowd, &data.tasks, k, &MajorityVote)
         .expect("collection succeeds")
         .matrix
 }

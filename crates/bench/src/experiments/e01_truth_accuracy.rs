@@ -42,8 +42,8 @@ fn mix_table(name: &str, make_pop: fn(usize, u64) -> Population) -> Table {
             let mut acc = 0.0;
             for &seed in &SEEDS {
                 let data = LabelingDataset::binary(N_TASKS, seed);
-                let mut crowd = SimulatedCrowd::new(make_pop(POP, seed), seed);
-                let out = label_tasks(&mut crowd, &data.tasks, k, algo.as_ref())
+                let crowd = SimulatedCrowd::new(make_pop(POP, seed), seed);
+                let out = label_tasks(&crowd, &data.tasks, k, algo.as_ref())
                     .expect("collection succeeds");
                 let predicted: Vec<u32> = data
                     .tasks

@@ -25,8 +25,8 @@ fn estimation_error<I: TruthInferencer + ?Sized>(n_tasks: usize, seed: u64, algo
     // A spread of one-coin workers so there is real signal to recover.
     let pop = PopulationBuilder::new().reliable(POP, 0.55, 0.98).build(seed);
     let truth_q = pop.true_qualities();
-    let mut crowd = SimulatedCrowd::new(pop, seed);
-    let out = label_tasks(&mut crowd, &data.tasks, K, algo).expect("collection succeeds");
+    let crowd = SimulatedCrowd::new(pop, seed);
+    let out = label_tasks(&crowd, &data.tasks, K, algo).expect("collection succeeds");
     let est = out
         .inference
         .worker_quality

@@ -27,9 +27,9 @@ fn join_with(
     use_transitivity: bool,
 ) -> (usize, usize, f64) {
     let pop = PopulationBuilder::new().reliable(60, 0.9, 0.99).build(SEED);
-    let mut crowd = SimulatedCrowd::new(pop, SEED);
+    let crowd = SimulatedCrowd::new(pop, SEED);
     let out = crowd_join(
-        &mut crowd,
+        &crowd,
         data.records.len(),
         candidates,
         |id, a, b| {

@@ -20,6 +20,9 @@ use crate::table::{f3, Table};
 
 const N: usize = 40;
 const SEEDS: [u64; 3] = [41, 42, 43];
+/// E4c compares two sampling strategies at sparse budgets, where
+/// seed-to-seed variance is largest; it averages over more seeds.
+const ACTIVE_SEEDS: [u64; 6] = [41, 42, 43, 44, 45, 46];
 
 fn taus_for_budget(budget: usize) -> [f64; 4] {
     let mut sums = [0.0f64; 4];
@@ -28,8 +31,8 @@ fn taus_for_budget(budget: usize) -> [f64; 4] {
         let truth: Vec<f64> = data.true_positions().iter().map(|&p| -(p as f64)).collect();
         let pairs = sample_pairs(N, budget, seed);
         let pop = PopulationBuilder::new().reliable(60, 0.8, 0.95).build(seed);
-        let mut crowd = SimulatedCrowd::new(pop, seed);
-        let graph = collect_comparisons(&mut crowd, N, &pairs, 3, |id, a, b| {
+        let crowd = SimulatedCrowd::new(pop, seed);
+        let graph = collect_comparisons(&crowd, N, &pairs, 3, |id, a, b| {
             data.comparison_task(id, a, b)
         })
         .expect("collection succeeds");
@@ -76,8 +79,8 @@ pub fn run() -> Vec<Table> {
     for seed in 0..runs {
         let data = RankingDataset::generate(N, seed);
         let pop = PopulationBuilder::new().reliable(60, 0.85, 0.97).build(seed);
-        let mut crowd = SimulatedCrowd::new(pop, seed);
-        let out = crowd_max(&mut crowd, N, 3, |id, a, b| data.comparison_task(id, a, b))
+        let crowd = SimulatedCrowd::new(pop, seed);
+        let out = crowd_max(&crowd, N, 3, |id, a, b| data.comparison_task(id, a, b))
             .expect("tournament succeeds");
         if out.winners[0] == data.true_max() {
             successes += 1;
@@ -98,28 +101,28 @@ pub fn run() -> Vec<Table> {
     // Active (uncertainty-driven) vs uniform pair selection at equal
     // comparison budgets.
     let mut t3 = Table::new(
-        format!("E4c: active vs uniform pair selection ({N} items, tau via Bradley–Terry, mean of {} seeds)", SEEDS.len()),
+        format!("E4c: active vs uniform pair selection ({N} items, tau via Bradley–Terry, mean of {} seeds)", ACTIVE_SEEDS.len()),
         &["comparisons", "uniform", "active"],
     );
     for &budget in &[120usize, 240, 480] {
         let (mut uni, mut act) = (0.0, 0.0);
-        for &seed in &SEEDS {
+        for &seed in &ACTIVE_SEEDS {
             let data = RankingDataset::generate(N, seed);
             let truth: Vec<f64> = data.true_positions().iter().map(|&p| -(p as f64)).collect();
             // Uniform: distinct random pairs, 2 votes each.
             let pop = PopulationBuilder::new().reliable(80, 0.8, 0.95).build(seed);
-            let mut crowd = SimulatedCrowd::new(pop, seed);
+            let crowd = SimulatedCrowd::new(pop, seed);
             let pairs = sample_pairs(N, budget / 2, seed);
-            let g = collect_comparisons(&mut crowd, N, &pairs, 2, |id, a, b| {
+            let g = collect_comparisons(&crowd, N, &pairs, 2, |id, a, b| {
                 data.comparison_task(id, a, b)
             })
             .expect("collection succeeds");
             uni += kendall_tau(&bradley_terry(&g, 200, 1e-9), &truth);
             // Active: gap-driven selections, 2 votes each.
             let pop = PopulationBuilder::new().reliable(80, 0.8, 0.95).build(seed);
-            let mut crowd = SimulatedCrowd::new(pop, seed);
+            let crowd = SimulatedCrowd::new(pop, seed);
             let g = active_comparisons(
-                &mut crowd,
+                &crowd,
                 N,
                 budget / 2,
                 ActiveConfig { votes: 2, round_size: 20 },
@@ -128,7 +131,7 @@ pub fn run() -> Vec<Table> {
             .expect("collection succeeds");
             act += kendall_tau(&bradley_terry(&g, 200, 1e-9), &truth);
         }
-        let n = SEEDS.len() as f64;
+        let n = ACTIVE_SEEDS.len() as f64;
         t3.row(vec![budget.to_string(), f3(uni / n), f3(act / n)]);
     }
     vec![t, t2, t3]

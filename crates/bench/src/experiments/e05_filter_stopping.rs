@@ -25,8 +25,8 @@ fn run_rule(rule: &dyn StoppingRule, selectivity: f64) -> (f64, f64) {
     let mut acc = 0.0;
     for &seed in &SEEDS {
         let data = LabelingDataset::generate(N, 2, 1.0 - selectivity, (0.3, 0.6), seed);
-        let mut crowd = SimulatedCrowd::new(mixes::mixed(80, seed), seed);
-        let out = crowd_filter(&mut crowd, &data.tasks, rule, MAX_ANSWERS)
+        let crowd = SimulatedCrowd::new(mixes::mixed(80, seed), seed);
+        let out = crowd_filter(&crowd, &data.tasks, rule, MAX_ANSWERS)
             .expect("filter succeeds");
         let predicted: Vec<u32> = out
             .decisions

@@ -26,9 +26,9 @@ fn at_fraction(fraction: f64) -> (f64, f64, f64) {
         let data = CountingDataset::generate(POPULATION, PREVALENCE, seed);
         let truth = data.true_count() as f64;
         let pop = PopulationBuilder::new().reliable(POPULATION, 0.92, 0.99).build(seed);
-        let mut crowd = SimulatedCrowd::new(pop, seed);
+        let crowd = SimulatedCrowd::new(pop, seed);
         let m = ((POPULATION as f64) * fraction).round() as usize;
-        let est = estimate_count(&mut crowd, &data.tasks, m, 3, 1.96, seed)
+        let est = estimate_count(&crowd, &data.tasks, m, 3, 1.96, seed)
             .expect("estimation succeeds");
         rel += relative_error(est.estimate, truth);
         width += (est.ci_high - est.ci_low) / POPULATION as f64;

@@ -22,8 +22,8 @@ pub fn run() -> Vec<Table> {
     let pool = CollectionPool::generate(RICHNESS, SEED);
     let task = pool.task(TaskId::new(0));
     let pop = PopulationBuilder::new().reliable(600, 0.8, 0.95).build(SEED);
-    let mut crowd = SimulatedCrowd::new(pop, SEED);
-    let out = crowd_collect(&mut crowd, &task, 2.0, 400).expect("collection succeeds");
+    let crowd = SimulatedCrowd::new(pop, SEED);
+    let out = crowd_collect(&crowd, &task, 2.0, 400).expect("collection succeeds");
 
     let mut t = Table::new(
         format!("E7: species accumulation (true richness {RICHNESS})"),

@@ -20,7 +20,7 @@ const SEEDS: [u64; 5] = [81, 82, 83, 84, 85];
 
 fn accuracy_under_budget(policy_name: &str, budget: usize, seed: u64) -> f64 {
     let data = LabelingDataset::generate(N_TASKS, 2, 0.5, (0.2, 0.8), seed);
-    let mut crowd = SimulatedCrowd::new(mixes::mixed(60, seed), seed);
+    let crowd = SimulatedCrowd::new(mixes::mixed(60, seed), seed);
     let mut random;
     let mut rr = RoundRobin;
     let mut entropy = EntropyGreedy;
@@ -34,7 +34,7 @@ fn accuracy_under_budget(policy_name: &str, budget: usize, seed: u64) -> f64 {
         "entropy" => &mut entropy,
         _ => &mut gain,
     };
-    let out = run_assignment(&mut crowd, &data.tasks, policy, budget, 25)
+    let out = run_assignment(&crowd, &data.tasks, policy, budget, 25)
         .expect("assignment succeeds");
     let inference = OneCoinEm::default().infer(&out.matrix).expect("non-empty");
     let mut correct = 0usize;

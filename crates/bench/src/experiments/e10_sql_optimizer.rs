@@ -45,10 +45,10 @@ fn factory() -> impl crowdkit_sql::TaskFactory {
 fn questions(sql: &str, optimized: bool) -> u64 {
     let mut s = products_session(20);
     let pop = PopulationBuilder::new().reliable(80, 0.95, 1.0).build(SEED);
-    let mut crowd = SimulatedCrowd::new(pop, SEED);
+    let crowd = SimulatedCrowd::new(pop, SEED);
     let mut f = factory();
     let (_, stats) = s
-        .query_crowd(sql, &mut crowd, &mut f, 3, optimized)
+        .query_crowd(sql, &crowd, &mut f, 3, optimized)
         .expect("query succeeds");
     stats.questions
 }

@@ -20,13 +20,17 @@ use crate::table::{f3, Table};
 const SEED: u64 = 121;
 
 fn run_config(use_transitivity: bool, order: AskOrder) -> (usize, usize, f64) {
-    let data = EntityDataset::generate(70, 4, 1, SEED);
+    run_config_seeded(use_transitivity, order, SEED)
+}
+
+fn run_config_seeded(use_transitivity: bool, order: AskOrder, seed: u64) -> (usize, usize, f64) {
+    let data = EntityDataset::generate(70, 4, 1, seed);
     let texts: Vec<String> = data.records.iter().map(|r| r.text.clone()).collect();
     let cands = candidate_pairs(&texts, 0.35);
-    let pop = PopulationBuilder::new().reliable(60, 0.92, 0.99).build(SEED);
-    let mut crowd = SimulatedCrowd::new(pop, SEED);
+    let pop = PopulationBuilder::new().reliable(60, 0.92, 0.99).build(seed);
+    let crowd = SimulatedCrowd::new(pop, seed);
     let out = crowd_join(
-        &mut crowd,
+        &crowd,
         texts.len(),
         &cands,
         |id, a, b| {
@@ -77,17 +81,39 @@ mod tests {
 
     #[test]
     fn e12_shape_deduction_saves_and_order_matters_only_with_deduction() {
-        let (sim_ded, ded1, f1a) = run_config(true, AskOrder::SimilarityDesc);
-        let (rand_ded, _, _) = run_config(true, AskOrder::Random(SEED));
-        let (no_ded_sim, z1, f1b) = run_config(false, AskOrder::SimilarityDesc);
-        let (no_ded_rand, z2, _) = run_config(false, AskOrder::Random(SEED));
+        // Structural claims hold per seed; the similarity-vs-random ordering
+        // advantage is a tendency of noisy runs, so it is asserted on the
+        // mean over several seeds.
+        let seeds = [121u64, 122, 123, 124, 125];
+        let (mut sim_sum, mut rand_sum) = (0usize, 0usize);
+        for &seed in &seeds {
+            let (sim_ded, ded1, f1a) =
+                run_config_seeded(true, AskOrder::SimilarityDesc, seed);
+            let (rand_ded, _, _) =
+                run_config_seeded(true, AskOrder::Random(seed), seed);
+            let (no_ded_sim, z1, f1b) =
+                run_config_seeded(false, AskOrder::SimilarityDesc, seed);
+            let (no_ded_rand, z2, _) =
+                run_config_seeded(false, AskOrder::Random(seed), seed);
 
-        assert!(ded1 > 0, "deduction fires");
-        assert_eq!(z1, 0);
-        assert_eq!(z2, 0);
-        assert!(sim_ded < no_ded_sim, "deduction asks fewer pairs");
-        assert!(sim_ded <= rand_ded, "similarity order at least matches random");
-        assert_eq!(no_ded_sim, no_ded_rand, "without deduction, order is cost-neutral");
-        assert!((f1a - f1b).abs() < 0.1, "quality unchanged: {f1a:.3} vs {f1b:.3}");
+            assert!(ded1 > 0, "deduction fires (seed {seed})");
+            assert_eq!(z1, 0);
+            assert_eq!(z2, 0);
+            assert!(sim_ded < no_ded_sim, "deduction asks fewer pairs (seed {seed})");
+            assert_eq!(
+                no_ded_sim, no_ded_rand,
+                "without deduction, order is cost-neutral (seed {seed})"
+            );
+            assert!(
+                (f1a - f1b).abs() < 0.1,
+                "quality unchanged (seed {seed}): {f1a:.3} vs {f1b:.3}"
+            );
+            sim_sum += sim_ded;
+            rand_sum += rand_ded;
+        }
+        assert!(
+            sim_sum <= rand_sum,
+            "similarity order at least matches random on average: {sim_sum} vs {rand_sum}"
+        );
     }
 }

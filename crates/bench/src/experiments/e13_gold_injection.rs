@@ -25,7 +25,7 @@ fn run_config(gold_stride: Option<usize>, algo_name: &str, seed: u64) -> f64 {
     let ids: Vec<_> = data.tasks.iter().map(|t| t.id).collect();
     let gold = gold_stride.map(|s| inject_gold_stride(&ids, &data.truths, s));
 
-    let mut crowd = SimulatedCrowd::new(mixes::spam_heavy(60, seed), seed);
+    let crowd = SimulatedCrowd::new(mixes::spam_heavy(60, seed), seed);
     let mv = MajorityVote;
     let ds = DawidSkene::default();
     let gwv = gold.clone().map(GoldWeightedVote::new);
@@ -34,7 +34,7 @@ fn run_config(gold_stride: Option<usize>, algo_name: &str, seed: u64) -> f64 {
         "ds" => &ds,
         _ => gwv.as_ref().expect("gold configured for gold_wmv"),
     };
-    let out = label_tasks(&mut crowd, &data.tasks, K, algo).expect("collection succeeds");
+    let out = label_tasks(&crowd, &data.tasks, K, algo).expect("collection succeeds");
 
     let mut correct = 0usize;
     let mut total = 0usize;

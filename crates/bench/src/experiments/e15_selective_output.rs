@@ -28,8 +28,8 @@ fn tradeoff(algo: &dyn TruthInferencer, tau: f64) -> (f64, f64) {
     let mut accuracy = 0.0;
     for &seed in &SEEDS {
         let data = LabelingDataset::binary(N_TASKS, seed);
-        let mut crowd = SimulatedCrowd::new(mixes::mixed(60, seed), seed);
-        let out = label_tasks(&mut crowd, &data.tasks, K, algo).expect("collection succeeds");
+        let crowd = SimulatedCrowd::new(mixes::mixed(60, seed), seed);
+        let out = label_tasks(&crowd, &data.tasks, K, algo).expect("collection succeeds");
         let selected = out.inference.select_confident(tau);
         coverage += out.inference.coverage(tau);
         if selected.is_empty() {

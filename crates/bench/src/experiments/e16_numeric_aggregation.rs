@@ -40,7 +40,7 @@ fn run_mix(spam_share: f64, seed: u64) -> [f64; 4] {
         )
         .spammers(spammers)
         .build(seed);
-    let mut crowd = SimulatedCrowd::new(pop, seed);
+    let crowd = SimulatedCrowd::new(pop, seed);
 
     let mut ids = IdGen::new();
     let mut truths = Vec::with_capacity(N_TASKS);

@@ -33,7 +33,7 @@ fn completion_time(duty: f64, pool: usize, seed: u64) -> f64 {
             period: 1_800.0,
         });
     }
-    let mut crowd = builder.build();
+    let crowd = builder.build();
     let data = LabelingDataset::binary(N_TASKS, seed);
     for task in &data.tasks {
         crowd.ask_many(task, K).expect("collection succeeds");

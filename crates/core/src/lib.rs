@@ -26,6 +26,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod answer;
+pub mod ask;
 pub mod budget;
 pub mod error;
 pub mod ids;
@@ -36,6 +37,7 @@ pub mod task;
 pub mod traits;
 
 pub use answer::{Answer, AnswerValue, Preference};
+pub use ask::{AskOutcome, AskRequest};
 pub use budget::{Budget, CostLedger, CostModel};
 pub use error::{CrowdError, Result};
 pub use ids::{ItemId, TaskId, WorkerId};

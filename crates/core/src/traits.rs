@@ -8,6 +8,7 @@
 //! * [`StoppingRule`] — when to stop buying more answers for a task.
 
 use crate::answer::Answer;
+use crate::ask::{AskOutcome, AskRequest};
 use crate::error::Result;
 use crate::response::ResponseMatrix;
 use crate::task::Task;
@@ -17,27 +18,111 @@ use crate::task::Task;
 /// An oracle owns the economics: it debits the budget per answer, picks the
 /// responding worker, and timestamps the result. Implementations must be
 /// deterministic for a fixed seed so experiments are reproducible.
+///
+/// # Concurrency model
+///
+/// All methods take `&self`: an oracle is a *shared service*, like the
+/// platform it models, and implementations use interior mutability (the
+/// simulator stripes its state behind locks). This lets operators hold one
+/// oracle reference across fan-out call sites and lets batch
+/// implementations overlap independent assignments. Implementations must
+/// keep the determinism contract **per logical call sequence**: the same
+/// seed and the same sequence of `ask*` calls produce the same answers,
+/// regardless of how many threads the implementation uses internally.
+///
+/// # Requests, outcomes and partial delivery
+///
+/// The primary entry points are [`ask`](CrowdOracle::ask) (one
+/// [`AskRequest`]) and [`ask_batch`](CrowdOracle::ask_batch) (many, which
+/// platforms overlap in latency). Both report delivery through
+/// [`AskOutcome`], which makes partial delivery explicit: answers already
+/// purchased are always returned (they were paid for) and the
+/// [`shortfall`](AskOutcome::shortfall) field records why delivery stopped.
+/// [`ask_many`](CrowdOracle::ask_many) remains as a thin convenience that
+/// discards the shortfall detail.
 pub trait CrowdOracle {
     /// Asks one (implementation-chosen) worker to answer `task`.
     ///
     /// Fails with a resource-exhaustion error when the budget is spent or no
     /// worker is available; callers typically stop gracefully on those.
-    fn ask_one(&mut self, task: &Task) -> Result<Answer>;
+    fn ask_one(&self, task: &Task) -> Result<Answer>;
 
-    /// Asks `k` *distinct* workers to answer `task`. The default loops over
-    /// [`CrowdOracle::ask_one`]; platforms with smarter assignment override
-    /// it. On resource exhaustion mid-way, returns the answers obtained so
-    /// far if any, otherwise the error.
-    fn ask_many(&mut self, task: &Task, k: usize) -> Result<Vec<Answer>> {
-        let mut answers = Vec::with_capacity(k);
-        for _ in 0..k {
-            match self.ask_one(task) {
+    /// Executes one request: asks `redundancy` *distinct* workers.
+    ///
+    /// The default loops over [`CrowdOracle::ask_one`]; platforms with
+    /// smarter assignment (exclusion handling, latency overlap) override
+    /// it.
+    ///
+    /// Errors are only returned when *nothing* was purchased and the error
+    /// is not a resource-exhaustion condition. In every other case the
+    /// answers bought so far are delivered in the outcome with the stop
+    /// reason in [`AskOutcome::shortfall`] — a mid-batch failure must not
+    /// discard answers the budget already paid for.
+    fn ask(&self, req: &AskRequest<'_>) -> Result<AskOutcome> {
+        let want = req.redundancy.max(1);
+        let mut answers = Vec::with_capacity(want);
+        let mut shortfall = None;
+        for _ in 0..want {
+            match self.ask_one(req.task) {
                 Ok(a) => answers.push(a),
-                Err(e) if e.is_resource_exhaustion() && !answers.is_empty() => break,
-                Err(e) => return Err(e),
+                Err(e) if answers.is_empty() && !e.is_resource_exhaustion() => return Err(e),
+                Err(e) => {
+                    shortfall = Some(e);
+                    break;
+                }
             }
         }
-        Ok(answers)
+        Ok(AskOutcome {
+            task: req.task.id,
+            requested: want,
+            answers,
+            shortfall,
+        })
+    }
+
+    /// Executes a batch of requests, returning one outcome per request in
+    /// input order.
+    ///
+    /// The default runs requests sequentially through
+    /// [`CrowdOracle::ask`]; once the budget is drained, later requests
+    /// are starved without further platform calls. Platform
+    /// implementations override this to overlap the assignments of the
+    /// whole batch in (simulated) latency — batching is the dominant
+    /// latency lever of crowd execution. Budget, when contended, is always
+    /// awarded in request order so batch funding is deterministic.
+    fn ask_batch(&self, reqs: &[AskRequest<'_>]) -> Result<Vec<AskOutcome>> {
+        let mut outcomes = Vec::with_capacity(reqs.len());
+        let mut drained: Option<crate::error::CrowdError> = None;
+        for req in reqs {
+            if let Some(e) = &drained {
+                outcomes.push(AskOutcome::starved(
+                    req.task.id,
+                    req.redundancy.max(1),
+                    e.clone(),
+                ));
+                continue;
+            }
+            let out = self.ask(req)?;
+            if out.stopped_by_budget() {
+                drained = out.shortfall.clone();
+            }
+            outcomes.push(out);
+        }
+        Ok(outcomes)
+    }
+
+    /// Asks `k` *distinct* workers to answer `task`, without exclusions.
+    ///
+    /// Convenience over [`CrowdOracle::ask`]. On resource exhaustion
+    /// mid-way, returns the answers obtained so far if any, otherwise the
+    /// error; use `ask` directly when the caller needs to distinguish
+    /// partial from full delivery.
+    fn ask_many(&self, task: &Task, k: usize) -> Result<Vec<Answer>> {
+        let out = self.ask(&AskRequest::new(task).with_redundancy(k))?;
+        match out.shortfall {
+            Some(e) if out.answers.is_empty() => Err(e),
+            _ => Ok(out.answers),
+        }
     }
 
     /// Remaining budget in units, or `None` if unbounded.
@@ -123,45 +208,52 @@ mod tests {
     use crate::answer::AnswerValue;
     use crate::error::CrowdError;
     use crate::ids::{TaskId, WorkerId};
+    use std::cell::Cell;
 
     /// A tiny oracle that always answers Choice(1) from successive workers,
     /// with a hard cap on total answers.
     struct FixedOracle {
-        next_worker: u64,
+        next_worker: Cell<u64>,
         cap: u64,
-        delivered: u64,
+        delivered: Cell<u64>,
+    }
+
+    impl FixedOracle {
+        fn new(cap: u64) -> Self {
+            Self {
+                next_worker: Cell::new(0),
+                cap,
+                delivered: Cell::new(0),
+            }
+        }
     }
 
     impl CrowdOracle for FixedOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            if self.delivered >= self.cap {
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            if self.delivered.get() >= self.cap {
                 return Err(CrowdError::BudgetExhausted {
                     requested: 1.0,
                     remaining: 0.0,
                 });
             }
-            self.delivered += 1;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
+            self.delivered.set(self.delivered.get() + 1);
+            let w = WorkerId::new(self.next_worker.get());
+            self.next_worker.set(self.next_worker.get() + 1);
             Ok(Answer::bare(task.id, w, AnswerValue::Choice(1)))
         }
 
         fn remaining_budget(&self) -> Option<f64> {
-            Some((self.cap - self.delivered) as f64)
+            Some((self.cap - self.delivered.get()) as f64)
         }
 
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
     #[test]
     fn ask_many_default_collects_k_answers() {
-        let mut o = FixedOracle {
-            next_worker: 0,
-            cap: 10,
-            delivered: 0,
-        };
+        let o = FixedOracle::new(10);
         let task = Task::binary(TaskId::new(0), "q");
         let answers = o.ask_many(&task, 3).unwrap();
         assert_eq!(answers.len(), 3);
@@ -171,17 +263,83 @@ mod tests {
 
     #[test]
     fn ask_many_partial_on_exhaustion() {
-        let mut o = FixedOracle {
-            next_worker: 0,
-            cap: 2,
-            delivered: 0,
-        };
+        let o = FixedOracle::new(2);
         let task = Task::binary(TaskId::new(0), "q");
         let answers = o.ask_many(&task, 5).unwrap();
         assert_eq!(answers.len(), 2, "returns partial results when budget dies");
         // Next call starts already exhausted → propagates the error.
         let err = o.ask_many(&task, 1).unwrap_err();
         assert!(err.is_resource_exhaustion());
+    }
+
+    #[test]
+    fn ask_reports_shortfall_with_purchased_answers() {
+        let o = FixedOracle::new(2);
+        let task = Task::binary(TaskId::new(0), "q");
+        let req = crate::ask::AskRequest::new(&task).with_redundancy(5);
+        let out = o.ask(&req).unwrap();
+        assert_eq!(out.delivered(), 2);
+        assert_eq!(out.missing(), 3);
+        assert!(out.stopped_by_budget());
+        assert!(!out.is_complete());
+    }
+
+    #[test]
+    fn ask_batch_funds_in_request_order_and_starves_the_rest() {
+        let o = FixedOracle::new(3);
+        let t0 = Task::binary(TaskId::new(0), "a");
+        let t1 = Task::binary(TaskId::new(1), "b");
+        let t2 = Task::binary(TaskId::new(2), "c");
+        let reqs = vec![
+            crate::ask::AskRequest::new(&t0).with_redundancy(2),
+            crate::ask::AskRequest::new(&t1).with_redundancy(2),
+            crate::ask::AskRequest::new(&t2).with_redundancy(2),
+        ];
+        let outs = o.ask_batch(&reqs).unwrap();
+        assert_eq!(outs.len(), 3);
+        assert!(outs[0].is_complete());
+        assert_eq!(outs[1].delivered(), 1);
+        assert!(outs[1].stopped_by_budget());
+        assert_eq!(outs[2].delivered(), 0, "drained budget starves request 3");
+        assert!(outs[2].stopped_by_budget());
+        assert_eq!(o.answers_delivered(), 3);
+    }
+
+    /// A mid-batch non-exhaustion failure keeps already-purchased answers
+    /// in the outcome so cost accounting stays consistent — the old
+    /// `ask_many` default discarded them.
+    #[test]
+    fn mid_batch_failure_does_not_discard_purchased_answers() {
+        struct FlakyOracle {
+            calls: Cell<u64>,
+        }
+        impl CrowdOracle for FlakyOracle {
+            fn ask_one(&self, task: &Task) -> Result<Answer> {
+                let n = self.calls.get();
+                self.calls.set(n + 1);
+                if n >= 2 {
+                    return Err(CrowdError::Execution("wire fault".into()));
+                }
+                Ok(Answer::bare(task.id, WorkerId::new(n), AnswerValue::Choice(1)))
+            }
+            fn remaining_budget(&self) -> Option<f64> {
+                None
+            }
+            fn answers_delivered(&self) -> u64 {
+                self.calls.get()
+            }
+        }
+        let o = FlakyOracle { calls: Cell::new(0) };
+        let task = Task::binary(TaskId::new(0), "q");
+        let out = o.ask(&crate::ask::AskRequest::new(&task).with_redundancy(5)).unwrap();
+        assert_eq!(out.delivered(), 2, "purchased answers survive the failure");
+        assert!(matches!(out.shortfall, Some(CrowdError::Execution(_))));
+        // A failure before anything was purchased still propagates.
+        let err = o.ask(&crate::ask::AskRequest::new(&task)).unwrap_err();
+        assert!(matches!(err, CrowdError::Execution(_)));
+        // ask_many now returns the partial purchase instead of dropping it.
+        let o2 = FlakyOracle { calls: Cell::new(0) };
+        assert_eq!(o2.ask_many(&task, 5).unwrap().len(), 2);
     }
 
     #[test]

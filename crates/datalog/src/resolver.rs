@@ -14,6 +14,7 @@
 
 use std::collections::HashMap;
 
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
 use crowdkit_core::ids::IdGen;
 use crowdkit_core::task::Task;
@@ -125,7 +126,7 @@ impl CrowdResolver for TableResolver {
 /// simulation it attaches the latent truth. Reconciled text that parses as
 /// an integer becomes [`Const::Int`], otherwise [`Const::Str`].
 pub struct OracleResolver<'a, O: CrowdOracle + ?Sized, F> {
-    oracle: &'a mut O,
+    oracle: &'a O,
     votes: u32,
     make_task: F,
     ids: IdGen,
@@ -138,7 +139,7 @@ where
     F: FnMut(crowdkit_core::ids::TaskId, &str, &[(usize, Const)], usize) -> Task,
 {
     /// Creates a resolver over `oracle` buying `votes` answers per fetch.
-    pub fn new(oracle: &'a mut O, votes: u32, make_task: F) -> Self {
+    pub fn new(oracle: &'a O, votes: u32, make_task: F) -> Self {
         Self {
             oracle,
             votes,
@@ -163,19 +164,21 @@ where
     ) -> Result<Vec<Const>> {
         let task = (self.make_task)(self.ids.next_task(), predicate, bound, free_pos);
         let mut counts: HashMap<String, u32> = HashMap::new();
-        for _ in 0..self.votes.max(1) {
-            match self.oracle.ask_one(&task) {
-                Ok(a) => {
-                    self.questions += 1;
-                    if let Some(text) = a.value.as_text() {
-                        let norm = text.trim().to_lowercase();
-                        if !norm.is_empty() {
-                            *counts.entry(norm).or_insert(0) += 1;
-                        }
-                    }
+        let out = self
+            .oracle
+            .ask(&AskRequest::new(&task).with_redundancy(self.votes.max(1) as usize))?;
+        if let Some(e) = &out.shortfall {
+            if !e.is_resource_exhaustion() {
+                return Err(e.clone());
+            }
+        }
+        for a in &out.answers {
+            self.questions += 1;
+            if let Some(text) = a.value.as_text() {
+                let norm = text.trim().to_lowercase();
+                if !norm.is_empty() {
+                    *counts.entry(norm).or_insert(0) += 1;
                 }
-                Err(e) if e.is_resource_exhaustion() => break,
-                Err(e) => return Err(e),
             }
         }
         let mut tallies: Vec<(String, u32)> = counts.into_iter().collect();
@@ -251,16 +254,26 @@ mod tests {
     /// Oracle scripting a fixed sequence of text answers.
     struct ScriptOracle {
         script: Vec<String>,
-        i: usize,
+        i: std::cell::Cell<usize>,
+    }
+
+    impl ScriptOracle {
+        fn new(script: Vec<String>) -> Self {
+            Self {
+                script,
+                i: std::cell::Cell::new(0),
+            }
+        }
     }
 
     impl CrowdOracle for ScriptOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            let text = self.script[self.i % self.script.len()].clone();
-            self.i += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            let i = self.i.get();
+            let text = self.script[i % self.script.len()].clone();
+            self.i.set(i + 1);
             Ok(Answer::bare(
                 task.id,
-                WorkerId::new(self.i as u64),
+                WorkerId::new((i + 1) as u64),
                 AnswerValue::Text(text),
             ))
         }
@@ -268,7 +281,7 @@ mod tests {
             None
         }
         fn answers_delivered(&self) -> u64 {
-            self.i as u64
+            self.i.get() as u64
         }
     }
 
@@ -284,11 +297,8 @@ mod tests {
 
     #[test]
     fn oracle_resolver_reconciles_by_plurality() {
-        let mut oracle = ScriptOracle {
-            script: vec!["Tokyo".into(), "tokyo ".into(), "Osaka".into()],
-            i: 0,
-        };
-        let mut r = OracleResolver::new(&mut oracle, 3, make_task);
+        let oracle = ScriptOracle::new(vec!["Tokyo".into(), "tokyo ".into(), "Osaka".into()]);
+        let mut r = OracleResolver::new(&oracle, 3, make_task);
         let vals = r
             .resolve("city_of", &[(0, Const::Str("joes".into()))], 1, 2)
             .unwrap();
@@ -298,22 +308,16 @@ mod tests {
 
     #[test]
     fn oracle_resolver_parses_integers() {
-        let mut oracle = ScriptOracle {
-            script: vec!["4".into()],
-            i: 0,
-        };
-        let mut r = OracleResolver::new(&mut oracle, 1, make_task);
+        let oracle = ScriptOracle::new(vec!["4".into()]);
+        let mut r = OracleResolver::new(&oracle, 1, make_task);
         let vals = r.resolve("rating", &[], 1, 2).unwrap();
         assert_eq!(vals, vec![Const::Int(4)]);
     }
 
     #[test]
     fn oracle_resolver_ties_resolve_to_nothing() {
-        let mut oracle = ScriptOracle {
-            script: vec!["a".into(), "b".into()],
-            i: 0,
-        };
-        let mut r = OracleResolver::new(&mut oracle, 2, make_task);
+        let oracle = ScriptOracle::new(vec!["a".into(), "b".into()]);
+        let mut r = OracleResolver::new(&oracle, 2, make_task);
         assert!(r.resolve("p", &[], 0, 1).unwrap().is_empty());
     }
 }

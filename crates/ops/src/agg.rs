@@ -3,9 +3,12 @@
 //! Asking the crowd to verify *every* item of a large population is the
 //! naive COUNT plan; the sampling line of work estimates the count from a
 //! random sample with a confidence interval, trading a quantified error
-//! for an order-of-magnitude cost cut. Experiment E6 sweeps the sample
-//! fraction against the realized error and interval coverage.
+//! for an order-of-magnitude cost cut. The whole sample is submitted as
+//! one batched request so its verifications overlap in crowd latency.
+//! Experiment E6 sweeps the sample fraction against the realized error and
+//! interval coverage.
 
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
@@ -40,7 +43,7 @@ pub struct CountEstimate {
 ///
 /// Items must be binary single-choice tasks (label 1 = positive).
 pub fn estimate_count<O>(
-    oracle: &mut O,
+    oracle: &O,
     items: &[Task],
     sample_size: usize,
     votes: u32,
@@ -60,32 +63,34 @@ where
     indices.shuffle(&mut StdRng::seed_from_u64(seed));
     indices.truncate(m);
 
+    let reqs: Vec<AskRequest<'_>> = indices
+        .iter()
+        .map(|&i| AskRequest::new(&items[i]).with_redundancy(votes.max(1) as usize))
+        .collect();
+    let outcomes = oracle.ask_batch(&reqs)?;
+
     let mut positives = 0usize;
     let mut sampled = 0usize;
     let mut questions = 0usize;
-    'outer: for &i in &indices {
-        let mut yes = 0u32;
-        let mut no = 0u32;
-        for _ in 0..votes.max(1) {
-            match oracle.ask_one(&items[i]) {
-                Ok(a) => {
-                    questions += 1;
-                    match a.value.as_choice() {
-                        Some(1) => yes += 1,
-                        _ => no += 1,
-                    }
-                }
-                Err(e) if e.is_resource_exhaustion() => {
-                    if yes + no == 0 {
-                        break 'outer;
-                    }
-                    break;
-                }
-                Err(e) => return Err(e),
+    for out in &outcomes {
+        if let Some(e) = &out.shortfall {
+            if !e.is_resource_exhaustion() {
+                return Err(e.clone());
             }
         }
-        if yes + no == 0 {
+        if out.answers.is_empty() {
+            // Exhaustion before this item got any judgement: the sample
+            // ends here (later outcomes are starved too).
             break;
+        }
+        let mut yes = 0u32;
+        let mut no = 0u32;
+        for a in &out.answers {
+            questions += 1;
+            match a.value.as_choice() {
+                Some(1) => yes += 1,
+                _ => no += 1,
+            }
         }
         sampled += 1;
         if yes > no {
@@ -123,36 +128,37 @@ mod tests {
     use crowdkit_core::answer::{Answer, AnswerValue};
     use crowdkit_core::budget::Budget;
     use crowdkit_core::ids::{TaskId, WorkerId};
+    use std::cell::{Cell, RefCell};
 
     struct TruthfulOracle {
-        budget: Budget,
-        next_worker: u64,
-        delivered: u64,
+        budget: RefCell<Budget>,
+        next_worker: Cell<u64>,
+        delivered: Cell<u64>,
     }
 
     impl TruthfulOracle {
         fn new(limit: f64) -> Self {
             Self {
-                budget: Budget::new(limit),
-                next_worker: 0,
-                delivered: 0,
+                budget: RefCell::new(Budget::new(limit)),
+                next_worker: Cell::new(0),
+                delivered: Cell::new(0),
             }
         }
     }
 
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.budget.debit(1.0)?;
-            self.delivered += 1;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.budget.borrow_mut().debit(1.0)?;
+            self.delivered.set(self.delivered.get() + 1);
+            let w = WorkerId::new(self.next_worker.get());
+            self.next_worker.set(self.next_worker.get() + 1);
             Ok(Answer::bare(task.id, w, task.truth.clone().unwrap()))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some(self.budget.remaining())
+            Some(self.budget.borrow().remaining())
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
@@ -171,8 +177,8 @@ mod tests {
     fn full_sample_gives_exact_count_with_zero_width_interval() {
         let flags: Vec<bool> = (0..100).map(|i| i % 4 == 0).collect();
         let items = population(&flags);
-        let mut oracle = TruthfulOracle::new(1e9);
-        let est = estimate_count(&mut oracle, &items, 100, 1, 1.96, 0).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let est = estimate_count(&oracle, &items, 100, 1, 1.96, 0).unwrap();
         assert_eq!(est.estimate, 25.0);
         assert_eq!(est.ci_low, 25.0);
         assert_eq!(est.ci_high, 25.0);
@@ -183,8 +189,8 @@ mod tests {
     fn partial_sample_is_close_and_covered() {
         let flags: Vec<bool> = (0..2000).map(|i| i % 10 < 3).collect(); // 30 %
         let items = population(&flags);
-        let mut oracle = TruthfulOracle::new(1e9);
-        let est = estimate_count(&mut oracle, &items, 400, 1, 1.96, 42).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let est = estimate_count(&oracle, &items, 400, 1, 1.96, 42).unwrap();
         let truth = 600.0;
         assert!(
             (est.estimate - truth).abs() < 100.0,
@@ -200,8 +206,8 @@ mod tests {
         let flags: Vec<bool> = (0..2000).map(|i| i % 2 == 0).collect();
         let items = population(&flags);
         let width = |m: usize| -> f64 {
-            let mut oracle = TruthfulOracle::new(1e9);
-            let e = estimate_count(&mut oracle, &items, m, 1, 1.96, 7).unwrap();
+            let oracle = TruthfulOracle::new(1e9);
+            let e = estimate_count(&oracle, &items, m, 1, 1.96, 7).unwrap();
             e.ci_high - e.ci_low
         };
         assert!(width(800) < width(100));
@@ -211,17 +217,17 @@ mod tests {
     fn budget_exhaustion_estimates_from_partial_sample() {
         let flags = vec![true; 100];
         let items = population(&flags);
-        let mut oracle = TruthfulOracle::new(10.0);
-        let est = estimate_count(&mut oracle, &items, 50, 1, 1.96, 0).unwrap();
+        let oracle = TruthfulOracle::new(10.0);
+        let est = estimate_count(&oracle, &items, 50, 1, 1.96, 0).unwrap();
         assert_eq!(est.sample_size, 10);
         assert_eq!(est.estimate, 100.0, "all sampled items positive");
     }
 
     #[test]
     fn empty_population_is_an_error() {
-        let mut oracle = TruthfulOracle::new(10.0);
+        let oracle = TruthfulOracle::new(10.0);
         assert!(matches!(
-            estimate_count(&mut oracle, &[], 10, 1, 1.96, 0).unwrap_err(),
+            estimate_count(&oracle, &[], 10, 1, 1.96, 0).unwrap_err(),
             CrowdError::EmptyInput(_)
         ));
     }
@@ -229,8 +235,8 @@ mod tests {
     #[test]
     fn zero_budget_is_an_error() {
         let items = population(&[true, false]);
-        let mut oracle = TruthfulOracle::new(0.0);
-        assert!(estimate_count(&mut oracle, &items, 2, 1, 1.96, 0).is_err());
+        let oracle = TruthfulOracle::new(0.0);
+        assert!(estimate_count(&oracle, &items, 2, 1, 1.96, 0).is_err());
     }
 
     #[test]
@@ -238,8 +244,8 @@ mod tests {
         let flags: Vec<bool> = (0..500).map(|i| i % 3 == 0).collect();
         let items = population(&flags);
         let run = |seed| {
-            let mut oracle = TruthfulOracle::new(1e9);
-            estimate_count(&mut oracle, &items, 50, 1, 1.96, seed).unwrap()
+            let oracle = TruthfulOracle::new(1e9);
+            estimate_count(&oracle, &items, 50, 1, 1.96, seed).unwrap()
         };
         assert_eq!(run(3), run(3));
     }

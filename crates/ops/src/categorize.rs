@@ -8,6 +8,7 @@
 //! a threshold — so coarse consensus survives fine disagreement instead of
 //! being split by it.
 
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::label::LabelSpace;
@@ -113,7 +114,7 @@ pub struct CategoryDecision {
 /// The root always has support 1.0, so a decision always exists when at
 /// least one vote arrives.
 pub fn crowd_categorize<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     taxonomy: &Taxonomy,
     k: u32,
     threshold: f64,
@@ -135,19 +136,19 @@ where
 
     let mut node_votes = vec![0u32; taxonomy.len()];
     let mut total = 0u32;
-    for _ in 0..k.max(1) {
-        match oracle.ask_one(&task) {
-            Ok(a) => {
-                if let Some(choice) = a.value.as_choice() {
-                    let leaf = leaves[choice as usize];
-                    for n in taxonomy.path(leaf) {
-                        node_votes[n] += 1;
-                    }
-                    total += 1;
-                }
+    let out = oracle.ask(&AskRequest::new(&task).with_redundancy(k.max(1) as usize))?;
+    if let Some(e) = &out.shortfall {
+        if !e.is_resource_exhaustion() {
+            return Err(e.clone());
+        }
+    }
+    for a in &out.answers {
+        if let Some(choice) = a.value.as_choice() {
+            let leaf = leaves[choice as usize];
+            for n in taxonomy.path(leaf) {
+                node_votes[n] += 1;
             }
-            Err(e) if e.is_resource_exhaustion() => break,
-            Err(e) => return Err(e),
+            total += 1;
         }
     }
     if total == 0 {
@@ -208,30 +209,40 @@ mod tests {
     /// Oracle voting a scripted sequence of leaf-space label indices.
     struct VoteOracle {
         votes: Vec<u32>,
-        i: usize,
+        i: std::cell::Cell<usize>,
+    }
+
+    impl VoteOracle {
+        fn new(votes: Vec<u32>) -> Self {
+            Self {
+                votes,
+                i: std::cell::Cell::new(0),
+            }
+        }
     }
 
     impl CrowdOracle for VoteOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            if self.i >= self.votes.len() {
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            let i = self.i.get();
+            if i >= self.votes.len() {
                 return Err(CrowdError::BudgetExhausted {
                     requested: 1.0,
                     remaining: 0.0,
                 });
             }
-            let v = self.votes[self.i];
-            self.i += 1;
+            let v = self.votes[i];
+            self.i.set(i + 1);
             Ok(Answer::bare(
                 task.id,
-                WorkerId::new(self.i as u64),
+                WorkerId::new((i + 1) as u64),
                 AnswerValue::Choice(v),
             ))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some((self.votes.len() - self.i) as f64)
+            Some((self.votes.len() - self.i.get()) as f64)
         }
         fn answers_delivered(&self) -> u64 {
-            self.i as u64
+            self.i.get() as u64
         }
     }
 
@@ -248,11 +259,8 @@ mod tests {
     #[test]
     fn unanimous_leaf_vote_picks_the_leaf() {
         // Leaf space order: [android(2), ios(3), laptops(4)].
-        let mut oracle = VoteOracle {
-            votes: vec![0, 0, 0],
-            i: 0,
-        };
-        let d = crowd_categorize(&mut oracle, &taxonomy(), 3, 0.6, leaf_task).unwrap();
+        let oracle = VoteOracle::new(vec![0, 0, 0]);
+        let d = crowd_categorize(&oracle, &taxonomy(), 3, 0.6, leaf_task).unwrap();
         assert_eq!(d.node, 2, "android leaf");
         assert_eq!(d.support, 1.0);
     }
@@ -261,11 +269,8 @@ mod tests {
     fn split_leaves_fall_back_to_their_common_parent() {
         // 2 votes android, 2 votes ios: neither leaf clears 0.6, but
         // "phones" has support 1.0.
-        let mut oracle = VoteOracle {
-            votes: vec![0, 1, 0, 1],
-            i: 0,
-        };
-        let d = crowd_categorize(&mut oracle, &taxonomy(), 4, 0.6, leaf_task).unwrap();
+        let oracle = VoteOracle::new(vec![0, 1, 0, 1]);
+        let d = crowd_categorize(&oracle, &taxonomy(), 4, 0.6, leaf_task).unwrap();
         assert_eq!(d.node, 1, "phones");
         assert_eq!(d.support, 1.0);
     }
@@ -274,11 +279,8 @@ mod tests {
     fn cross_branch_disagreement_falls_to_root() {
         // 1 android, 1 ios, 2 laptops: laptops has 0.5 < 0.6; phones 0.5;
         // root 1.0.
-        let mut oracle = VoteOracle {
-            votes: vec![0, 1, 2, 2],
-            i: 0,
-        };
-        let d = crowd_categorize(&mut oracle, &taxonomy(), 4, 0.6, leaf_task).unwrap();
+        let oracle = VoteOracle::new(vec![0, 1, 2, 2]);
+        let d = crowd_categorize(&oracle, &taxonomy(), 4, 0.6, leaf_task).unwrap();
         assert_eq!(d.node, 0, "root");
     }
 
@@ -287,45 +289,33 @@ mod tests {
         // 1 android, 2 laptops: with threshold 0.6 laptops (2/3 ≈ 0.67)
         // wins; with threshold 0.7 nothing below the root clears.
         let votes = vec![0, 2, 2];
-        let mut oracle = VoteOracle {
-            votes: votes.clone(),
-            i: 0,
-        };
-        let d = crowd_categorize(&mut oracle, &taxonomy(), 3, 0.6, leaf_task).unwrap();
+        let oracle = VoteOracle::new(votes.clone());
+        let d = crowd_categorize(&oracle, &taxonomy(), 3, 0.6, leaf_task).unwrap();
         assert_eq!(d.node, 4, "laptops clears a 0.6 threshold with 2/3");
-        let mut oracle = VoteOracle { votes, i: 0 };
-        let d = crowd_categorize(&mut oracle, &taxonomy(), 3, 0.7, leaf_task).unwrap();
+        let oracle = VoteOracle::new(votes);
+        let d = crowd_categorize(&oracle, &taxonomy(), 3, 0.7, leaf_task).unwrap();
         assert_eq!(d.node, 0, "higher threshold falls back to the root");
     }
 
     #[test]
     fn partial_votes_still_decide() {
-        let mut oracle = VoteOracle {
-            votes: vec![0, 0],
-            i: 0,
-        };
+        let oracle = VoteOracle::new(vec![0, 0]);
         // Asks for 5 votes but only 2 exist.
-        let d = crowd_categorize(&mut oracle, &taxonomy(), 5, 0.6, leaf_task).unwrap();
+        let d = crowd_categorize(&oracle, &taxonomy(), 5, 0.6, leaf_task).unwrap();
         assert_eq!(d.votes, 2);
         assert_eq!(d.node, 2);
     }
 
     #[test]
     fn no_votes_is_an_error() {
-        let mut oracle = VoteOracle {
-            votes: vec![],
-            i: 0,
-        };
-        assert!(crowd_categorize(&mut oracle, &taxonomy(), 3, 0.6, leaf_task).is_err());
+        let oracle = VoteOracle::new(vec![]);
+        assert!(crowd_categorize(&oracle, &taxonomy(), 3, 0.6, leaf_task).is_err());
     }
 
     #[test]
     fn wrong_task_shape_is_rejected() {
-        let mut oracle = VoteOracle {
-            votes: vec![0],
-            i: 0,
-        };
-        let err = crowd_categorize(&mut oracle, &taxonomy(), 1, 0.6, |id, _| {
+        let oracle = VoteOracle::new(vec![0]);
+        let err = crowd_categorize(&oracle, &taxonomy(), 1, 0.6, |id, _| {
             Task::binary(id, "yes/no?")
         })
         .unwrap_err();

@@ -151,7 +151,7 @@ pub struct CollectOutcome {
 /// The task must be of kind `Collection`; each answer contributes a batch
 /// of items.
 pub fn crowd_collect<O>(
-    oracle: &mut O,
+    oracle: &O,
     task: &Task,
     coverage_target: f64,
     max_answers: u32,
@@ -278,17 +278,24 @@ mod tests {
     /// Oracle cycling deterministic batches from a fixed pool.
     struct PoolOracle {
         pool: Vec<String>,
-        cursor: usize,
-        delivered: u64,
+        cursor: std::cell::Cell<usize>,
+    }
+
+    impl PoolOracle {
+        fn new(pool: Vec<String>) -> Self {
+            Self {
+                pool,
+                cursor: std::cell::Cell::new(0),
+            }
+        }
     }
 
     impl CrowdOracle for PoolOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
             // Head-heavy: batch i returns items [0, i % len, (i*3) % len].
             let n = self.pool.len();
-            let i = self.cursor;
-            self.cursor += 1;
-            self.delivered += 1;
+            let i = self.cursor.get();
+            self.cursor.set(i + 1);
             let items = vec![
                 self.pool[0].clone(),
                 self.pool[i % n].clone(),
@@ -304,7 +311,7 @@ mod tests {
             None
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.cursor.get() as u64
         }
     }
 
@@ -314,12 +321,8 @@ mod tests {
 
     #[test]
     fn collect_accumulates_distinct_items_monotonically() {
-        let mut oracle = PoolOracle {
-            pool: (0..20).map(|i| format!("item{i}")).collect(),
-            cursor: 0,
-            delivered: 0,
-        };
-        let out = crowd_collect(&mut oracle, &collection_task(), 2.0, 30).unwrap();
+        let oracle = PoolOracle::new((0..20).map(|i| format!("item{i}")).collect());
+        let out = crowd_collect(&oracle, &collection_task(), 2.0, 30).unwrap();
         assert_eq!(out.questions_asked, 30, "unreachable coverage target runs to cap");
         assert!(!out.stopped_by_coverage);
         assert!(out
@@ -331,12 +334,8 @@ mod tests {
     #[test]
     fn coverage_stopping_ends_early_on_repetitive_answers() {
         // A pool of 2 items saturates almost immediately.
-        let mut oracle = PoolOracle {
-            pool: vec!["a".into(), "b".into()],
-            cursor: 0,
-            delivered: 0,
-        };
-        let out = crowd_collect(&mut oracle, &collection_task(), 0.9, 100).unwrap();
+        let oracle = PoolOracle::new(vec!["a".into(), "b".into()]);
+        let out = crowd_collect(&oracle, &collection_task(), 0.9, 100).unwrap();
         assert!(out.stopped_by_coverage);
         assert!(out.questions_asked < 100);
         assert_eq!(out.counts.distinct(), 2);
@@ -344,11 +343,7 @@ mod tests {
 
     #[test]
     fn zero_cap_is_an_error() {
-        let mut oracle = PoolOracle {
-            pool: vec!["a".into()],
-            cursor: 0,
-            delivered: 0,
-        };
-        assert!(crowd_collect(&mut oracle, &collection_task(), 0.9, 0).is_err());
+        let oracle = PoolOracle::new(vec!["a".into()]);
+        assert!(crowd_collect(&oracle, &collection_task(), 0.9, 0).is_err());
     }
 }

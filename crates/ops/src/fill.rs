@@ -5,10 +5,12 @@
 //! this restaurant" — and buy them at query time. Each missing cell
 //! becomes an open-text task; `k` answers are reconciled by normalized
 //! plurality with a confidence score, and unresolved cells (no plurality)
-//! are reported rather than guessed.
+//! are reported rather than guessed. All cells go to the platform as one
+//! batch, so independent cells share one round of crowd latency.
 
 use std::collections::HashMap;
 
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::task::{Task, TaskKind};
@@ -46,14 +48,15 @@ pub struct FillOutcome {
     pub questions_asked: usize,
 }
 
-/// Buys `k` open-text answers for each cell and reconciles by normalized
-/// plurality (trim + lowercase). A cell is `unresolved` when the top two
-/// normalized values tie or no answers arrived before exhaustion.
+/// Buys `k` open-text answers for each cell (one batched platform request
+/// covering every cell) and reconciles by normalized plurality (trim +
+/// lowercase). A cell is `unresolved` when the top two normalized values
+/// tie or no answers arrived before exhaustion.
 ///
 /// `prompt_for` renders the worker-facing question for a cell; in
 /// simulation it also attaches the latent truth.
 pub fn crowd_fill<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     cells: &[CellRef],
     k: u32,
     mut prompt_for: F,
@@ -66,44 +69,47 @@ where
         return Err(CrowdError::EmptyInput("cells"));
     }
     let mut ids = IdGen::new();
-    let mut out = FillOutcome::default();
-
-    'cells: for cell in cells {
-        let task = prompt_for(ids.next_task(), cell);
+    let tasks: Vec<Task> = cells.iter().map(|c| prompt_for(ids.next_task(), c)).collect();
+    for task in &tasks {
         debug_assert!(
             matches!(task.kind, TaskKind::Fill { .. } | TaskKind::OpenText),
             "fill tasks must accept text answers"
         );
+    }
+    let reqs: Vec<AskRequest<'_>> = tasks
+        .iter()
+        .map(|t| AskRequest::new(t).with_redundancy(k.max(1) as usize))
+        .collect();
+    let outcomes = oracle.ask_batch(&reqs)?;
+
+    let mut out = FillOutcome::default();
+    for (idx, (cell, outcome)) in cells.iter().zip(&outcomes).enumerate() {
+        if let Some(e) = &outcome.shortfall {
+            if !e.is_resource_exhaustion() {
+                return Err(e.clone());
+            }
+            if outcome.answers.is_empty() {
+                // Budget dead and nothing bought: remaining cells will not
+                // fare better.
+                for rest in &cells[idx..] {
+                    out.unresolved.push(rest.clone());
+                }
+                break;
+            }
+        }
         let mut counts: HashMap<String, u32> = HashMap::new();
         let mut first_form: HashMap<String, String> = HashMap::new();
         let mut got = 0u32;
-        for _ in 0..k.max(1) {
-            match oracle.ask_one(&task) {
-                Ok(a) => {
-                    if let Some(text) = a.value.as_text() {
-                        let norm = text.trim().to_lowercase();
-                        if norm.is_empty() {
-                            continue;
-                        }
-                        first_form.entry(norm.clone()).or_insert_with(|| text.trim().to_owned());
-                        *counts.entry(norm).or_insert(0) += 1;
-                        got += 1;
-                        out.questions_asked += 1;
-                    }
+        for a in &outcome.answers {
+            if let Some(text) = a.value.as_text() {
+                let norm = text.trim().to_lowercase();
+                if norm.is_empty() {
+                    continue;
                 }
-                Err(e) if e.is_resource_exhaustion() => {
-                    if got == 0 {
-                        out.unresolved.push(cell.clone());
-                        // Budget dead and nothing bought: remaining cells
-                        // will not fare better.
-                        for rest in &cells[cells.iter().position(|c| c == cell).unwrap() + 1..] {
-                            out.unresolved.push(rest.clone());
-                        }
-                        break 'cells;
-                    }
-                    break;
-                }
-                Err(e) => return Err(e),
+                first_form.entry(norm.clone()).or_insert_with(|| text.trim().to_owned());
+                *counts.entry(norm).or_insert(0) += 1;
+                got += 1;
+                out.questions_asked += 1;
             }
         }
 
@@ -134,11 +140,7 @@ where
         }
     }
 
-    Ok(FillOutcome {
-        filled: out.filled,
-        unresolved: out.unresolved,
-        questions_asked: out.questions_asked,
-    })
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -147,6 +149,7 @@ mod tests {
     use crowdkit_core::answer::{Answer, AnswerValue};
     use crowdkit_core::budget::Budget;
     use crowdkit_core::ids::WorkerId;
+    use std::cell::{Cell, RefCell};
 
     fn cell(row: &str, attr: &str) -> CellRef {
         CellRef {
@@ -169,29 +172,33 @@ mod tests {
     /// Oracle answering fill tasks with their truth, with optional per-call
     /// scripted overrides.
     struct ScriptedOracle {
-        budget: Budget,
+        budget: RefCell<Budget>,
         script: Vec<Option<String>>, // per-call override; None = truth
-        call: usize,
-        delivered: u64,
+        call: Cell<usize>,
+        delivered: Cell<u64>,
     }
 
     impl ScriptedOracle {
         fn truthful(limit: f64) -> Self {
+            Self::scripted(limit, Vec::new())
+        }
+
+        fn scripted(limit: f64, script: Vec<Option<String>>) -> Self {
             Self {
-                budget: Budget::new(limit),
-                script: Vec::new(),
-                call: 0,
-                delivered: 0,
+                budget: RefCell::new(Budget::new(limit)),
+                script,
+                call: Cell::new(0),
+                delivered: Cell::new(0),
             }
         }
     }
 
     impl CrowdOracle for ScriptedOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.budget.debit(1.0)?;
-            let i = self.call;
-            self.call += 1;
-            self.delivered += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.budget.borrow_mut().debit(1.0)?;
+            let i = self.call.get();
+            self.call.set(i + 1);
+            self.delivered.set(self.delivered.get() + 1);
             let value = match self.script.get(i).cloned().flatten() {
                 Some(text) => AnswerValue::Text(text),
                 None => task.truth.clone().unwrap(),
@@ -199,18 +206,18 @@ mod tests {
             Ok(Answer::bare(task.id, WorkerId::new(i as u64), value))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some(self.budget.remaining())
+            Some(self.budget.borrow().remaining())
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
     #[test]
     fn unanimous_answers_fill_with_full_support() {
         let cells = vec![cell("france", "capital"), cell("japan", "capital")];
-        let mut oracle = ScriptedOracle::truthful(1e9);
-        let out = crowd_fill(&mut oracle, &cells, 3, |id, c| {
+        let oracle = ScriptedOracle::truthful(1e9);
+        let out = crowd_fill(&oracle, &cells, 3, |id, c| {
             fill_task(id, c, if c.row == "france" { "Paris" } else { "Tokyo" })
         })
         .unwrap();
@@ -224,17 +231,15 @@ mod tests {
     #[test]
     fn plurality_wins_over_noise_and_case() {
         let cells = vec![cell("france", "capital")];
-        let mut oracle = ScriptedOracle {
-            budget: Budget::new(1e9),
-            script: vec![
+        let oracle = ScriptedOracle::scripted(
+            1e9,
+            vec![
                 Some("  PARIS ".into()),
                 Some("paris".into()),
                 Some("Lyon".into()),
             ],
-            call: 0,
-            delivered: 0,
-        };
-        let out = crowd_fill(&mut oracle, &cells, 3, |id, c| fill_task(id, c, "Paris")).unwrap();
+        );
+        let out = crowd_fill(&oracle, &cells, 3, |id, c| fill_task(id, c, "Paris")).unwrap();
         let f = &out.filled[&cells[0]];
         assert_eq!(f.value, "PARIS", "first seen surface form of the winner");
         assert!((f.support - 2.0 / 3.0).abs() < 1e-12);
@@ -243,13 +248,8 @@ mod tests {
     #[test]
     fn ties_are_unresolved_not_guessed() {
         let cells = vec![cell("x", "y")];
-        let mut oracle = ScriptedOracle {
-            budget: Budget::new(1e9),
-            script: vec![Some("a".into()), Some("b".into())],
-            call: 0,
-            delivered: 0,
-        };
-        let out = crowd_fill(&mut oracle, &cells, 2, |id, c| fill_task(id, c, "a")).unwrap();
+        let oracle = ScriptedOracle::scripted(1e9, vec![Some("a".into()), Some("b".into())]);
+        let out = crowd_fill(&oracle, &cells, 2, |id, c| fill_task(id, c, "a")).unwrap();
         assert!(out.filled.is_empty());
         assert_eq!(out.unresolved, cells);
     }
@@ -257,8 +257,8 @@ mod tests {
     #[test]
     fn budget_death_marks_remaining_cells_unresolved() {
         let cells = vec![cell("a", "x"), cell("b", "x"), cell("c", "x")];
-        let mut oracle = ScriptedOracle::truthful(4.0);
-        let out = crowd_fill(&mut oracle, &cells, 3, |id, c| fill_task(id, c, "v")).unwrap();
+        let oracle = ScriptedOracle::truthful(4.0);
+        let out = crowd_fill(&oracle, &cells, 3, |id, c| fill_task(id, c, "v")).unwrap();
         // Cell a: 3 answers. Cell b: 1 answer (then exhausted, still
         // reconciles from the single answer). Cell c: unresolved.
         assert!(out.filled.contains_key(&cells[0]));
@@ -269,7 +269,7 @@ mod tests {
 
     #[test]
     fn empty_cell_list_is_an_error() {
-        let mut oracle = ScriptedOracle::truthful(10.0);
-        assert!(crowd_fill(&mut oracle, &[], 3, |id, c| fill_task(id, c, "v")).is_err());
+        let oracle = ScriptedOracle::truthful(10.0);
+        assert!(crowd_fill(&oracle, &[], 3, |id, c| fill_task(id, c, "v")).is_err());
     }
 }

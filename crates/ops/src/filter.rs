@@ -6,7 +6,13 @@
 //! positive. The stopping rule is the cost/accuracy dial: fixed-k spends
 //! uniformly, margin and SPRT rules bail out of easy items early
 //! (CrowdScreen-style) and spend the savings on contested ones.
+//!
+//! Votes are purchased in *waves*: each round sends one batched request
+//! covering every undecided item through [`CrowdOracle::ask_batch`], so a
+//! platform that overlaps assignments (like the simulator) pays one round
+//! of latency per wave instead of one per vote.
 
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::{CrowdOracle, StoppingRule};
@@ -46,14 +52,15 @@ impl FilterOutcome {
 
 /// Filters `items` (binary tasks: label 1 = keep) against the crowd.
 ///
-/// Votes are purchased in waves across all undecided items so early
-/// stopping redistributes budget. Collection halts per item when `rule`
-/// fires (or `max_answers` is hit) and entirely when the oracle's
-/// budget/pool is exhausted.
+/// Votes are purchased in batched waves across all undecided items so
+/// early stopping redistributes budget and independent items share one
+/// round of crowd latency. Collection halts per item when `rule` fires (or
+/// `max_answers` is hit) and entirely when the oracle's budget/pool is
+/// exhausted.
 ///
 /// Items must be binary single-choice tasks.
 pub fn crowd_filter<O, R>(
-    oracle: &mut O,
+    oracle: &O,
     items: &[Task],
     rule: &R,
     max_answers: u32,
@@ -74,24 +81,24 @@ where
     let mut asked = 0usize;
 
     while !open.is_empty() {
+        let reqs: Vec<AskRequest<'_>> = open.iter().map(|&i| AskRequest::new(&items[i])).collect();
+        let outcomes = oracle.ask_batch(&reqs)?;
         let mut next_open = Vec::with_capacity(open.len());
         let mut exhausted = false;
-        for &i in &open {
-            match oracle.ask_one(&items[i]) {
-                Ok(a) => {
-                    if let Some(l) = a.value.as_choice() {
-                        votes[i][(l == 1) as usize] += 1;
-                        asked += 1;
-                    }
-                    if !rule.should_stop(&votes[i], max_answers) {
-                        next_open.push(i);
-                    }
+        for (&i, out) in open.iter().zip(&outcomes) {
+            for a in &out.answers {
+                if let Some(l) = a.value.as_choice() {
+                    votes[i][(l == 1) as usize] += 1;
+                    asked += 1;
                 }
-                Err(e) if e.is_resource_exhaustion() => {
-                    exhausted = true;
-                    break;
-                }
-                Err(e) => return Err(e),
+            }
+            match &out.shortfall {
+                Some(e) if e.is_resource_exhaustion() => exhausted = true,
+                Some(e) => return Err(e.clone()),
+                None => {}
+            }
+            if !rule.should_stop(&votes[i], max_answers) {
+                next_open.push(i);
             }
         }
         if exhausted {
@@ -128,37 +135,38 @@ mod tests {
     use crowdkit_core::budget::Budget;
     use crowdkit_core::ids::{TaskId, WorkerId};
     use crowdkit_truth::sequential::{FixedK, MajorityMargin};
+    use std::cell::{Cell, RefCell};
 
     /// Oracle answering the task truth, optionally budget-capped.
     struct TruthfulOracle {
-        budget: Budget,
-        next_worker: u64,
-        delivered: u64,
+        budget: RefCell<Budget>,
+        next_worker: Cell<u64>,
+        delivered: Cell<u64>,
     }
 
     impl TruthfulOracle {
         fn new(limit: f64) -> Self {
             Self {
-                budget: Budget::new(limit),
-                next_worker: 0,
-                delivered: 0,
+                budget: RefCell::new(Budget::new(limit)),
+                next_worker: Cell::new(0),
+                delivered: Cell::new(0),
             }
         }
     }
 
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.budget.debit(1.0)?;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
-            self.delivered += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.budget.borrow_mut().debit(1.0)?;
+            let w = WorkerId::new(self.next_worker.get());
+            self.next_worker.set(self.next_worker.get() + 1);
+            self.delivered.set(self.delivered.get() + 1);
             Ok(Answer::bare(task.id, w, task.truth.clone().unwrap()))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some(self.budget.remaining())
+            Some(self.budget.borrow().remaining())
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
@@ -176,8 +184,8 @@ mod tests {
     #[test]
     fn fixed_k_keeps_positive_items() {
         let ts = items(&[true, false, true]);
-        let mut oracle = TruthfulOracle::new(1e9);
-        let out = crowd_filter(&mut oracle, &ts, &FixedK { k: 3 }, 3).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let out = crowd_filter(&oracle, &ts, &FixedK { k: 3 }, 3).unwrap();
         assert_eq!(out.kept_indices(), vec![0, 2]);
         assert_eq!(out.questions_asked, 9);
         let d = out.decisions[0].unwrap();
@@ -187,8 +195,8 @@ mod tests {
     #[test]
     fn margin_rule_stops_after_two_unanimous_votes() {
         let ts = items(&[true; 5]);
-        let mut oracle = TruthfulOracle::new(1e9);
-        let out = crowd_filter(&mut oracle, &ts, &MajorityMargin { margin: 2 }, 9).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let out = crowd_filter(&oracle, &ts, &MajorityMargin { margin: 2 }, 9).unwrap();
         assert_eq!(out.questions_asked, 10, "2 votes × 5 items");
         assert_eq!(out.kept_indices().len(), 5);
     }
@@ -196,8 +204,8 @@ mod tests {
     #[test]
     fn budget_exhaustion_leaves_undecided_items() {
         let ts = items(&[true; 4]);
-        let mut oracle = TruthfulOracle::new(2.0);
-        let out = crowd_filter(&mut oracle, &ts, &FixedK { k: 3 }, 3).unwrap();
+        let oracle = TruthfulOracle::new(2.0);
+        let out = crowd_filter(&oracle, &ts, &FixedK { k: 3 }, 3).unwrap();
         assert_eq!(out.questions_asked, 2);
         let undecided = out.decisions.iter().filter(|d| d.is_none()).count();
         assert_eq!(undecided, 2);
@@ -207,8 +215,8 @@ mod tests {
     fn rejects_non_binary_tasks() {
         let t = vec![Task::multiclass(TaskId::new(0), 3, "which?")
             .with_truth(AnswerValue::Choice(0))];
-        let mut oracle = TruthfulOracle::new(10.0);
-        let err = crowd_filter(&mut oracle, &t, &FixedK { k: 1 }, 1).unwrap_err();
+        let oracle = TruthfulOracle::new(10.0);
+        let err = crowd_filter(&oracle, &t, &FixedK { k: 1 }, 1).unwrap_err();
         assert!(matches!(err, CrowdError::Unsupported(_)));
     }
 
@@ -217,27 +225,28 @@ mod tests {
         // Manually construct a decision tie via max_answers = 2 and an
         // oracle that alternates answers.
         struct Alternating {
-            n: u64,
+            n: Cell<u64>,
         }
         impl CrowdOracle for Alternating {
-            fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-                self.n += 1;
+            fn ask_one(&self, task: &Task) -> Result<Answer> {
+                let n = self.n.get() + 1;
+                self.n.set(n);
                 Ok(Answer::bare(
                     task.id,
-                    WorkerId::new(self.n),
-                    AnswerValue::Choice((self.n % 2) as u32),
+                    WorkerId::new(n),
+                    AnswerValue::Choice((n % 2) as u32),
                 ))
             }
             fn remaining_budget(&self) -> Option<f64> {
                 None
             }
             fn answers_delivered(&self) -> u64 {
-                self.n
+                self.n.get()
             }
         }
         let ts = items(&[true]);
-        let mut oracle = Alternating { n: 0 };
-        let out = crowd_filter(&mut oracle, &ts, &FixedK { k: 2 }, 2).unwrap();
+        let oracle = Alternating { n: Cell::new(0) };
+        let out = crowd_filter(&oracle, &ts, &FixedK { k: 2 }, 2).unwrap();
         let d = out.decisions[0].unwrap();
         assert_eq!((d.no_votes, d.yes_votes), (1, 1));
         assert!(!d.keep, "ties are conservative: do not keep");

@@ -1,5 +1,8 @@
 //! Crowd verification of candidate pairs with transitivity deduction.
 
+use std::collections::HashSet;
+
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::task::Task;
@@ -68,11 +71,20 @@ pub struct JoinOutcome {
 /// Resolves entities among `n_records` records by crowd-verifying
 /// `candidates`.
 ///
+/// Verification is batched in *waves*: each wave takes, in ask order, every
+/// pair that is not yet deducible and whose two current clusters are
+/// untouched by earlier pairs of the same wave, and submits them as one
+/// platform batch. Cluster-disjointness makes the wave's verdicts mutually
+/// independent, so batching preserves the exact transitivity-deduction
+/// semantics of asking one pair at a time — while independent pairs
+/// overlap in crowd latency. (With transitivity off, all pairs form one
+/// wave.)
+///
 /// `make_task` builds the binary verification task for a record pair
 /// (label 1 = "same entity"); in simulation it attaches the latent truth,
 /// against a live platform it would render the two records side by side.
 pub fn crowd_join<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     n_records: usize,
     candidates: &[CandidatePair],
     mut make_task: F,
@@ -107,52 +119,85 @@ where
     let mut questions = 0usize;
     let mut contradictions = 0usize;
 
-    'pairs: for &idx in &order {
-        let CandidatePair { a, b, .. } = candidates[idx];
-        if config.use_transitivity {
-            if clustering.known_same(a, b) {
-                deduced_same += 1;
-                continue;
+    let mut pending = order;
+    'waves: while !pending.is_empty() {
+        // Select the next wave: skip deducible pairs, defer pairs whose
+        // clusters were already touched this wave (their answer could
+        // become deducible from a verdict in flight).
+        let mut wave: Vec<usize> = Vec::new();
+        let mut touched: HashSet<usize> = HashSet::new();
+        let mut deferred: Vec<usize> = Vec::new();
+        for &idx in &pending {
+            let CandidatePair { a, b, .. } = candidates[idx];
+            if config.use_transitivity {
+                if clustering.known_same(a, b) {
+                    deduced_same += 1;
+                    continue;
+                }
+                if clustering.known_different(a, b) {
+                    deduced_different += 1;
+                    continue;
+                }
+                let (ra, rb) = (clustering.find(a), clustering.find(b));
+                if touched.contains(&ra) || touched.contains(&rb) {
+                    deferred.push(idx);
+                    continue;
+                }
+                touched.insert(ra);
+                touched.insert(rb);
             }
-            if clustering.known_different(a, b) {
-                deduced_different += 1;
-                continue;
-            }
+            wave.push(idx);
+        }
+        if wave.is_empty() {
+            break;
         }
 
-        // Put the pair to the crowd.
-        let task = make_task(ids.next_task(), a, b);
-        let mut yes = 0u32;
-        let mut no = 0u32;
-        for _ in 0..config.votes_per_pair.max(1) {
-            match oracle.ask_one(&task) {
-                Ok(answer) => {
-                    questions += 1;
-                    match answer.value.as_choice() {
-                        Some(1) => yes += 1,
-                        _ => no += 1,
-                    }
+        let tasks: Vec<Task> = wave
+            .iter()
+            .map(|&idx| {
+                let CandidatePair { a, b, .. } = candidates[idx];
+                make_task(ids.next_task(), a, b)
+            })
+            .collect();
+        let reqs: Vec<AskRequest<'_>> = tasks
+            .iter()
+            .map(|t| AskRequest::new(t).with_redundancy(config.votes_per_pair.max(1) as usize))
+            .collect();
+        let outcomes = oracle.ask_batch(&reqs)?;
+
+        for (&idx, out) in wave.iter().zip(&outcomes) {
+            if let Some(e) = &out.shortfall {
+                if !e.is_resource_exhaustion() {
+                    return Err(e.clone());
                 }
-                Err(e) if e.is_resource_exhaustion() => {
-                    if yes + no == 0 {
-                        break 'pairs; // nothing bought for this pair; stop
-                    }
-                    break; // decide from the partial votes we have
+            }
+            if out.answers.is_empty() {
+                // Nothing bought for this pair: the budget is dead; stop.
+                break 'waves;
+            }
+            let mut yes = 0u32;
+            let mut no = 0u32;
+            for answer in &out.answers {
+                questions += 1;
+                match answer.value.as_choice() {
+                    Some(1) => yes += 1,
+                    _ => no += 1,
                 }
-                Err(e) => return Err(e),
+            }
+            pairs_asked += 1;
+
+            let CandidatePair { a, b, .. } = candidates[idx];
+            let verdict_same = yes > no;
+            let applied = if verdict_same {
+                clustering.record_same(a, b)
+            } else {
+                clustering.record_different(a, b)
+            };
+            if !applied {
+                contradictions += 1;
             }
         }
-        pairs_asked += 1;
-
-        let verdict_same = yes > no;
-        let applied = if verdict_same {
-            clustering.record_same(a, b)
-        } else {
-            clustering.record_different(a, b)
-        };
-        if !applied {
-            contradictions += 1;
-        }
+        pending = deferred;
     }
 
     Ok(JoinOutcome {
@@ -172,37 +217,38 @@ mod tests {
     use crowdkit_core::budget::Budget;
     use crowdkit_core::error::CrowdError;
     use crowdkit_core::ids::WorkerId;
+    use std::cell::{Cell, RefCell};
 
     /// Oracle answering each pair task with its attached truth.
     struct TruthfulOracle {
-        budget: Budget,
-        next_worker: u64,
-        delivered: u64,
+        budget: RefCell<Budget>,
+        next_worker: Cell<u64>,
+        delivered: Cell<u64>,
     }
 
     impl TruthfulOracle {
         fn new(limit: f64) -> Self {
             Self {
-                budget: Budget::new(limit),
-                next_worker: 0,
-                delivered: 0,
+                budget: RefCell::new(Budget::new(limit)),
+                next_worker: Cell::new(0),
+                delivered: Cell::new(0),
             }
         }
     }
 
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.budget.debit(1.0)?;
-            self.delivered += 1;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.budget.borrow_mut().debit(1.0)?;
+            self.delivered.set(self.delivered.get() + 1);
+            let w = WorkerId::new(self.next_worker.get());
+            self.next_worker.set(self.next_worker.get() + 1);
             Ok(Answer::bare(task.id, w, task.truth.clone().unwrap()))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some(self.budget.remaining())
+            Some(self.budget.borrow().remaining())
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
@@ -250,9 +296,9 @@ mod tests {
 
     #[test]
     fn clusters_match_ground_truth_with_truthful_crowd() {
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let out = crowd_join(
-            &mut oracle,
+            &oracle,
             5,
             &all_pairs(),
             make_task_factory(),
@@ -269,9 +315,9 @@ mod tests {
     #[test]
     fn transitivity_reduces_pairs_asked() {
         let run = |use_transitivity: bool| -> JoinOutcome {
-            let mut oracle = TruthfulOracle::new(1e9);
+            let oracle = TruthfulOracle::new(1e9);
             crowd_join(
-                &mut oracle,
+                &oracle,
                 5,
                 &all_pairs(),
                 make_task_factory(),
@@ -303,9 +349,9 @@ mod tests {
         // come first: 0-1, 0-2 asked, 1-2 deduced, 3-4 asked. Then one
         // cross pair fixes cluster-vs-cluster, and the remaining 5 cross
         // pairs are all deduced negative.
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let out = crowd_join(
-            &mut oracle,
+            &oracle,
             5,
             &all_pairs(),
             make_task_factory(),
@@ -323,9 +369,9 @@ mod tests {
 
     #[test]
     fn votes_per_pair_multiplies_cost() {
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let out = crowd_join(
-            &mut oracle,
+            &oracle,
             5,
             &pairs(&[(0, 1), (3, 4)]),
             make_task_factory(),
@@ -342,9 +388,9 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_stops_gracefully() {
-        let mut oracle = TruthfulOracle::new(3.0);
+        let oracle = TruthfulOracle::new(3.0);
         let out = crowd_join(
-            &mut oracle,
+            &oracle,
             5,
             &all_pairs(),
             make_task_factory(),
@@ -364,30 +410,31 @@ mod tests {
     fn lying_crowd_on_one_pair_yields_contradiction_bookkeeping() {
         // Oracle answers truth except for pair (0,2), where it lies "no".
         struct LyingOracle {
-            n: u64,
+            n: Cell<u64>,
         }
         impl CrowdOracle for LyingOracle {
-            fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-                self.n += 1;
+            fn ask_one(&self, task: &Task) -> Result<Answer> {
+                let n = self.n.get() + 1;
+                self.n.set(n);
                 let lie = task.prompt.contains("0 vs 2");
                 let truth = task.truth.clone().unwrap();
                 let value = if lie { AnswerValue::Choice(0) } else { truth };
-                Ok(Answer::bare(task.id, WorkerId::new(self.n), value))
+                Ok(Answer::bare(task.id, WorkerId::new(n), value))
             }
             fn remaining_budget(&self) -> Option<f64> {
                 None
             }
             fn answers_delivered(&self) -> u64 {
-                self.n
+                self.n.get()
             }
         }
         // Input order chosen so 0-1 and 1-2 merge first; the lying answer
         // on 0-2 then contradicts positive transitivity. Transitivity off
         // so the pair actually gets asked.
         let cand = pairs(&[(0, 1), (1, 2), (0, 2)]);
-        let mut oracle = LyingOracle { n: 0 };
+        let oracle = LyingOracle { n: Cell::new(0) };
         let out = crowd_join(
-            &mut oracle,
+            &oracle,
             3,
             &cand,
             make_task_factory(),
@@ -407,7 +454,7 @@ mod tests {
     fn propagates_non_resource_errors() {
         struct BrokenOracle;
         impl CrowdOracle for BrokenOracle {
-            fn ask_one(&mut self, _: &Task) -> Result<Answer> {
+            fn ask_one(&self, _: &Task) -> Result<Answer> {
                 Err(CrowdError::Execution("wire fault".into()))
             }
             fn remaining_budget(&self) -> Option<f64> {
@@ -417,9 +464,9 @@ mod tests {
                 0
             }
         }
-        let mut oracle = BrokenOracle;
+        let oracle = BrokenOracle;
         let err = crowd_join(
-            &mut oracle,
+            &oracle,
             3,
             &pairs(&[(0, 1)]),
             make_task_factory(),

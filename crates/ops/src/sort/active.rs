@@ -12,6 +12,7 @@
 use std::collections::HashMap;
 
 use crowdkit_core::answer::Preference;
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::task::Task;
@@ -43,10 +44,13 @@ impl Default for ActiveConfig {
 /// questions) using score-gap-driven selection, and returns the resulting
 /// comparison graph.
 ///
-/// Ties in the gap are broken by comparison count (least compared first),
-/// then pair order, so runs are deterministic.
+/// Selection is adaptive *between* rounds; the pairs chosen within one
+/// round are independent and go to the platform as a single batch, so each
+/// round costs one round of crowd latency. Ties in the gap are broken by
+/// comparison count (least compared first), then pair order, so runs are
+/// deterministic.
 pub fn active_comparisons<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     n: usize,
     budget: usize,
     config: ActiveConfig,
@@ -62,7 +66,7 @@ where
     let mut compared: HashMap<(usize, usize), u32> = HashMap::new();
     let mut remaining = budget;
 
-    'outer: while remaining > 0 {
+    while remaining > 0 {
         // Refresh strengths from everything bought so far. The first round
         // has no data: scores are all equal and selection degenerates to
         // least-compared order, i.e. a covering pass.
@@ -87,24 +91,70 @@ where
                 .then_with(|| (x.2, x.3).cmp(&(y.2, y.3)))
         });
 
-        for &(_, _, a, b) in candidates.iter().take(config.round_size) {
-            if remaining == 0 {
-                break 'outer;
+        // Greedily fill the round, bounding how often one item may appear
+        // in it. Without the bound, the all-ties first round would pick
+        // (0,1), (0,2), … — every pair sharing item 0 — and sparse budgets
+        // would never cover the item space. The bound also keeps the
+        // round's pairs spread across items, which is what lets them run
+        // as one parallel batch of independent questions.
+        let round_len = config.round_size.min(remaining);
+        let cap = ((2 * round_len).div_ceil(n.max(1))).max(1) as u32;
+        let mut used = vec![0u32; n];
+        let mut selected: Vec<(usize, usize)> = Vec::with_capacity(round_len);
+        for &(_, _, a, b) in &candidates {
+            if selected.len() >= round_len {
+                break;
             }
-            remaining -= 1;
-            *compared.entry((a, b)).or_insert(0) += 1;
-            let task = make_task(ids.next_task(), a, b);
-            for _ in 0..config.votes.max(1) {
-                match oracle.ask_one(&task) {
-                    Ok(answer) => match answer.value.as_preference() {
-                        Some(Preference::Left) => graph.record(a, b),
-                        Some(Preference::Right) => graph.record(b, a),
-                        None => {}
-                    },
-                    Err(e) if e.is_resource_exhaustion() => break 'outer,
-                    Err(e) => return Err(e),
+            if used[a] < cap && used[b] < cap {
+                used[a] += 1;
+                used[b] += 1;
+                selected.push((a, b));
+            }
+        }
+        // If the degree bound left slots open (small n, large rounds),
+        // fill them in plain candidate order.
+        if selected.len() < round_len {
+            for &(_, _, a, b) in &candidates {
+                if selected.len() >= round_len {
+                    break;
+                }
+                if !selected.contains(&(a, b)) {
+                    selected.push((a, b));
                 }
             }
+        }
+        if selected.is_empty() {
+            break;
+        }
+        remaining -= selected.len();
+        let tasks: Vec<Task> = selected
+            .iter()
+            .map(|&(a, b)| {
+                *compared.entry((a, b)).or_insert(0) += 1;
+                make_task(ids.next_task(), a, b)
+            })
+            .collect();
+        let reqs: Vec<AskRequest<'_>> = tasks
+            .iter()
+            .map(|t| AskRequest::new(t).with_redundancy(config.votes.max(1) as usize))
+            .collect();
+        let mut exhausted = false;
+        for (&(a, b), out) in selected.iter().zip(oracle.ask_batch(&reqs)?.iter()) {
+            match &out.shortfall {
+                Some(e) if e.is_resource_exhaustion() => exhausted = true,
+                Some(e) => return Err(e.clone()),
+                None => {}
+            }
+            for answer in &out.answers {
+                match answer.value.as_preference() {
+                    Some(Preference::Left) => graph.record(a, b),
+                    Some(Preference::Right) => graph.record(b, a),
+                    None => {}
+                }
+            }
+        }
+        if exhausted {
+            break;
         }
     }
     Ok(graph)
@@ -120,14 +170,23 @@ mod tests {
     /// Oracle where item index = latent strength, with deterministic
     /// pseudo-noise flipping ~15 % of verdicts.
     struct NoisyOracle {
-        calls: u64,
+        calls: std::cell::Cell<u64>,
+    }
+
+    impl NoisyOracle {
+        fn new() -> Self {
+            Self {
+                calls: std::cell::Cell::new(0),
+            }
+        }
     }
 
     impl CrowdOracle for NoisyOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<crowdkit_core::answer::Answer> {
-            self.calls += 1;
+        fn ask_one(&self, task: &Task) -> Result<crowdkit_core::answer::Answer> {
+            let calls = self.calls.get() + 1;
+            self.calls.set(calls);
             let truth = task.truth.clone().unwrap();
-            let flip = self.calls.is_multiple_of(7); // ~14 % deterministic noise
+            let flip = calls.is_multiple_of(7); // ~14 % deterministic noise
             let value = match truth {
                 AnswerValue::Prefer(p) => {
                     AnswerValue::Prefer(if flip { p.flip() } else { p })
@@ -136,7 +195,7 @@ mod tests {
             };
             Ok(crowdkit_core::answer::Answer::bare(
                 task.id,
-                WorkerId::new(self.calls),
+                WorkerId::new(calls),
                 value,
             ))
         }
@@ -144,7 +203,7 @@ mod tests {
             None
         }
         fn answers_delivered(&self) -> u64 {
-            self.calls
+            self.calls.get()
         }
     }
 
@@ -156,9 +215,9 @@ mod tests {
 
     #[test]
     fn first_round_covers_uncompared_pairs() {
-        let mut oracle = NoisyOracle { calls: 0 };
+        let oracle = NoisyOracle::new();
         let g = active_comparisons(
-            &mut oracle,
+            &oracle,
             10,
             45,
             ActiveConfig {
@@ -176,9 +235,9 @@ mod tests {
 
     #[test]
     fn budget_is_respected_in_crowd_questions() {
-        let mut oracle = NoisyOracle { calls: 0 };
+        let oracle = NoisyOracle::new();
         let g = active_comparisons(
-            &mut oracle,
+            &oracle,
             8,
             20,
             ActiveConfig {
@@ -194,8 +253,8 @@ mod tests {
 
     #[test]
     fn active_ranking_recovers_order_with_noise() {
-        let mut oracle = NoisyOracle { calls: 0 };
-        let g = active_comparisons(&mut oracle, 12, 150, ActiveConfig::default(), make_task)
+        let oracle = NoisyOracle::new();
+        let g = active_comparisons(&oracle, 12, 150, ActiveConfig::default(), make_task)
             .unwrap();
         let scores = bradley_terry(&g, 200, 1e-9);
         let order = order_by_scores(&scores);
@@ -212,11 +271,11 @@ mod tests {
     fn revisits_concentrate_on_close_pairs() {
         // After covering all pairs once, extra budget should go to pairs of
         // adjacent (hard) items, not to 0-vs-11 (easy).
-        let mut oracle = NoisyOracle { calls: 0 };
+        let oracle = NoisyOracle::new();
         let n = 8;
         let full = n * (n - 1) / 2; // 28
         let g = active_comparisons(
-            &mut oracle,
+            &oracle,
             n,
             full + 14,
             ActiveConfig {
@@ -247,7 +306,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least two items")]
     fn rejects_single_item() {
-        let mut oracle = NoisyOracle { calls: 0 };
-        let _ = active_comparisons(&mut oracle, 1, 5, ActiveConfig::default(), make_task);
+        let oracle = NoisyOracle::new();
+        let _ = active_comparisons(&oracle, 1, 5, ActiveConfig::default(), make_task);
     }
 }

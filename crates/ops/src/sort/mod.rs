@@ -21,6 +21,7 @@ pub mod tournament;
 use std::collections::HashMap;
 
 use crowdkit_core::answer::Preference;
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::task::Task;
@@ -122,11 +123,13 @@ pub fn sample_pairs(n: usize, budget: usize, seed: u64) -> Vec<(usize, usize)> {
 /// Buys `votes` crowd comparisons for each pair in `pairs` and accumulates
 /// them into a [`ComparisonGraph`].
 ///
-/// `make_task` builds the pairwise task for `(a, b)`; an answer of
-/// [`Preference::Left`] means `a` won. Stops early (returning the partial
-/// graph) when the oracle's budget or pool is exhausted.
+/// All pairs go to the platform as one batched request (each with
+/// redundancy `votes`), so independent comparisons overlap in crowd
+/// latency. `make_task` builds the pairwise task for `(a, b)`; an answer
+/// of [`Preference::Left`] means `a` won. Stops early (returning the
+/// partial graph) when the oracle's budget or pool is exhausted.
 pub fn collect_comparisons<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     n: usize,
     pairs: &[(usize, usize)],
     votes: u32,
@@ -138,20 +141,26 @@ where
 {
     let mut graph = ComparisonGraph::new(n);
     let mut ids = IdGen::new();
-    'outer: for &(a, b) in pairs {
-        let task = make_task(ids.next_task(), a, b);
-        for _ in 0..votes.max(1) {
-            match oracle.ask_one(&task) {
-                Ok(answer) => {
-                    if let Some(pref) = answer.value.as_preference() {
-                        match pref {
-                            Preference::Left => graph.record(a, b),
-                            Preference::Right => graph.record(b, a),
-                        }
-                    }
+    let tasks: Vec<Task> = pairs
+        .iter()
+        .map(|&(a, b)| make_task(ids.next_task(), a, b))
+        .collect();
+    let reqs: Vec<AskRequest<'_>> = tasks
+        .iter()
+        .map(|t| AskRequest::new(t).with_redundancy(votes.max(1) as usize))
+        .collect();
+    for (&(a, b), outcome) in pairs.iter().zip(oracle.ask_batch(&reqs)?.iter()) {
+        if let Some(e) = &outcome.shortfall {
+            if !e.is_resource_exhaustion() {
+                return Err(e.clone());
+            }
+        }
+        for answer in &outcome.answers {
+            if let Some(pref) = answer.value.as_preference() {
+                match pref {
+                    Preference::Left => graph.record(a, b),
+                    Preference::Right => graph.record(b, a),
                 }
-                Err(e) if e.is_resource_exhaustion() => break 'outer,
-                Err(e) => return Err(e),
             }
         }
     }

@@ -6,9 +6,12 @@
 //! `O(n + k log n)` matches — the crowd-max strategy of the Qurk/"crowd
 //! max" line of work. Each match takes `votes` crowd judgements and is
 //! decided by majority, so per-match noise can be suppressed independently
-//! of bracket depth.
+//! of bracket depth. All matches of a bracket round are independent, so
+//! they are submitted as one batch and overlap in crowd latency: a round
+//! costs one round-trip, not one per match.
 
 use crowdkit_core::answer::Preference;
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::task::Task;
@@ -26,53 +29,12 @@ pub struct TournamentOutcome {
     pub questions_asked: usize,
 }
 
-/// Plays one match between `a` and `b`: `votes` judgements, majority wins
-/// (ties → the lower index, deterministic). Returns `(winner, answers)` or
-/// `None` if the oracle exhausted before any answer arrived.
-fn play_match<O, F>(
-    oracle: &mut O,
-    ids: &mut IdGen,
-    a: usize,
-    b: usize,
-    votes: u32,
-    make_task: &mut F,
-) -> Result<Option<(usize, usize)>>
-where
-    O: CrowdOracle + ?Sized,
-    F: FnMut(TaskId, usize, usize) -> Task,
-{
-    let task = make_task(ids.next_task(), a, b);
-    let mut left = 0u32;
-    let mut right = 0u32;
-    let mut bought = 0usize;
-    for _ in 0..votes.max(1) {
-        match oracle.ask_one(&task) {
-            Ok(answer) => {
-                bought += 1;
-                match answer.value.as_preference() {
-                    Some(Preference::Left) => left += 1,
-                    Some(Preference::Right) => right += 1,
-                    None => {}
-                }
-            }
-            Err(e) if e.is_resource_exhaustion() => break,
-            Err(e) => return Err(e),
-        }
-    }
-    if bought == 0 {
-        return Ok(None);
-    }
-    // Ties favour `a` (the left bracket slot) for determinism.
-    let winner = if right > left { b } else { a };
-    Ok(Some((winner, bought)))
-}
-
 /// Single-elimination max over `items` (indices `0..n`).
 ///
 /// Returns the champion plus cost accounting. If the budget dies mid-way,
 /// the current bracket leader is returned (best effort).
 pub fn crowd_max<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     n: usize,
     votes: u32,
     mut make_task: F,
@@ -95,7 +57,7 @@ where
 
 /// Top-k by repeated brackets: find the max, remove it, repeat.
 pub fn crowd_top_k<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     n: usize,
     k: usize,
     votes: u32,
@@ -137,10 +99,13 @@ where
     })
 }
 
-/// Runs one single-elimination bracket; returns (champion, matches,
-/// questions).
+/// Runs one single-elimination bracket, batching each round's matches into
+/// a single platform request; returns (champion, matches, questions).
+///
+/// A match whose outcome delivered no answers (budget dead) is a walkover
+/// for the left slot, deterministically. Ties also favour the left slot.
 fn run_bracket<O, F>(
-    oracle: &mut O,
+    oracle: &O,
     ids: &mut IdGen,
     mut round: Vec<usize>,
     votes: u32,
@@ -153,25 +118,51 @@ where
     let mut matches = 0usize;
     let mut questions = 0usize;
     while round.len() > 1 {
-        let mut next = Vec::with_capacity(round.len().div_ceil(2));
+        let mut pairs = Vec::with_capacity(round.len() / 2);
         let mut i = 0;
         while i + 1 < round.len() {
-            let (a, b) = (round[i], round[i + 1]);
-            match play_match(oracle, ids, a, b, votes, make_task)? {
-                Some((winner, bought)) => {
-                    matches += 1;
-                    questions += bought;
-                    next.push(winner);
-                }
-                None => {
-                    // Budget dead: advance `a` by walkover and stop buying.
-                    next.push(a);
-                }
-            }
+            pairs.push((round[i], round[i + 1]));
             i += 2;
         }
-        if i < round.len() {
-            next.push(round[i]); // bye
+        let bye = (i < round.len()).then(|| round[i]);
+
+        let tasks: Vec<Task> = pairs
+            .iter()
+            .map(|&(a, b)| make_task(ids.next_task(), a, b))
+            .collect();
+        let reqs: Vec<AskRequest<'_>> = tasks
+            .iter()
+            .map(|t| AskRequest::new(t).with_redundancy(votes.max(1) as usize))
+            .collect();
+        let outcomes = oracle.ask_batch(&reqs)?;
+
+        let mut next = Vec::with_capacity(pairs.len() + 1);
+        for (&(a, b), out) in pairs.iter().zip(&outcomes) {
+            if let Some(e) = &out.shortfall {
+                if !e.is_resource_exhaustion() {
+                    return Err(e.clone());
+                }
+            }
+            if out.answers.is_empty() {
+                // Budget dead: advance `a` by walkover.
+                next.push(a);
+                continue;
+            }
+            let mut left = 0u32;
+            let mut right = 0u32;
+            for answer in &out.answers {
+                match answer.value.as_preference() {
+                    Some(Preference::Left) => left += 1,
+                    Some(Preference::Right) => right += 1,
+                    None => {}
+                }
+            }
+            matches += 1;
+            questions += out.answers.len();
+            next.push(if right > left { b } else { a });
+        }
+        if let Some(x) = bye {
+            next.push(x);
         }
         round = next;
     }
@@ -184,37 +175,38 @@ mod tests {
     use crowdkit_core::answer::{Answer, AnswerValue};
     use crowdkit_core::budget::Budget;
     use crowdkit_core::ids::{ItemId, WorkerId};
+    use std::cell::{Cell, RefCell};
 
     /// Oracle answering pairwise tasks per attached truth.
     struct TruthfulOracle {
-        budget: Budget,
-        next_worker: u64,
-        delivered: u64,
+        budget: RefCell<Budget>,
+        next_worker: Cell<u64>,
+        delivered: Cell<u64>,
     }
 
     impl TruthfulOracle {
         fn new(limit: f64) -> Self {
             Self {
-                budget: Budget::new(limit),
-                next_worker: 0,
-                delivered: 0,
+                budget: RefCell::new(Budget::new(limit)),
+                next_worker: Cell::new(0),
+                delivered: Cell::new(0),
             }
         }
     }
 
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.budget.debit(1.0)?;
-            self.delivered += 1;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.budget.borrow_mut().debit(1.0)?;
+            self.delivered.set(self.delivered.get() + 1);
+            let w = WorkerId::new(self.next_worker.get());
+            self.next_worker.set(self.next_worker.get() + 1);
             Ok(Answer::bare(task.id, w, task.truth.clone().unwrap()))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some(self.budget.remaining())
+            Some(self.budget.borrow().remaining())
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
@@ -227,8 +219,8 @@ mod tests {
 
     #[test]
     fn crowd_max_finds_the_strongest_item() {
-        let mut oracle = TruthfulOracle::new(1e9);
-        let out = crowd_max(&mut oracle, 16, 1, make_task).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let out = crowd_max(&oracle, 16, 1, make_task).unwrap();
         assert_eq!(out.winners, vec![15]);
         assert_eq!(out.matches, 15, "single elimination plays n−1 matches");
         assert_eq!(out.questions_asked, 15);
@@ -236,8 +228,8 @@ mod tests {
 
     #[test]
     fn crowd_max_with_odd_field_and_votes() {
-        let mut oracle = TruthfulOracle::new(1e9);
-        let out = crowd_max(&mut oracle, 7, 3, make_task).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let out = crowd_max(&oracle, 7, 3, make_task).unwrap();
         assert_eq!(out.winners, vec![6]);
         assert_eq!(out.matches, 6);
         assert_eq!(out.questions_asked, 18);
@@ -245,23 +237,23 @@ mod tests {
 
     #[test]
     fn top_k_returns_best_first() {
-        let mut oracle = TruthfulOracle::new(1e9);
-        let out = crowd_top_k(&mut oracle, 8, 3, 1, make_task).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let out = crowd_top_k(&oracle, 8, 3, 1, make_task).unwrap();
         assert_eq!(out.winners, vec![7, 6, 5]);
     }
 
     #[test]
     fn top_k_equals_n_returns_full_order() {
-        let mut oracle = TruthfulOracle::new(1e9);
-        let out = crowd_top_k(&mut oracle, 4, 4, 1, make_task).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let out = crowd_top_k(&oracle, 4, 4, 1, make_task).unwrap();
         assert_eq!(out.winners, vec![3, 2, 1, 0]);
     }
 
     #[test]
     fn budget_exhaustion_yields_best_effort_champion() {
         // Budget for only 2 of the 3 matches of a 4-item bracket.
-        let mut oracle = TruthfulOracle::new(2.0);
-        let out = crowd_max(&mut oracle, 4, 1, make_task).unwrap();
+        let oracle = TruthfulOracle::new(2.0);
+        let out = crowd_max(&oracle, 4, 1, make_task).unwrap();
         assert_eq!(out.winners.len(), 1);
         assert_eq!(out.questions_asked, 2);
         // Finals was a walkover for the left slot (winner of match 1 = 1).
@@ -271,14 +263,14 @@ mod tests {
     #[test]
     #[should_panic(expected = "1 ≤ k ≤ n")]
     fn top_k_rejects_k_zero() {
-        let mut oracle = TruthfulOracle::new(10.0);
-        let _ = crowd_top_k(&mut oracle, 3, 0, 1, make_task);
+        let oracle = TruthfulOracle::new(10.0);
+        let _ = crowd_top_k(&oracle, 3, 0, 1, make_task);
     }
 
     #[test]
     fn single_item_tournament_is_free() {
-        let mut oracle = TruthfulOracle::new(10.0);
-        let out = crowd_max(&mut oracle, 1, 3, make_task).unwrap();
+        let oracle = TruthfulOracle::new(10.0);
+        let out = crowd_max(&oracle, 1, 3, make_task).unwrap();
         assert_eq!(out.winners, vec![0]);
         assert_eq!(out.questions_asked, 0);
     }

@@ -1,0 +1,140 @@
+//! Deterministic parallel execution primitives for batched crowd asks.
+//!
+//! The batch engine in [`crate::platform`] is split into two phases:
+//!
+//! 1. **Plan** (sequential): budget funding, worker assignment and RNG-seed
+//!    derivation happen in request order under the platform locks. Every
+//!    planned assignment gets its own [`derive_seed`]-derived RNG stream.
+//! 2. **Execute** (parallel): answer values and latency draws are computed
+//!    from the per-assignment streams with [`parallel_map`], which chunks
+//!    the plan across a crossbeam-scoped worker pool and reassembles
+//!    results in input order.
+//!
+//! Because the only cross-assignment coupling (budget, worker reservation)
+//! is resolved in phase 1 and every phase-2 computation is a pure function
+//! of its planned seed, the combined result is byte-identical at any thread
+//! count — the property the concurrency proptests pin.
+
+/// Derives an independent 64-bit RNG seed for one assignment from the
+/// platform seed, the task id, and the per-task attempt ordinal.
+///
+/// SplitMix64-style finalization: consecutive `(task, attempt)` pairs land
+/// far apart in seed space, so per-assignment `StdRng` streams are
+/// statistically independent even though they are planned sequentially.
+pub fn derive_seed(platform_seed: u64, task_raw: u64, attempt: u64) -> u64 {
+    let mut z = platform_seed
+        .wrapping_add(task_raw.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add(attempt.wrapping_mul(0xD1B5_4A32_D192_ED03));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Applies `f` to every item, fanning out across `threads` scoped workers,
+/// and returns the results **in input order**.
+///
+/// Items are split into contiguous chunks (one per worker) so the output
+/// permutation — and therefore every determinism property downstream — is
+/// independent of scheduling. Falls back to a plain sequential map when a
+/// single thread is requested or the input is too small to be worth the
+/// spawn overhead.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    const MIN_ITEMS_PER_THREAD: usize = 2;
+    if threads == 1 || items.len() < MIN_ITEMS_PER_THREAD * 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let chunk_len = items.len().div_ceil(threads);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_len)
+        .enumerate()
+        .map(|(c, chunk)| (c * chunk_len, chunk))
+        .collect();
+
+    let results: Vec<Vec<R>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(base, chunk)| {
+                let f = &f;
+                s.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("batch worker panicked"))
+            .collect()
+    })
+    .expect("batch scope panicked");
+
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in results {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Default worker-pool width for batch execution: the machine's available
+/// parallelism, capped to keep spawn overhead negligible for simulated
+/// (non-blocking) work.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_seed_separates_tasks_and_attempts() {
+        let a = derive_seed(7, 0, 0);
+        let b = derive_seed(7, 0, 1);
+        let c = derive_seed(7, 1, 0);
+        let d = derive_seed(8, 0, 0);
+        let all = [a, b, c, d];
+        for i in 0..all.len() {
+            for j in i + 1..all.len() {
+                assert_ne!(all[i], all[j], "seeds {i} and {j} collide");
+            }
+        }
+        assert_eq!(derive_seed(7, 0, 0), a, "derivation is pure");
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, threads, |_, &x| x * x);
+            assert_eq!(got, expect, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_map_passes_global_indices() {
+        let items = vec!["a"; 37];
+        let got = parallel_map(&items, 4, |i, _| i);
+        assert_eq!(got, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[5u8], 8, |_, &x| x + 1), vec![6]);
+    }
+}

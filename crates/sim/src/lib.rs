@@ -18,6 +18,8 @@
 //! * [`population`] — building worker pools from mixes.
 //! * [`latency`] — latency distributions and the round/straggler simulator.
 //! * [`platform`] — the [`platform::SimulatedCrowd`] oracle.
+//! * [`exec`] — deterministic parallel execution: per-assignment seed
+//!   derivation and the worker pool that drains batches.
 //! * [`dataset`] — synthetic ground-truth dataset generators for every
 //!   experiment family (labeling, entity resolution, ranking, open-world
 //!   collection, numeric estimation).
@@ -26,6 +28,7 @@
 #![warn(rust_2018_idioms)]
 
 pub mod dataset;
+pub mod exec;
 pub mod latency;
 pub mod platform;
 pub mod population;

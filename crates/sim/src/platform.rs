@@ -6,21 +6,54 @@
 //! [`CrowdOracle`] interface. Like a real platform it
 //! never assigns the same worker to the same task twice, debits the budget
 //! per answer, and timestamps answers on a simulated clock.
+//!
+//! # Concurrency model
+//!
+//! The platform is a *shared service*: every [`CrowdOracle`] method takes
+//! `&self` and internal state lives behind striped locks —
+//!
+//! * per-task assignment state (which workers answered, how many attempts)
+//!   is sharded across [`TASK_SHARDS`] mutexes keyed by task id;
+//! * the spend ledger is striped the same way and merged on read;
+//! * the budget sits behind a single mutex so debits are atomic;
+//! * the legacy sequential RNG and the simulated clock form the *core*
+//!   lock, which also serializes batch planning.
+//!
+//! [`CrowdOracle::ask`]/[`CrowdOracle::ask_batch`] run in two phases:
+//! a sequential *planning* phase (budget funded in request order, workers
+//! reserved, one independent RNG stream derived per assignment — see
+//! [`crate::exec`]) and an embarrassingly parallel *execution* phase that
+//! computes answer values and latency draws on a crossbeam worker pool.
+//! All assignments in a batch start at the batch epoch, so their simulated
+//! latencies **overlap**: batch wall-clock is the makespan, not the sum —
+//! the dominant latency lever of crowd execution (HIT batching). Because
+//! every cross-assignment decision happens in the sequential phase, results
+//! are byte-identical at any thread count.
 
 use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use crowdkit_core::answer::Answer;
+use crowdkit_core::ask::{AskOutcome, AskRequest};
 use crowdkit_core::budget::{Budget, CostLedger, CostModel};
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{TaskId, WorkerId};
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
+use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
+use crate::exec::{default_threads, derive_seed, parallel_map};
 use crate::latency::LatencyModel;
 use crate::population::Population;
+
+/// Number of mutex shards for per-task assignment state.
+pub const TASK_SHARDS: usize = 16;
+
+/// Salt distinguishing the worker-pick RNG stream from the answer stream.
+const PICK_STREAM_SALT: u64 = 0x517C_C1B7_2722_0A95;
 
 /// Builder for [`SimulatedCrowd`].
 #[derive(Debug, Clone)]
@@ -32,6 +65,7 @@ pub struct PlatformBuilder {
     seed: u64,
     qualification: Option<Qualification>,
     churn: Option<Churn>,
+    threads: usize,
 }
 
 /// Worker churn: workers are not always online. Each worker follows a
@@ -103,6 +137,7 @@ impl PlatformBuilder {
             seed: 0,
             qualification: None,
             churn: None,
+            threads: default_threads(),
         }
     }
 
@@ -152,6 +187,17 @@ impl PlatformBuilder {
         self
     }
 
+    /// Sets the width of the batch-execution worker pool. Thread count
+    /// never affects results — only how fast batches are computed.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0, "thread pool must have at least one worker");
+        self.threads = threads;
+        self
+    }
+
     /// Finishes the build, administering the qualification test (if any)
     /// to every worker. Screening answers are paid from the budget and
     /// recorded in the ledger under `"qualification"`; if the budget dies
@@ -191,38 +237,79 @@ impl PlatformBuilder {
                 Population::from_profiles(passed)
             }
         };
+        let mut ledger_stripes: Vec<Mutex<CostLedger>> =
+            (0..TASK_SHARDS).map(|_| Mutex::new(CostLedger::new())).collect();
+        // Qualification spend lands in stripe 0; reads merge all stripes.
+        *ledger_stripes[0].get_mut() = ledger;
         SimulatedCrowd {
             population,
-            budget,
             cost_model: self.cost_model,
             latency: self.latency,
-            rng,
-            clock: 0.0,
-            asked: HashMap::new(),
-            ledger,
-            delivered: 0,
             churn: self.churn,
             seed: self.seed,
+            threads: self.threads,
+            core: Mutex::new(CoreState { rng, clock: 0.0 }),
+            budget: Mutex::new(budget),
+            shards: (0..TASK_SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            ledger_stripes,
+            delivered: AtomicU64::new(0),
         }
     }
 }
 
+/// Per-task assignment bookkeeping, kept inside a shard.
+#[derive(Debug, Default)]
+struct TaskState {
+    /// Workers already assigned to this task (a worker answers a given
+    /// task at most once, as on real platforms).
+    asked: HashSet<WorkerId>,
+    /// Monotone count of assignments ever planned for this task; the
+    /// per-assignment RNG streams are derived from it, so streams never
+    /// repeat across separate asks for the same task.
+    attempts: u64,
+}
+
+/// Mutable state shared by the sequential path and batch planning: the
+/// legacy shared RNG stream and the simulated clock.
+#[derive(Debug)]
+struct CoreState {
+    rng: StdRng,
+    clock: f64,
+}
+
+/// One funded, reserved assignment awaiting parallel execution.
+#[derive(Debug, Clone, Copy)]
+struct PlannedAsk {
+    /// Index of the originating request in the batch.
+    req_idx: usize,
+    /// Index of the reserved worker in the population.
+    worker_idx: usize,
+    /// Simulated time at which the worker starts (batch epoch, or the
+    /// worker's next online window under churn).
+    serve_start: f64,
+    /// Seed of this assignment's independent RNG stream.
+    rng_seed: u64,
+    /// Price debited for this assignment.
+    price: f64,
+}
+
 /// The simulated platform; implements [`CrowdOracle`].
+///
+/// Thread-safe: share it as `&SimulatedCrowd` (or in an `Arc`) across
+/// threads. See the module docs for the locking and determinism model.
 #[derive(Debug)]
 pub struct SimulatedCrowd {
     population: Population,
-    budget: Budget,
     cost_model: CostModel,
     latency: LatencyModel,
-    rng: StdRng,
-    clock: f64,
-    /// Workers already assigned to each task (a worker answers a given task
-    /// at most once, as on real platforms).
-    asked: HashMap<TaskId, HashSet<WorkerId>>,
-    ledger: CostLedger,
-    delivered: u64,
     churn: Option<Churn>,
     seed: u64,
+    threads: usize,
+    core: Mutex<CoreState>,
+    budget: Mutex<Budget>,
+    shards: Vec<Mutex<HashMap<TaskId, TaskState>>>,
+    ledger_stripes: Vec<Mutex<CostLedger>>,
+    delivered: AtomicU64,
 }
 
 impl SimulatedCrowd {
@@ -240,24 +327,43 @@ impl SimulatedCrowd {
 
     /// Current simulated time in seconds.
     pub fn now(&self) -> f64 {
-        self.clock
+        self.core.lock().clock
     }
 
-    /// The spend ledger, categorized by task kind.
-    pub fn ledger(&self) -> &CostLedger {
-        &self.ledger
+    /// Width of the batch-execution worker pool.
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
-    /// Budget state.
-    pub fn budget(&self) -> &Budget {
-        &self.budget
+    /// A snapshot of the spend ledger, categorized by task kind (merged
+    /// across the internal stripes).
+    pub fn ledger(&self) -> CostLedger {
+        let mut merged = CostLedger::new();
+        for stripe in &self.ledger_stripes {
+            merged.merge(&stripe.lock());
+        }
+        merged
     }
 
-    /// Picks an eligible worker for `task` uniformly at random among those
-    /// currently online (advancing the clock to the next arrival if nobody
-    /// is), or `None` if every worker already answered it.
-    fn pick_worker(&mut self, task: TaskId) -> Option<usize> {
-        let asked = self.asked.entry(task).or_default();
+    /// A snapshot of the budget state.
+    pub fn budget(&self) -> Budget {
+        self.budget.lock().clone()
+    }
+
+    fn shard_for(&self, task: TaskId) -> &Mutex<HashMap<TaskId, TaskState>> {
+        &self.shards[task.raw() as usize % self.shards.len()]
+    }
+
+    fn ledger_stripe_for(&self, task: TaskId) -> &Mutex<CostLedger> {
+        &self.ledger_stripes[task.raw() as usize % self.ledger_stripes.len()]
+    }
+
+    /// Sequential worker pick for [`CrowdOracle::ask_one`]: uniform over
+    /// eligible workers via the shared RNG, advancing the clock to the next
+    /// arrival when churn leaves nobody online. Caller holds the core lock.
+    fn pick_worker_sequential(&self, core: &mut CoreState, task: TaskId) -> Option<usize> {
+        let mut shard = self.shard_for(task).lock();
+        let asked = &shard.entry(task).or_default().asked;
         let eligible: Vec<usize> = self
             .population
             .workers()
@@ -270,14 +376,14 @@ impl SimulatedCrowd {
             return None;
         }
         let Some(churn) = self.churn else {
-            return eligible.choose(&mut self.rng).copied();
+            return eligible.choose(&mut core.rng).copied();
         };
         let online: Vec<usize> = eligible
             .iter()
             .copied()
-            .filter(|&i| churn.online(self.population.get(i).id, self.seed, self.clock))
+            .filter(|&i| churn.online(self.population.get(i).id, self.seed, core.clock))
             .collect();
-        if let Some(&i) = online.choose(&mut self.rng) {
+        if let Some(&i) = online.choose(&mut core.rng) {
             return Some(i);
         }
         // Nobody online: wait for the earliest eligible arrival.
@@ -286,55 +392,220 @@ impl SimulatedCrowd {
             .map(|&i| {
                 (
                     i,
-                    churn.next_online(self.population.get(i).id, self.seed, self.clock),
+                    churn.next_online(self.population.get(i).id, self.seed, core.clock),
                 )
             })
             .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
             .expect("eligible is non-empty");
-        self.clock = next_t;
+        core.clock = next_t;
         Some(next_i)
+    }
+
+    /// Batch worker pick: deterministic function of the derived pick
+    /// stream, the reservation state and the batch epoch — never of thread
+    /// timing. Under churn, workers online at the epoch are preferred; when
+    /// nobody eligible is online the assignment *waits* (its serve time
+    /// becomes the earliest arrival) without blocking the rest of the
+    /// batch.
+    fn pick_worker_batch(
+        &self,
+        state: &TaskState,
+        exclude: &[WorkerId],
+        epoch: f64,
+        pick_seed: u64,
+    ) -> Option<(usize, f64)> {
+        let eligible: Vec<usize> = self
+            .population
+            .workers()
+            .iter()
+            .enumerate()
+            .filter(|(_, w)| !state.asked.contains(&w.id) && !exclude.contains(&w.id))
+            .map(|(i, _)| i)
+            .collect();
+        if eligible.is_empty() {
+            return None;
+        }
+        let mut pick_rng = StdRng::seed_from_u64(pick_seed);
+        let Some(churn) = self.churn else {
+            let i = eligible[pick_rng.gen_range(0..eligible.len())];
+            return Some((i, epoch));
+        };
+        let online: Vec<usize> = eligible
+            .iter()
+            .copied()
+            .filter(|&i| churn.online(self.population.get(i).id, self.seed, epoch))
+            .collect();
+        if !online.is_empty() {
+            let i = online[pick_rng.gen_range(0..online.len())];
+            return Some((i, epoch));
+        }
+        let (next_i, next_t) = eligible
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    churn.next_online(self.population.get(i).id, self.seed, epoch),
+                )
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .expect("eligible is non-empty");
+        Some((next_i, next_t))
     }
 }
 
 impl CrowdOracle for SimulatedCrowd {
-    fn ask_one(&mut self, task: &Task) -> Result<Answer> {
+    /// Legacy sequential path: one shared RNG stream, clock advanced by
+    /// each answer's full service time (no overlap). Kept for
+    /// single-answer call sites and as the baseline the batched path is
+    /// benchmarked against.
+    fn ask_one(&self, task: &Task) -> Result<Answer> {
+        let mut core_guard = self.core.lock();
+        let core = &mut *core_guard;
         let price = self.cost_model.price(&task.kind);
-        if !self.budget.can_afford(price) {
-            return Err(CrowdError::BudgetExhausted {
-                requested: price,
-                remaining: self.budget.remaining(),
-            });
+        {
+            let budget = self.budget.lock();
+            if !budget.can_afford(price) {
+                return Err(CrowdError::BudgetExhausted {
+                    requested: price,
+                    remaining: budget.remaining(),
+                });
+            }
         }
-        let widx = self.pick_worker(task.id).ok_or(CrowdError::NoWorkerAvailable)?;
+        let widx = self
+            .pick_worker_sequential(core, task.id)
+            .ok_or(CrowdError::NoWorkerAvailable)?;
         let worker = self.population.get(widx).clone();
-        self.budget.debit(price)?;
-        self.ledger.record(task.kind.name(), price);
+        self.budget.lock().debit(price)?;
+        self.ledger_stripe_for(task.id)
+            .lock()
+            .record(task.kind.name(), price);
 
-        let value = worker.answer(task, &mut self.rng);
-        let service = self.latency.sample(&mut self.rng);
-        self.clock += service;
-        self.asked.entry(task.id).or_default().insert(worker.id);
-        self.delivered += 1;
+        let value = worker.answer(task, &mut core.rng);
+        let service = self.latency.sample(&mut core.rng);
+        core.clock += service;
+        self.shard_for(task.id)
+            .lock()
+            .entry(task.id)
+            .or_default()
+            .asked
+            .insert(worker.id);
+        self.delivered.fetch_add(1, Ordering::Relaxed);
 
         Ok(Answer {
             task: task.id,
             worker: worker.id,
             value,
-            submitted_at: self.clock,
+            submitted_at: core.clock,
             cost: price,
         })
     }
 
+    fn ask(&self, req: &AskRequest<'_>) -> Result<AskOutcome> {
+        let mut outcomes = self.ask_batch(std::slice::from_ref(req))?;
+        Ok(outcomes.pop().expect("one outcome per request"))
+    }
+
+    /// The batched engine. Planning (budget in request order, worker
+    /// reservation, RNG-stream derivation) is sequential under the core
+    /// lock; answer computation fans out over the thread pool; all
+    /// assignments share the batch epoch so their simulated latencies
+    /// overlap and the clock advances by the batch *makespan*.
+    fn ask_batch(&self, reqs: &[AskRequest<'_>]) -> Result<Vec<AskOutcome>> {
+        if reqs.is_empty() {
+            return Ok(Vec::new());
+        }
+
+        // ---- Phase 1: sequential planning ------------------------------
+        let (plan, mut outcomes, epoch) = {
+            let core = self.core.lock();
+            let epoch = core.clock;
+            let mut budget = self.budget.lock();
+            let mut plan: Vec<PlannedAsk> = Vec::new();
+            let mut outcomes: Vec<AskOutcome> = reqs
+                .iter()
+                .map(|r| AskOutcome::complete(r.task.id, r.redundancy.max(1), Vec::new()))
+                .collect();
+            for (req_idx, req) in reqs.iter().enumerate() {
+                let price = self.cost_model.price(&req.task.kind);
+                for _ in 0..req.redundancy.max(1) {
+                    if !budget.can_afford(price) {
+                        outcomes[req_idx].shortfall = Some(CrowdError::BudgetExhausted {
+                            requested: price,
+                            remaining: budget.remaining(),
+                        });
+                        break;
+                    }
+                    let mut shard = self.shard_for(req.task.id).lock();
+                    let state = shard.entry(req.task.id).or_default();
+                    let attempt = state.attempts;
+                    let pick_seed =
+                        derive_seed(self.seed ^ PICK_STREAM_SALT, req.task.id.raw(), attempt);
+                    let Some((worker_idx, serve_start)) =
+                        self.pick_worker_batch(state, &req.exclude, epoch, pick_seed)
+                    else {
+                        outcomes[req_idx].shortfall = Some(CrowdError::NoWorkerAvailable);
+                        break;
+                    };
+                    state.attempts += 1;
+                    state.asked.insert(self.population.get(worker_idx).id);
+                    drop(shard);
+                    budget.debit(price)?;
+                    self.ledger_stripe_for(req.task.id)
+                        .lock()
+                        .record(req.task.kind.name(), price);
+                    plan.push(PlannedAsk {
+                        req_idx,
+                        worker_idx,
+                        serve_start,
+                        rng_seed: derive_seed(self.seed, req.task.id.raw(), attempt),
+                        price,
+                    });
+                }
+            }
+            (plan, outcomes, epoch)
+        };
+
+        // ---- Phase 2: parallel execution -------------------------------
+        let answers: Vec<Answer> = parallel_map(&plan, self.threads, |_, p| {
+            let mut rng = StdRng::seed_from_u64(p.rng_seed);
+            let worker = self.population.get(p.worker_idx);
+            let task = reqs[p.req_idx].task;
+            let value = worker.answer(task, &mut rng);
+            let service = self.latency.sample(&mut rng);
+            Answer {
+                task: task.id,
+                worker: worker.id,
+                value,
+                submitted_at: p.serve_start + service,
+                cost: p.price,
+            }
+        });
+
+        // ---- Assembly: input order, makespan clock ---------------------
+        let mut makespan = epoch;
+        for (p, a) in plan.iter().zip(answers) {
+            makespan = makespan.max(a.submitted_at);
+            outcomes[p.req_idx].answers.push(a);
+        }
+        self.delivered.fetch_add(plan.len() as u64, Ordering::Relaxed);
+        {
+            let mut core = self.core.lock();
+            core.clock = core.clock.max(makespan);
+        }
+        Ok(outcomes)
+    }
+
     fn remaining_budget(&self) -> Option<f64> {
-        if self.budget.limit() == f64::MAX {
+        let budget = self.budget.lock();
+        if budget.limit() == f64::MAX {
             None
         } else {
-            Some(self.budget.remaining())
+            Some(budget.remaining())
         }
     }
 
     fn answers_delivered(&self) -> u64 {
-        self.delivered
+        self.delivered.load(Ordering::Relaxed)
     }
 }
 
@@ -350,8 +621,14 @@ mod tests {
     }
 
     #[test]
+    fn platform_is_send_and_sync() {
+        fn assert_shareable<T: Send + Sync>() {}
+        assert_shareable::<SimulatedCrowd>();
+    }
+
+    #[test]
     fn ask_one_returns_correct_answer_from_perfect_worker() {
-        let mut crowd = SimulatedCrowd::new(perfect_pop(5), 1);
+        let crowd = SimulatedCrowd::new(perfect_pop(5), 1);
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
         let a = crowd.ask_one(&task).unwrap();
         assert_eq!(a.value, AnswerValue::Choice(1));
@@ -361,7 +638,7 @@ mod tests {
 
     #[test]
     fn same_worker_never_asked_twice_per_task() {
-        let mut crowd = SimulatedCrowd::new(perfect_pop(3), 1);
+        let crowd = SimulatedCrowd::new(perfect_pop(3), 1);
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
         let answers = crowd.ask_many(&task, 3).unwrap();
         let workers: HashSet<WorkerId> = answers.iter().map(|a| a.worker).collect();
@@ -377,9 +654,7 @@ mod tests {
     #[test]
     fn budget_is_enforced_and_ledger_tracks_spend() {
         let pop = perfect_pop(10);
-        let mut crowd = PlatformBuilder::new(pop)
-            .budget(Budget::new(2.0))
-            .build();
+        let crowd = PlatformBuilder::new(pop).budget(Budget::new(2.0)).build();
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
         assert!(crowd.ask_one(&task).is_ok());
         assert!(crowd.ask_one(&task).is_ok());
@@ -397,7 +672,7 @@ mod tests {
 
     #[test]
     fn clock_advances_with_latency() {
-        let mut crowd = PlatformBuilder::new(perfect_pop(5))
+        let crowd = PlatformBuilder::new(perfect_pop(5))
             .latency(LatencyModel::Constant { secs: 10.0 })
             .build();
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
@@ -412,7 +687,7 @@ mod tests {
     fn platform_is_deterministic_per_seed() {
         let run = |seed: u64| -> Vec<(u64, AnswerValue)> {
             let pop = PopulationBuilder::new().reliable(20, 0.6, 0.9).build(3);
-            let mut crowd = SimulatedCrowd::new(pop, seed);
+            let crowd = SimulatedCrowd::new(pop, seed);
             let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
             crowd
                 .ask_many(&task, 10)
@@ -427,12 +702,213 @@ mod tests {
 
     #[test]
     fn ask_many_partial_results_when_budget_dies_midway() {
-        let mut crowd = PlatformBuilder::new(perfect_pop(10))
+        let crowd = PlatformBuilder::new(perfect_pop(10))
             .budget(Budget::new(3.0))
             .build();
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));
         let answers = crowd.ask_many(&task, 5).unwrap();
         assert_eq!(answers.len(), 3);
+    }
+}
+
+#[cfg(test)]
+mod batch_tests {
+    use super::*;
+    use crate::population::PopulationBuilder;
+    use crowdkit_core::answer::AnswerValue;
+    use crowdkit_core::task::Task;
+
+    fn pop(n: usize, quality: f64) -> Population {
+        PopulationBuilder::new().reliable(n, quality, quality).build(0)
+    }
+
+    fn tasks(n: u64) -> Vec<Task> {
+        (0..n)
+            .map(|i| Task::binary(TaskId::new(i), "q").with_truth(AnswerValue::Choice(1)))
+            .collect()
+    }
+
+    fn batch_of(tasks: &[Task], k: usize) -> Vec<AskRequest<'_>> {
+        tasks
+            .iter()
+            .map(|t| AskRequest::new(t).with_redundancy(k))
+            .collect()
+    }
+
+    #[test]
+    fn batched_execution_overlaps_latency() {
+        // Sequential: 12 answers × 10 s each = 120 s of simulated time.
+        let seq = PlatformBuilder::new(pop(30, 1.0))
+            .latency(LatencyModel::Constant { secs: 10.0 })
+            .build();
+        let ts = tasks(12);
+        for t in &ts {
+            seq.ask_one(t).unwrap();
+        }
+        assert_eq!(seq.now(), 120.0);
+
+        // Batched: all 12 assignments start at the epoch and overlap, so
+        // the clock advances by the makespan — one service time.
+        let batched = PlatformBuilder::new(pop(30, 1.0))
+            .latency(LatencyModel::Constant { secs: 10.0 })
+            .build();
+        let outs = batched.ask_batch(&batch_of(&ts, 1)).unwrap();
+        assert!(outs.iter().all(|o| o.is_complete()));
+        assert_eq!(batched.now(), 10.0);
+        assert!(
+            batched.now() * 2.0 <= seq.now(),
+            "batched ({}) must be at least 2x faster than sequential ({})",
+            batched.now(),
+            seq.now()
+        );
+    }
+
+    #[test]
+    fn batch_results_are_identical_at_any_thread_count() {
+        let run = |threads: usize| {
+            let crowd = PlatformBuilder::new(pop(40, 0.7))
+                .latency(LatencyModel::human_default())
+                .seed(11)
+                .threads(threads)
+                .build();
+            let ts = tasks(25);
+            let outs = crowd.ask_batch(&batch_of(&ts, 5)).unwrap();
+            let answers: Vec<(u64, u64, AnswerValue, f64)> = outs
+                .iter()
+                .flat_map(|o| o.answers.iter())
+                .map(|a| (a.task.raw(), a.worker.raw(), a.value.clone(), a.submitted_at))
+                .collect();
+            (answers, crowd.now())
+        };
+        let (a1, c1) = run(1);
+        let (a2, c2) = run(2);
+        let (a8, c8) = run(8);
+        assert_eq!(a1, a2, "1-thread and 2-thread runs diverge");
+        assert_eq!(a1, a8, "1-thread and 8-thread runs diverge");
+        assert_eq!(c1, c2);
+        assert_eq!(c1, c8);
+    }
+
+    #[test]
+    fn batch_budget_is_funded_in_request_order() {
+        let crowd = PlatformBuilder::new(pop(10, 1.0))
+            .budget(Budget::new(3.0))
+            .build();
+        let ts = tasks(3);
+        let outs = crowd.ask_batch(&batch_of(&ts, 2)).unwrap();
+        assert_eq!(outs[0].delivered(), 2);
+        assert!(outs[0].is_complete());
+        assert_eq!(outs[1].delivered(), 1);
+        assert!(outs[1].stopped_by_budget());
+        assert_eq!(outs[2].delivered(), 0);
+        assert!(outs[2].stopped_by_budget());
+        assert_eq!(crowd.budget().spent(), 3.0);
+        assert_eq!(crowd.answers_delivered(), 3);
+    }
+
+    #[test]
+    fn batch_honors_worker_exclusions() {
+        let crowd = SimulatedCrowd::new(pop(4, 1.0), 2);
+        let all: Vec<WorkerId> = crowd.population().workers().iter().map(|w| w.id).collect();
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+        let req = AskRequest::new(&task)
+            .with_redundancy(4)
+            .without_worker(all[0])
+            .without_worker(all[2]);
+        let out = crowd.ask(&req).unwrap();
+        assert_eq!(out.delivered(), 2, "only two non-excluded workers exist");
+        assert!(matches!(out.shortfall, Some(CrowdError::NoWorkerAvailable)));
+        for a in &out.answers {
+            assert!(a.worker != all[0] && a.worker != all[2], "excluded worker assigned");
+        }
+    }
+
+    #[test]
+    fn batch_and_sequential_share_reservation_state() {
+        let crowd = SimulatedCrowd::new(pop(3, 1.0), 5);
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+        let first = crowd.ask_one(&task).unwrap();
+        let out = crowd.ask(&AskRequest::new(&task).with_redundancy(3)).unwrap();
+        assert_eq!(out.delivered(), 2, "only two workers left for this task");
+        assert!(out.answers.iter().all(|a| a.worker != first.worker));
+    }
+
+    #[test]
+    fn batch_prefers_online_workers_under_churn() {
+        let churn = Churn {
+            duty_cycle: 0.4,
+            period: 600.0,
+        };
+        let crowd = PlatformBuilder::new(pop(30, 1.0)).churn(churn).seed(7).build();
+        let ts = tasks(10);
+        let outs = crowd.ask_batch(&batch_of(&ts, 2)).unwrap();
+        for o in &outs {
+            for a in &o.answers {
+                // With 30 workers at 40% duty, someone is online at the
+                // epoch for every pick, so nothing waits.
+                assert!(
+                    churn.online(a.worker, 7, 0.0),
+                    "assigned worker {} offline at batch epoch",
+                    a.worker
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn batch_waits_for_arrival_when_everyone_is_offline() {
+        let churn = Churn {
+            duty_cycle: 0.05,
+            period: 600.0,
+        };
+        // One worker with a tiny duty cycle: if the epoch falls outside the
+        // online window the assignment must wait for the next arrival.
+        let crowd = PlatformBuilder::new(pop(1, 1.0)).churn(churn).seed(3).build();
+        let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
+        let out = crowd.ask(&AskRequest::new(&task)).unwrap();
+        assert_eq!(out.delivered(), 1);
+        let a = &out.answers[0];
+        assert!(
+            churn.online(a.worker, 3, a.submitted_at),
+            "served at {} while offline",
+            a.submitted_at
+        );
+    }
+
+    #[test]
+    fn concurrent_batches_never_overspend_budget() {
+        use std::sync::Arc;
+        let crowd = Arc::new(
+            PlatformBuilder::new(pop(64, 1.0))
+                .budget(Budget::new(100.0))
+                .seed(13)
+                .build(),
+        );
+        let delivered: u64 = std::thread::scope(|s| {
+            (0..8u64)
+                .map(|t| {
+                    let crowd = Arc::clone(&crowd);
+                    s.spawn(move || {
+                        let ts: Vec<Task> = (0..10)
+                            .map(|i| {
+                                Task::binary(TaskId::new(t * 10 + i), "q")
+                                    .with_truth(AnswerValue::Choice(1))
+                            })
+                            .collect();
+                        let reqs: Vec<AskRequest<'_>> =
+                            ts.iter().map(|x| AskRequest::new(x).with_redundancy(3)).collect();
+                        let outs = crowd.ask_batch(&reqs).unwrap();
+                        outs.iter().map(|o| o.delivered() as u64).sum::<u64>()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(delivered, 100, "exactly the budget's worth was delivered");
+        assert!(crowd.budget().spent() <= 100.0 + 1e-9);
+        assert_eq!(crowd.answers_delivered(), 100);
     }
 }
 
@@ -508,7 +984,7 @@ mod qualification_tests {
                     difficulty: 0.2,
                 });
             }
-            let mut crowd = b.build();
+            let crowd = b.build();
             let mut correct = 0;
             let total = 200;
             for i in 0..total {
@@ -550,8 +1026,8 @@ mod churn_tests {
 
     #[test]
     fn full_duty_cycle_behaves_like_no_churn() {
-        let mut a = crowd_with_churn(1.0, 10);
-        let mut b = SimulatedCrowd::new(pop(10), 4);
+        let a = crowd_with_churn(1.0, 10);
+        let b = SimulatedCrowd::new(pop(10), 4);
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
         let ra: Vec<u64> = a.ask_many(&task, 5).unwrap().iter().map(|x| x.worker.raw()).collect();
         let rb: Vec<u64> = b.ask_many(&task, 5).unwrap().iter().map(|x| x.worker.raw()).collect();
@@ -563,7 +1039,7 @@ mod churn_tests {
     fn scarce_workers_make_the_platform_wait() {
         // One worker, tiny duty cycle: most asks must advance the clock to
         // the worker's next online window.
-        let mut crowd = crowd_with_churn(0.05, 1);
+        let crowd = crowd_with_churn(0.05, 1);
         let mut last = 0.0;
         for t in 0..5u64 {
             let task = Task::binary(TaskId::new(t), "q").with_truth(AnswerValue::Choice(1));
@@ -596,7 +1072,7 @@ mod churn_tests {
             duty_cycle: 0.3,
             period: 600.0,
         };
-        let mut crowd = PlatformBuilder::new(pop(20)).churn(churn).seed(9).build();
+        let crowd = PlatformBuilder::new(pop(20)).churn(churn).seed(9).build();
         for t in 0..50u64 {
             let task = Task::binary(TaskId::new(t), "q").with_truth(AnswerValue::Choice(1));
             let before = crowd.now();
@@ -617,7 +1093,7 @@ mod churn_tests {
         // Non-zero service time pushes the clock through the online
         // windows, so scarce supply forces waits between answers.
         let elapsed = |duty: f64| -> f64 {
-            let mut crowd = PlatformBuilder::new(pop(5))
+            let crowd = PlatformBuilder::new(pop(5))
                 .churn(Churn {
                     duty_cycle: duty,
                     period: 600.0,
@@ -641,7 +1117,7 @@ mod churn_tests {
 
     #[test]
     fn exhausted_task_still_returns_no_worker() {
-        let mut crowd = crowd_with_churn(0.5, 2);
+        let crowd = crowd_with_churn(0.5, 2);
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
         assert!(crowd.ask_one(&task).is_ok());
         assert!(crowd.ask_one(&task).is_ok());

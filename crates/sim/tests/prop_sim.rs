@@ -21,7 +21,7 @@ proptest! {
     fn platform_is_deterministic(seed in 0u64..1000, n_workers in 3usize..20) {
         let run = |s: u64| {
             let pop = PopulationBuilder::new().reliable(n_workers, 0.6, 0.95).build(s);
-            let mut crowd = SimulatedCrowd::new(pop, s);
+            let crowd = SimulatedCrowd::new(pop, s);
             let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(1));
             crowd
                 .ask_many(&task, n_workers.min(5))
@@ -42,7 +42,7 @@ proptest! {
         n_workers in 2usize..12,
     ) {
         let pop = PopulationBuilder::new().reliable(n_workers, 0.8, 0.9).build(1);
-        let mut crowd = PlatformBuilder::new(pop)
+        let crowd = PlatformBuilder::new(pop)
             .budget(Budget::new(limit as f64))
             .build();
         let task = Task::binary(TaskId::new(0), "q").with_truth(AnswerValue::Choice(0));

@@ -15,6 +15,7 @@
 use std::collections::HashMap;
 
 use crowdkit_core::answer::Preference;
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::task::Task;
@@ -78,7 +79,7 @@ struct ExecRow {
 }
 
 struct CrowdCtx<'a> {
-    oracle: &'a mut dyn CrowdOracle,
+    oracle: &'a dyn CrowdOracle,
     factory: &'a mut dyn TaskFactory,
     votes: u32,
     ids: IdGen,
@@ -153,7 +154,7 @@ impl Session {
     pub fn query_crowd<O, F>(
         &mut self,
         sql: &str,
-        oracle: &mut O,
+        oracle: &O,
         factory: &mut F,
         votes: u32,
         optimized: bool,
@@ -508,22 +509,24 @@ fn fill_cell(
     let task = c.factory.fill_task(c.ids.next_task(), table, row_values, column);
     let mut counts: HashMap<String, u32> = HashMap::new();
     let mut surface: HashMap<String, String> = HashMap::new();
-    for _ in 0..c.votes {
-        match c.oracle.ask_one(&task) {
-            Ok(a) => {
-                if let Some(text) = a.value.as_text() {
-                    let norm = text.trim().to_lowercase();
-                    if norm.is_empty() {
-                        continue;
-                    }
-                    surface
-                        .entry(norm.clone())
-                        .or_insert_with(|| text.trim().to_owned());
-                    *counts.entry(norm).or_insert(0) += 1;
-                }
+    let out = c
+        .oracle
+        .ask(&AskRequest::new(&task).with_redundancy(c.votes as usize))?;
+    if let Some(e) = &out.shortfall {
+        if !e.is_resource_exhaustion() {
+            return Err(e.clone());
+        }
+    }
+    for a in &out.answers {
+        if let Some(text) = a.value.as_text() {
+            let norm = text.trim().to_lowercase();
+            if norm.is_empty() {
+                continue;
             }
-            Err(e) if e.is_resource_exhaustion() => break,
-            Err(e) => return Err(e),
+            surface
+                .entry(norm.clone())
+                .or_insert_with(|| text.trim().to_owned());
+            *counts.entry(norm).or_insert(0) += 1;
         }
     }
     let mut tallies: Vec<(String, u32)> = counts.into_iter().collect();
@@ -554,14 +557,18 @@ fn crowd_equal(c: &mut CrowdCtx<'_>, left: &Value, right: &Value) -> Result<bool
     let task = c.factory.equal_task(c.ids.next_task(), left, right);
     let mut yes = 0u32;
     let mut no = 0u32;
-    for _ in 0..c.votes {
-        match c.oracle.ask_one(&task) {
-            Ok(a) => match a.value.as_choice() {
-                Some(1) => yes += 1,
-                _ => no += 1,
-            },
-            Err(e) if e.is_resource_exhaustion() => break,
-            Err(e) => return Err(e),
+    let out = c
+        .oracle
+        .ask(&AskRequest::new(&task).with_redundancy(c.votes as usize))?;
+    if let Some(e) = &out.shortfall {
+        if !e.is_resource_exhaustion() {
+            return Err(e.clone());
+        }
+    }
+    for a in &out.answers {
+        match a.value.as_choice() {
+            Some(1) => yes += 1,
+            _ => no += 1,
         }
     }
     let verdict = yes > no;
@@ -587,7 +594,7 @@ fn crowd_sort_order(
                 stats,
                 ..
             } = c;
-            let out = crowd_top_k(&mut **oracle, n, k, votes, |id, a, b| {
+            let out = crowd_top_k(*oracle, n, k, votes, |id, a, b| {
                 factory.compare_task(id, &values[a], &values[b])
             })?;
             stats.comparisons += out.matches as u64;
@@ -606,7 +613,7 @@ fn crowd_sort_order(
                 ..
             } = c;
             let graph: ComparisonGraph =
-                collect_comparisons(&mut **oracle, n, &pairs, votes, |id, a, b| {
+                collect_comparisons(*oracle, n, &pairs, votes, |id, a, b| {
                     factory.compare_task(id, &values[a], &values[b])
                 })?;
             stats.comparisons += pairs.len() as u64;
@@ -726,34 +733,31 @@ mod tests {
 
     /// Oracle answering every task per its attached truth.
     struct TruthfulOracle {
-        budget: Budget,
-        next_worker: u64,
-        delivered: u64,
+        budget: std::cell::RefCell<Budget>,
+        delivered: std::cell::Cell<u64>,
     }
 
     impl TruthfulOracle {
         fn new(limit: f64) -> Self {
             Self {
-                budget: Budget::new(limit),
-                next_worker: 0,
-                delivered: 0,
+                budget: std::cell::RefCell::new(Budget::new(limit)),
+                delivered: std::cell::Cell::new(0),
             }
         }
     }
 
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.budget.debit(1.0)?;
-            self.delivered += 1;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.budget.borrow_mut().debit(1.0)?;
+            let w = WorkerId::new(self.delivered.get());
+            self.delivered.set(self.delivered.get() + 1);
             Ok(Answer::bare(task.id, w, task.truth.clone().unwrap()))
         }
         fn remaining_budget(&self) -> Option<f64> {
-            Some(self.budget.remaining())
+            Some(self.budget.borrow().remaining())
         }
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
@@ -814,12 +818,12 @@ mod tests {
     #[test]
     fn crowd_fill_answers_and_writes_back() {
         let mut s = session_with_products(4);
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let mut f = factory();
         let (rows, stats) = s
             .query_crowd(
                 "SELECT name FROM products WHERE category = 'phone'",
-                &mut oracle,
+                &oracle,
                 &mut f,
                 3,
                 true,
@@ -836,7 +840,7 @@ mod tests {
         let (_, stats2) = s
             .query_crowd(
                 "SELECT name FROM products WHERE category = 'phone'",
-                &mut oracle,
+                &oracle,
                 &mut f,
                 3,
                 true,
@@ -850,12 +854,12 @@ mod tests {
         // Machine predicate keeps 2 of 8 rows; naive fills all 8.
         let run = |optimized: bool| -> QueryStats {
             let mut s = session_with_products(8);
-            let mut oracle = TruthfulOracle::new(1e9);
+            let oracle = TruthfulOracle::new(1e9);
             let mut f = factory();
             let (_, stats) = s
                 .query_crowd(
                     "SELECT category FROM products WHERE id >= 6",
-                    &mut oracle,
+                    &oracle,
                     &mut f,
                     3,
                     optimized,
@@ -879,12 +883,12 @@ mod tests {
             .unwrap();
         s.execute_ddl("INSERT INTO b VALUES ('iphone'), ('pixel')")
             .unwrap();
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let mut f = factory();
         let (rows, stats) = s
             .query_crowd(
                 "SELECT a.name, b.alias FROM a, b WHERE CROWDEQUAL(a.name, b.alias)",
-                &mut oracle,
+                &oracle,
                 &mut f,
                 3,
                 true,
@@ -900,13 +904,13 @@ mod tests {
         s.execute_ddl("CREATE TABLE t (name TEXT)").unwrap();
         s.execute_ddl("INSERT INTO t VALUES ('a'), ('d'), ('b'), ('c')")
             .unwrap();
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let mut f = factory();
         // Full sort: best-first = lexicographically descending.
         let (rows, stats) = s
             .query_crowd(
                 "SELECT name FROM t ORDER BY CROWDORDER(name)",
-                &mut oracle,
+                &oracle,
                 &mut f,
                 1,
                 true,
@@ -917,11 +921,11 @@ mod tests {
         assert_eq!(stats.comparisons, 6, "full pairwise over 4 items");
 
         // Top-1 tournament asks fewer comparisons.
-        let mut oracle2 = TruthfulOracle::new(1e9);
+        let oracle2 = TruthfulOracle::new(1e9);
         let (rows, stats) = s
             .query_crowd(
                 "SELECT name FROM t ORDER BY CROWDORDER(name) LIMIT 1",
-                &mut oracle2,
+                &oracle2,
                 &mut f,
                 1,
                 true,
@@ -934,12 +938,12 @@ mod tests {
     #[test]
     fn budget_exhaustion_surfaces_partial_results() {
         let mut s = session_with_products(4);
-        let mut oracle = TruthfulOracle::new(5.0);
+        let oracle = TruthfulOracle::new(5.0);
         let mut f = factory();
         let (_, stats) = s
             .query_crowd(
                 "SELECT category FROM products",
-                &mut oracle,
+                &oracle,
                 &mut f,
                 3,
                 true,
@@ -977,14 +981,14 @@ mod tests {
         s.execute_ddl("CREATE TABLE t (name TEXT, stars CROWD INT)")
             .unwrap();
         s.execute_ddl("INSERT INTO t VALUES ('x', NULL)").unwrap();
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let mut f = SimTaskFactory {
             fill_truth: |_: &str, _: &[Value], _: &str| "4".to_owned(),
             equal_truth: |_: &Value, _: &Value| false,
             left_wins_truth: |_: &Value, _: &Value| false,
         };
         let (rows, _) = s
-            .query_crowd("SELECT stars FROM t", &mut oracle, &mut f, 3, true)
+            .query_crowd("SELECT stars FROM t", &oracle, &mut f, 3, true)
             .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(4)]]);
     }
@@ -997,14 +1001,14 @@ mod count_tests {
     use crowdkit_core::ids::WorkerId;
 
     struct TruthfulOracle {
-        n: u64,
+        n: std::cell::Cell<u64>,
     }
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.n += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.n.set(self.n.get() + 1);
             Ok(Answer::bare(
                 task.id,
-                WorkerId::new(self.n),
+                WorkerId::new(self.n.get()),
                 task.truth.clone().unwrap(),
             ))
         }
@@ -1012,7 +1016,7 @@ mod count_tests {
             None
         }
         fn answers_delivered(&self) -> u64 {
-            self.n
+            self.n.get()
         }
     }
 
@@ -1045,7 +1049,7 @@ mod count_tests {
     #[test]
     fn count_star_over_crowd_predicate() {
         let mut s = session();
-        let mut oracle = TruthfulOracle { n: 0 };
+        let oracle = TruthfulOracle { n: std::cell::Cell::new(0) };
         let mut f = SimTaskFactory {
             fill_truth: |_: &str, row: &[Value], _: &str| match row[0] {
                 Value::Int(i) if i < 3 => "keep".to_owned(),
@@ -1057,7 +1061,7 @@ mod count_tests {
         let (rows, stats) = s
             .query_crowd(
                 "SELECT COUNT(*) FROM t WHERE tag = 'keep'",
-                &mut oracle,
+                &oracle,
                 &mut f,
                 3,
                 true,

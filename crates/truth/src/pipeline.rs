@@ -6,6 +6,7 @@
 //! [`TruthInferencer`]. This module packages that loop once so every
 //! experiment, example and integration test exercises the same code path.
 
+use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::task::Task;
@@ -43,7 +44,7 @@ impl PipelineOutcome {
 /// Tasks that received zero answers (budget exhausted) are absent from the
 /// matrix; use [`PipelineOutcome::labels_aligned`] to map back.
 pub fn label_tasks<O, I>(
-    oracle: &mut O,
+    oracle: &O,
     tasks: &[Task],
     k: usize,
     inferencer: &I,
@@ -60,9 +61,11 @@ where
 ///
 /// Answers are bought round-robin across tasks in waves — the platform
 /// round model — so early stopping on easy tasks frees budget for hard
-/// ones, which is the entire point of adaptive stopping.
+/// ones, which is the entire point of adaptive stopping. Each wave goes to
+/// the platform as one batched request, so the still-open tasks of a wave
+/// overlap in crowd latency.
 pub fn label_tasks_adaptive<O, R, I>(
-    oracle: &mut O,
+    oracle: &O,
     tasks: &[Task],
     rule: &R,
     max_answers: u32,
@@ -87,28 +90,32 @@ where
     let mut bought = 0usize;
 
     while !open.is_empty() {
+        let reqs: Vec<AskRequest<'_>> =
+            open.iter().map(|&ti| AskRequest::new(&tasks[ti])).collect();
+        let outcomes = oracle.ask_batch(&reqs)?;
         let mut still_open = Vec::with_capacity(open.len());
-        for &ti in &open {
-            let task = &tasks[ti];
-            match oracle.ask_one(task) {
-                Ok(answer) => {
-                    if let Some(label) = answer.value.as_choice() {
-                        matrix.push(answer.task, answer.worker, label)?;
-                        votes[ti][label as usize] += 1;
-                        bought += 1;
-                    }
-                    if !rule.should_stop(&votes[ti], max_answers) {
-                        still_open.push(ti);
-                    }
-                }
-                Err(e) if e.is_resource_exhaustion() => {
-                    // Stop collecting entirely: budget or pool is gone.
-                    still_open.clear();
-                    open.clear();
-                    break;
-                }
-                Err(e) => return Err(e),
+        let mut exhausted = false;
+        for (&ti, out) in open.iter().zip(&outcomes) {
+            match &out.shortfall {
+                // Budget or pool died somewhere in this wave: keep what was
+                // bought, stop collecting entirely afterwards.
+                Some(e) if e.is_resource_exhaustion() => exhausted = true,
+                Some(e) => return Err(e.clone()),
+                None => {}
             }
+            for answer in &out.answers {
+                if let Some(label) = answer.value.as_choice() {
+                    matrix.push(answer.task, answer.worker, label)?;
+                    votes[ti][label as usize] += 1;
+                    bought += 1;
+                }
+            }
+            if !rule.should_stop(&votes[ti], max_answers) {
+                still_open.push(ti);
+            }
+        }
+        if exhausted {
+            break;
         }
         open = still_open;
     }
@@ -134,27 +141,27 @@ mod tests {
     /// Oracle whose workers always answer the task's ground truth; spends
     /// one unit per answer against an optional budget.
     struct TruthfulOracle {
-        budget: Budget,
-        next_worker: u64,
-        delivered: u64,
+        budget: std::cell::RefCell<Budget>,
+        next_worker: std::cell::Cell<u64>,
+        delivered: std::cell::Cell<u64>,
     }
 
     impl TruthfulOracle {
         fn new(limit: f64) -> Self {
             Self {
-                budget: Budget::new(limit),
-                next_worker: 0,
-                delivered: 0,
+                budget: std::cell::RefCell::new(Budget::new(limit)),
+                next_worker: std::cell::Cell::new(0),
+                delivered: std::cell::Cell::new(0),
             }
         }
     }
 
     impl CrowdOracle for TruthfulOracle {
-        fn ask_one(&mut self, task: &Task) -> Result<Answer> {
-            self.budget.debit(1.0)?;
-            let w = WorkerId::new(self.next_worker);
-            self.next_worker += 1;
-            self.delivered += 1;
+        fn ask_one(&self, task: &Task) -> Result<Answer> {
+            self.budget.borrow_mut().debit(1.0)?;
+            let w = WorkerId::new(self.next_worker.get());
+            self.next_worker.set(self.next_worker.get() + 1);
+            self.delivered.set(self.delivered.get() + 1);
             Ok(Answer::bare(
                 task.id,
                 w,
@@ -163,11 +170,11 @@ mod tests {
         }
 
         fn remaining_budget(&self) -> Option<f64> {
-            Some(self.budget.remaining())
+            Some(self.budget.borrow().remaining())
         }
 
         fn answers_delivered(&self) -> u64 {
-            self.delivered
+            self.delivered.get()
         }
     }
 
@@ -183,8 +190,8 @@ mod tests {
     #[test]
     fn fixed_k_pipeline_labels_everything() {
         let ts = tasks(10);
-        let mut oracle = TruthfulOracle::new(1e9);
-        let out = label_tasks(&mut oracle, &ts, 3, &MajorityVote).unwrap();
+        let oracle = TruthfulOracle::new(1e9);
+        let out = label_tasks(&oracle, &ts, 3, &MajorityVote).unwrap();
         assert_eq!(out.answers_bought, 30);
         for (i, t) in ts.iter().enumerate() {
             assert_eq!(out.label_for(t), Some((i % 2) as u32));
@@ -194,9 +201,9 @@ mod tests {
     #[test]
     fn adaptive_margin_stops_early_on_unanimous_answers() {
         let ts = tasks(10);
-        let mut oracle = TruthfulOracle::new(1e9);
+        let oracle = TruthfulOracle::new(1e9);
         let rule = MajorityMargin { margin: 2 };
-        let out = label_tasks_adaptive(&mut oracle, &ts, &rule, 10, &MajorityVote).unwrap();
+        let out = label_tasks_adaptive(&oracle, &ts, &rule, 10, &MajorityVote).unwrap();
         // Truthful workers agree immediately: 2 answers per task suffice.
         assert_eq!(out.answers_bought, 20, "margin-2 with unanimity = 2 answers");
         assert_eq!(
@@ -208,8 +215,8 @@ mod tests {
     #[test]
     fn budget_exhaustion_yields_partial_labels() {
         let ts = tasks(10);
-        let mut oracle = TruthfulOracle::new(7.0);
-        let out = label_tasks(&mut oracle, &ts, 3, &MajorityVote).unwrap();
+        let oracle = TruthfulOracle::new(7.0);
+        let out = label_tasks(&oracle, &ts, 3, &MajorityVote).unwrap();
         assert_eq!(out.answers_bought, 7);
         let labelled = out.labels_aligned(&ts).iter().filter(|l| l.is_some()).count();
         assert_eq!(labelled, 7, "round-robin wave labels first 7 tasks once");
@@ -218,8 +225,8 @@ mod tests {
     #[test]
     fn empty_collection_is_an_error() {
         let ts = tasks(3);
-        let mut oracle = TruthfulOracle::new(0.0);
-        let err = label_tasks(&mut oracle, &ts, 3, &MajorityVote).unwrap_err();
+        let oracle = TruthfulOracle::new(0.0);
+        let err = label_tasks(&oracle, &ts, 3, &MajorityVote).unwrap_err();
         assert!(matches!(err, CrowdError::EmptyInput(_)));
     }
 }

@@ -48,9 +48,9 @@ fn main() {
                 .unwrap();
         }
         let pop = PopulationBuilder::new().reliable(40, 0.9, 0.99).build(seed);
-        let mut crowd = SimulatedCrowd::new(pop, seed);
+        let crowd = SimulatedCrowd::new(pop, seed);
         let (rows, stats) = s
-            .query_crowd(sql, &mut crowd, &mut factory, 3, optimized)
+            .query_crowd(sql, &crowd, &mut factory, 3, optimized)
             .unwrap();
         println!(
             "{label:>9}: {} rows, {} crowd questions ({} cells filled)",

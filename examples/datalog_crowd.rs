@@ -45,8 +45,8 @@ fn main() {
     };
 
     let pop = PopulationBuilder::new().reliable(30, 0.85, 0.98).build(seed);
-    let mut crowd = SimulatedCrowd::new(pop, seed);
-    let mut resolver = OracleResolver::new(&mut crowd, 5, |id, pred, bound, _free| {
+    let crowd = SimulatedCrowd::new(pop, seed);
+    let mut resolver = OracleResolver::new(&crowd, 5, |id, pred, bound, _free| {
         // Render the fetch as an open-text task with latent truth attached.
         let restaurant = bound
             .first()

@@ -34,9 +34,9 @@ fn main() {
     let truth_clusters = data.truth_clusters();
     for (label, use_transitivity) in [("verification only", false), ("with transitivity", true)] {
         let pop = PopulationBuilder::new().reliable(50, 0.85, 0.97).build(seed);
-        let mut crowd = SimulatedCrowd::new(pop, seed);
+        let crowd = SimulatedCrowd::new(pop, seed);
         let outcome = crowd_join(
-            &mut crowd,
+            &crowd,
             n,
             &candidates,
             |id, a, b| {

@@ -27,8 +27,8 @@ fn main() {
     // Phase 1 — enumerate: buy collection answers until Good–Turing
     // coverage says the unseen tail is small.
     let pop = PopulationBuilder::new().reliable(300, 0.85, 0.97).build(seed);
-    let mut crowd = SimulatedCrowd::new(pop, seed);
-    let out = crowd_collect(&mut crowd, &pool.task(TaskId::new(0)), 0.97, 300)
+    let crowd = SimulatedCrowd::new(pop, seed);
+    let out = crowd_collect(&crowd, &pool.task(TaskId::new(0)), 0.97, 300)
         .expect("enumeration succeeds");
     println!(
         "enumeration: {} answers → {} distinct entities (chao92 estimates {:.1}, truth {})",
@@ -65,11 +65,11 @@ fn main() {
         left_wins_truth: |l: &Value, r: &Value| l.display_raw() > r.display_raw(),
     };
     let pop = PopulationBuilder::new().reliable(200, 0.9, 0.99).build(seed);
-    let mut crowd = SimulatedCrowd::new(pop, seed);
+    let crowd = SimulatedCrowd::new(pop, seed);
     let (rows, stats) = session
         .query_crowd(
             "SELECT COUNT(*) FROM restaurants WHERE city = 'tokyo'",
-            &mut crowd,
+            &crowd,
             &mut factory,
             3,
             true,
@@ -87,7 +87,7 @@ fn main() {
     let (rows, stats) = session
         .query_crowd(
             "SELECT name FROM restaurants WHERE city = 'osaka' ORDER BY name ASC LIMIT 3",
-            &mut crowd,
+            &crowd,
             &mut factory,
             3,
             true,

@@ -21,8 +21,8 @@ fn main() {
     println!("{n_tasks} binary tasks, {k} votes each, spam-heavy crowd (40% spam, 20% adversarial)\n");
 
     // Baseline: majority vote on the raw crowd.
-    let mut crowd = SimulatedCrowd::new(mixes::spam_heavy(80, seed), seed);
-    let out = label_tasks(&mut crowd, &data.tasks, k, &MajorityVote).unwrap();
+    let crowd = SimulatedCrowd::new(mixes::spam_heavy(80, seed), seed);
+    let out = label_tasks(&crowd, &data.tasks, k, &MajorityVote).unwrap();
     let score = |out: &crowdkit::truth::pipeline::PipelineOutcome| -> f64 {
         let predicted: Vec<u32> = data
             .tasks
@@ -38,7 +38,7 @@ fn main() {
     );
 
     // Defence 1: qualification test before workers may take tasks.
-    let mut screened = PlatformBuilder::new(mixes::spam_heavy(80, seed))
+    let screened = PlatformBuilder::new(mixes::spam_heavy(80, seed))
         .qualification(Qualification {
             questions: 8,
             pass_fraction: 0.75,
@@ -48,7 +48,7 @@ fn main() {
         .build();
     let pool_after = screened.population().len();
     let screening_cost = screened.ledger().entry("qualification").unwrap().count;
-    let out = label_tasks(&mut screened, &data.tasks, k, &MajorityVote).unwrap();
+    let out = label_tasks(&screened, &data.tasks, k, &MajorityVote).unwrap();
     println!(
         "qualification gate + majority vote: {:>5.1}%  ({} answers + {} screening questions, pool 80 → {pool_after})",
         100.0 * score(&out),
@@ -60,8 +60,8 @@ fn main() {
     // but 10% of the tasks are questions we already knew the answer to).
     let ids: Vec<_> = data.tasks.iter().map(|t| t.id).collect();
     let gold = inject_gold_stride(&ids, &data.truths, 10);
-    let mut crowd = SimulatedCrowd::new(mixes::spam_heavy(80, seed), seed);
-    let out = label_tasks(&mut crowd, &data.tasks, k, &GoldWeightedVote::new(gold)).unwrap();
+    let crowd = SimulatedCrowd::new(mixes::spam_heavy(80, seed), seed);
+    let out = label_tasks(&crowd, &data.tasks, k, &GoldWeightedVote::new(gold)).unwrap();
     println!(
         "10% gold + weighted vote          : {:>5.1}%  ({} answers, 40 of them on known-answer tasks)",
         100.0 * score(&out),

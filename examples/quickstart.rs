@@ -33,8 +33,8 @@ fn main() {
 
     for algo in &algorithms {
         // Fresh platform per run so every algorithm sees identical answers.
-        let mut crowd = SimulatedCrowd::new(mixes::spam_heavy(60, seed), seed);
-        let outcome = label_tasks(&mut crowd, &data.tasks, redundancy, algo.as_ref())
+        let crowd = SimulatedCrowd::new(mixes::spam_heavy(60, seed), seed);
+        let outcome = label_tasks(&crowd, &data.tasks, redundancy, algo.as_ref())
             .expect("collection succeeds");
         let predicted: Vec<u32> = data
             .tasks

@@ -32,8 +32,8 @@ fn main() {
     for budget in [50, 150, 400, full_space] {
         let pairs = sample_pairs(n, budget, seed);
         let pop = PopulationBuilder::new().reliable(40, 0.8, 0.95).build(seed);
-        let mut crowd = SimulatedCrowd::new(pop, seed);
-        let graph = collect_comparisons(&mut crowd, n, &pairs, 3, |id, a, b| {
+        let crowd = SimulatedCrowd::new(pop, seed);
+        let graph = collect_comparisons(&crowd, n, &pairs, 3, |id, a, b| {
             data.comparison_task(id, a, b)
         })
         .expect("collection succeeds");
@@ -51,8 +51,8 @@ fn main() {
 
     // Max via tournament: n−1 matches instead of a full graph.
     let pop = PopulationBuilder::new().reliable(40, 0.85, 0.97).build(seed);
-    let mut crowd = SimulatedCrowd::new(pop, seed);
-    let out = crowd_max(&mut crowd, n, 3, |id, a, b| data.comparison_task(id, a, b))
+    let crowd = SimulatedCrowd::new(pop, seed);
+    let out = crowd_max(&crowd, n, 3, |id, a, b| data.comparison_task(id, a, b))
         .expect("tournament succeeds");
     println!(
         "\ntournament max: item {} (true max {}) in {} matches / {} questions",

@@ -35,12 +35,12 @@ fn factory() -> impl crowdkit::sql::TaskFactory {
 fn crowdsql_query_with_noisy_crowd_still_answers_correctly() {
     let mut s = products_session(9);
     let pop = PopulationBuilder::new().reliable(60, 0.85, 0.95).build(31);
-    let mut crowd = SimulatedCrowd::new(pop, 31);
+    let crowd = SimulatedCrowd::new(pop, 31);
     let mut f = factory();
     let (rows, stats) = s
         .query_crowd(
             "SELECT name FROM products WHERE category = 'phone'",
-            &mut crowd,
+            &crowd,
             &mut f,
             5,
             true,
@@ -57,9 +57,9 @@ fn crowdsql_optimizer_saves_questions_on_selective_queries() {
     let run = |optimized: bool| -> u64 {
         let mut s = products_session(10);
         let pop = PopulationBuilder::new().reliable(60, 0.95, 1.0).build(7);
-        let mut crowd = SimulatedCrowd::new(pop, 7);
+        let crowd = SimulatedCrowd::new(pop, 7);
         let mut f = factory();
-        let (_, stats) = s.query_crowd(sql, &mut crowd, &mut f, 3, optimized).unwrap();
+        let (_, stats) = s.query_crowd(sql, &crowd, &mut f, 3, optimized).unwrap();
         stats.questions
     };
     let opt = run(true);
@@ -78,12 +78,12 @@ fn crowdsql_crowdorder_limit_returns_the_best_row() {
         s.execute_ddl(&format!("INSERT INTO t VALUES ('{n}')")).unwrap();
     }
     let pop = PopulationBuilder::new().reliable(60, 0.95, 1.0).build(3);
-    let mut crowd = SimulatedCrowd::new(pop, 3);
+    let crowd = SimulatedCrowd::new(pop, 3);
     let mut f = factory();
     let (rows, _) = s
         .query_crowd(
             "SELECT name FROM t ORDER BY CROWDORDER(name) LIMIT 1",
-            &mut crowd,
+            &crowd,
             &mut f,
             3,
             true,
@@ -107,8 +107,8 @@ fn datalog_program_with_simulated_crowd_and_negation() {
     let engine = Engine::new(program).unwrap();
 
     let pop = PopulationBuilder::new().reliable(40, 0.9, 0.99).build(5);
-    let mut crowd = SimulatedCrowd::new(pop, 5);
-    let mut resolver = OracleResolver::new(&mut crowd, 5, |id, _pred, bound, _free| {
+    let crowd = SimulatedCrowd::new(pop, 5);
+    let mut resolver = OracleResolver::new(&crowd, 5, |id, _pred, bound, _free| {
         let who = bound[0].1.display_raw();
         let truth = if who == "ada" || who == "cyd" { "paris" } else { "berlin" };
         Task::new(id, TaskKind::OpenText, format!("hometown of {who}?"))
@@ -145,7 +145,7 @@ fn datalog_and_sql_agree_on_the_same_crowd_facts() {
             .unwrap();
     }
     let pop = PopulationBuilder::new().reliable(40, 0.95, 1.0).build(1);
-    let mut crowd = SimulatedCrowd::new(pop, 1);
+    let crowd = SimulatedCrowd::new(pop, 1);
     let mut f = SimTaskFactory {
         fill_truth: move |_: &str, row: &[Value], _: &str| match row[0] {
             Value::Int(i) => truth_category(i).to_owned(),
@@ -157,7 +157,7 @@ fn datalog_and_sql_agree_on_the_same_crowd_facts() {
     let (rows, _) = s
         .query_crowd(
             "SELECT id FROM items WHERE category = 'phone'",
-            &mut crowd,
+            &crowd,
             &mut f,
             3,
             true,
@@ -182,8 +182,8 @@ fn datalog_and_sql_agree_on_the_same_crowd_facts() {
     .unwrap();
     let engine = Engine::new(program).unwrap();
     let pop = PopulationBuilder::new().reliable(40, 0.95, 1.0).build(2);
-    let mut crowd2 = SimulatedCrowd::new(pop, 2);
-    let mut resolver = OracleResolver::new(&mut crowd2, 3, move |id, _pred, bound, _free| {
+    let crowd2 = SimulatedCrowd::new(pop, 2);
+    let mut resolver = OracleResolver::new(&crowd2, 3, move |id, _pred, bound, _free| {
         let i = match bound[0].1 {
             Const::Int(i) => i,
             _ => unreachable!(),

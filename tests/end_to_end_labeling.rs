@@ -15,8 +15,8 @@ fn run_accuracy<I: TruthInferencer>(
     seed: u64,
     algo: &I,
 ) -> f64 {
-    let mut crowd = SimulatedCrowd::new(mixes::spam_heavy(pop_size, seed), seed);
-    let outcome = label_tasks(&mut crowd, &data.tasks, k, algo).unwrap();
+    let crowd = SimulatedCrowd::new(mixes::spam_heavy(pop_size, seed), seed);
+    let outcome = label_tasks(&crowd, &data.tasks, k, algo).unwrap();
     let predicted: Vec<u32> = data
         .tasks
         .iter()
@@ -56,8 +56,8 @@ fn accuracy_grows_with_redundancy() {
 #[test]
 fn reliable_crowds_make_everyone_accurate() {
     let data = LabelingDataset::binary(200, 3);
-    let mut crowd = SimulatedCrowd::new(mixes::reliable(40, 3), 3);
-    let outcome = label_tasks(&mut crowd, &data.tasks, 5, &MajorityVote).unwrap();
+    let crowd = SimulatedCrowd::new(mixes::reliable(40, 3), 3);
+    let outcome = label_tasks(&crowd, &data.tasks, 5, &MajorityVote).unwrap();
     let predicted: Vec<u32> = data
         .tasks
         .iter()
@@ -73,8 +73,8 @@ fn quality_aware_assignment_beats_random_under_tight_budget() {
     let algo = OneCoinEm::default();
 
     let acc = |policy: &mut dyn crowdkit::assign::AssignmentPolicy, seed: u64| -> f64 {
-        let mut crowd = SimulatedCrowd::new(mixes::mixed(50, seed), seed);
-        let out = run_assignment(&mut crowd, &data.tasks, policy, 600, 15).unwrap();
+        let crowd = SimulatedCrowd::new(mixes::mixed(50, seed), seed);
+        let out = run_assignment(&crowd, &data.tasks, policy, 600, 15).unwrap();
         let inference = algo.infer(&out.matrix).unwrap();
         let mut correct = 0;
         let mut total = 0;
@@ -118,7 +118,7 @@ fn platform_budget_bounds_total_spend() {
 
     let data = LabelingDataset::binary(100, 4);
     let pop = mixes::reliable(30, 4);
-    let mut crowd = PlatformBuilder::new(pop).budget(Budget::new(50.0)).build();
-    let outcome = label_tasks(&mut crowd, &data.tasks, 5, &MajorityVote).unwrap();
+    let crowd = PlatformBuilder::new(pop).budget(Budget::new(50.0)).build();
+    let outcome = label_tasks(&crowd, &data.tasks, 5, &MajorityVote).unwrap();
     assert_eq!(outcome.answers_bought, 50, "spend equals the budget exactly");
 }

@@ -20,8 +20,8 @@ use crowdkit::truth::sequential::{MajorityMargin, Sprt};
 fn filter_with_margin_rule_is_cheaper_than_fixed_k_at_similar_accuracy() {
     let data = LabelingDataset::binary(200, 9);
     let run = |rule: &dyn crowdkit::core::traits::StoppingRule| {
-        let mut crowd = SimulatedCrowd::new(mixes::reliable(60, 9), 9);
-        let out = crowd_filter(&mut crowd, &data.tasks, rule, 7).unwrap();
+        let crowd = SimulatedCrowd::new(mixes::reliable(60, 9), 9);
+        let out = crowd_filter(&crowd, &data.tasks, rule, 7).unwrap();
         let correct = out
             .decisions
             .iter()
@@ -46,9 +46,9 @@ fn entity_resolution_pipeline_reaches_high_f1_with_reliable_crowd() {
     let texts: Vec<String> = data.records.iter().map(|r| r.text.clone()).collect();
     let cands = candidate_pairs(&texts, 0.3);
     let pop = PopulationBuilder::new().reliable(40, 0.92, 0.99).build(13);
-    let mut crowd = SimulatedCrowd::new(pop, 13);
+    let crowd = SimulatedCrowd::new(pop, 13);
     let out = crowd_join(
-        &mut crowd,
+        &crowd,
         texts.len(),
         &cands,
         |id, a, b| {
@@ -70,8 +70,8 @@ fn entity_resolution_pipeline_reaches_high_f1_with_reliable_crowd() {
 fn top_k_recovers_the_true_top_items() {
     let data = RankingDataset::generate(32, 21);
     let pop = PopulationBuilder::new().reliable(60, 0.93, 0.99).build(21);
-    let mut crowd = SimulatedCrowd::new(pop, 21);
-    let out = crowd_top_k(&mut crowd, 32, 3, 3, |id, a, b| {
+    let crowd = SimulatedCrowd::new(pop, 21);
+    let out = crowd_top_k(&crowd, 32, 3, 3, |id, a, b| {
         data.comparison_task(id, a, b)
     })
     .unwrap();
@@ -95,8 +95,8 @@ fn count_estimation_ci_covers_truth_most_of_the_time() {
     let runs = 10;
     for seed in 0..runs {
         let pop = PopulationBuilder::new().reliable(400, 0.95, 1.0).build(seed);
-        let mut crowd = SimulatedCrowd::new(pop, seed);
-        let est = estimate_count(&mut crowd, &data.tasks, 300, 3, 1.96, seed).unwrap();
+        let crowd = SimulatedCrowd::new(pop, seed);
+        let est = estimate_count(&crowd, &data.tasks, 300, 3, 1.96, seed).unwrap();
         if est.ci_low <= truth && truth <= est.ci_high {
             covered += 1;
         }
@@ -110,8 +110,8 @@ fn collection_curve_approaches_true_richness() {
     let pool = CollectionPool::generate(40, 0);
     let task = pool.task(TaskId::new(0));
     let pop = PopulationBuilder::new().reliable(500, 0.8, 0.95).build(23);
-    let mut crowd = SimulatedCrowd::new(pop, 23);
-    let out = crowd_collect(&mut crowd, &task, 0.995, 400).unwrap();
+    let crowd = SimulatedCrowd::new(pop, 23);
+    let out = crowd_collect(&crowd, &task, 0.995, 400).unwrap();
     let distinct = out.counts.distinct();
     assert!(
         distinct > 25,

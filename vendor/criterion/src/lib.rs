@@ -1,0 +1,232 @@
+//! Vendored, API-compatible subset of the `criterion` crate.
+//!
+//! The workspace builds in fully offline environments, so the external
+//! dependency is replaced by a lightweight wall-clock harness exposing the
+//! surface crowdkit's benches use: `criterion_group!` / `criterion_main!`,
+//! [`Criterion::benchmark_group`], `bench_function` / `bench_with_input`,
+//! [`BenchmarkId`] and [`Bencher::iter`].
+//!
+//! Statistics are intentionally simple — a warm-up pass followed by timed
+//! samples, reporting min/mean — because the benches gate relative
+//! comparisons (e.g. batched vs sequential execution), not absolute
+//! regression thresholds.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub use std::hint::black_box;
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A function name plus a parameter, rendered `name/param`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        let mut label = function_name.into();
+        let _ = write!(label, "/{parameter}");
+        Self { label }
+    }
+
+    /// Just a parameter, rendered on its own.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.into() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Passed to bench closures; [`Bencher::iter`] times the hot loop.
+pub struct Bencher {
+    samples: usize,
+    /// (min, mean) of the measured samples, populated by `iter`.
+    result: Option<(Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Runs `routine` once to warm up, then `samples` timed iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..self.samples {
+            let t0 = Instant::now();
+            black_box(routine());
+            let dt = t0.elapsed();
+            total += dt;
+            min = min.min(dt);
+        }
+        self.result = Some((min, total / self.samples as u32));
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 10_000 {
+        format!("{ns} ns")
+    } else if ns < 10_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 10_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+fn run_one(group: &str, label: &str, samples: usize, f: impl FnOnce(&mut Bencher)) {
+    let mut b = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut b);
+    let name = if group.is_empty() {
+        label.to_string()
+    } else {
+        format!("{group}/{label}")
+    };
+    match b.result {
+        Some((min, mean)) => println!(
+            "bench {name:<50} min {:>12}   mean {:>12}   ({samples} samples)",
+            fmt_duration(min),
+            fmt_duration(mean),
+        ),
+        None => println!("bench {name:<50} (no measurement — iter never called)"),
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().label, self.criterion.sample_size, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        f: F,
+    ) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().label, self.criterion.sample_size, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; a no-op for us).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10 }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnOnce(&mut Bencher),
+    {
+        run_one("", &id.into().label, self.sample_size, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function(BenchmarkId::new("spin", 8), |b| {
+            b.iter(|| {
+                runs += 1;
+                (0..1000u64).sum::<u64>()
+            });
+        });
+        group.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn benchmark_ids_render_like_criterion() {
+        assert_eq!(BenchmarkId::new("mv", 200).label, "mv/200");
+        assert_eq!(BenchmarkId::from_parameter(9).label, "9");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+}

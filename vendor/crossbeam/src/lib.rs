@@ -1,0 +1,131 @@
+//! Vendored, API-compatible subset of the `crossbeam` crate.
+//!
+//! The workspace builds in fully offline environments, so the external
+//! dependency is replaced by a thin adapter over `std::thread::scope`
+//! (stable since Rust 1.63) exposing `crossbeam::thread`'s scoped-spawn
+//! API: spawn closures receive a `&Scope` handle for nested spawning and
+//! `scope` returns a `Result` like the original.
+
+/// Scoped threads (`crossbeam::thread` surface).
+pub mod thread {
+    /// The result type of [`scope`]: `Err` carries a child panic payload.
+    pub type ScopeResult<T> = std::thread::Result<T>;
+
+    /// Handle for spawning threads tied to an enclosing [`scope`] call.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives a `&Scope` so it
+        /// can spawn further siblings, mirroring crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let handle = Scope { inner: self.inner };
+            self.inner.spawn(move || f(&handle))
+        }
+    }
+
+    /// Creates a scope in which spawned threads are joined before return.
+    ///
+    /// Unlike `std::thread::scope`, a panicking child does not propagate:
+    /// it is reported through the returned `Result`, as crossbeam does.
+    pub fn scope<'env, F, R>(f: F) -> ScopeResult<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+/// Utilities (`crossbeam::utils` surface).
+pub mod utils {
+    /// Pads and aligns a value to 128 bytes to avoid false sharing.
+    #[derive(Debug, Default)]
+    #[repr(align(128))]
+    pub struct CachePadded<T> {
+        value: T,
+    }
+
+    impl<T> CachePadded<T> {
+        /// Wraps `value` in cache-line padding.
+        pub const fn new(value: T) -> Self {
+            Self { value }
+        }
+
+        /// Unwraps the value.
+        pub fn into_inner(self) -> T {
+            self.value
+        }
+    }
+
+    impl<T> std::ops::Deref for CachePadded<T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            &self.value
+        }
+    }
+
+    impl<T> std::ops::DerefMut for CachePadded<T> {
+        fn deref_mut(&mut self) -> &mut T {
+            &mut self.value
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn scope_joins_all_children() {
+        let counter = AtomicU64::new(0);
+        let total = crate::thread::scope(|s| {
+            let mut handles = Vec::new();
+            for i in 0..8u64 {
+                let counter = &counter;
+                handles.push(s.spawn(move |_| {
+                    counter.fetch_add(i, Ordering::Relaxed);
+                    i * 2
+                }));
+            }
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 28);
+        assert_eq!(total, 56);
+    }
+
+    #[test]
+    fn nested_spawn_via_scope_handle() {
+        let n = crate::thread::scope(|s| {
+            s.spawn(|s2| s2.spawn(|_| 21u32).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+
+    #[test]
+    fn child_panic_is_reported_not_propagated() {
+        let r = crate::thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+            7
+        });
+        assert!(r.is_err(), "panicking child surfaces as Err");
+    }
+
+    #[test]
+    fn cache_padded_derefs() {
+        let mut p = crate::utils::CachePadded::new(5u8);
+        *p += 1;
+        assert_eq!(*p, 6);
+        assert!(core::mem::align_of::<crate::utils::CachePadded<u8>>() >= 128);
+    }
+}

@@ -1,0 +1,250 @@
+//! Vendored, API-compatible subset of the `proptest` crate.
+//!
+//! The workspace builds in fully offline environments, so the external
+//! dependency is replaced by this shim implementing the surface crowdkit's
+//! property tests use: the [`proptest!`] macro with `#![proptest_config]`,
+//! range / tuple / `Just` / pattern-string strategies,
+//! `prop::collection::vec`, `prop::bool::ANY`, `prop_map`, [`prop_oneof!`],
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are drawn from a fixed-seed
+//! deterministic RNG (reproducible by construction, no persistence files)
+//! and failing inputs are reported without shrinking — the failing case
+//! index and seed are printed instead so a failure is still replayable.
+
+pub mod strategy;
+
+/// Runner configuration and error plumbing (`proptest::test_runner` surface).
+pub mod test_runner {
+    /// Controls how many random cases each property runs.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+        /// Maximum consecutive `prop_assume!` rejections tolerated before
+        /// the property is considered vacuous and fails.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases with default limits.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the inputs; draw a fresh case.
+        Reject(String),
+        /// An assertion failed; the property is falsified.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure from a message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// Builds a rejection from a message.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Result type property bodies evaluate to inside the runner.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+}
+
+/// Strategy namespace (`proptest::prop` mirror — `prop::collection::vec`
+/// and friends).
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::{vec, SizeRange, VecStrategy};
+    }
+
+    /// Boolean strategies.
+    pub mod bool {
+        /// Uniformly random booleans.
+        pub const ANY: crate::strategy::AnyBool = crate::strategy::AnyBool;
+    }
+
+    /// Numeric strategies live directly on range syntax (`0u32..10`).
+    pub mod num {}
+}
+
+/// Everything a property-test module usually imports.
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest};
+}
+
+#[doc(hidden)]
+pub mod __rt {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+
+    /// Drives one property: draws cases, skips rejects, panics on failure
+    /// with enough context to replay (seed + case index).
+    pub fn run_property<S, F>(name: &str, cfg: &ProptestConfig, strat: S, body: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> TestCaseResult,
+    {
+        // Fixed seed: deterministic across runs, varied per property name
+        // so sibling properties don't see identical streams.
+        let seed = name
+            .bytes()
+            .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
+            });
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut accepted = 0u32;
+        let mut rejected = 0u32;
+        while accepted < cfg.cases {
+            if rejected > cfg.max_global_rejects {
+                panic!(
+                    "property `{name}`: gave up after {rejected} prop_assume! rejections \
+                     ({accepted}/{} cases run)",
+                    cfg.cases
+                );
+            }
+            let value = strat.sample(&mut rng);
+            match body(value) {
+                Ok(()) => accepted += 1,
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "property `{name}` falsified at case {accepted} (seed {seed:#x}): {msg}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Runs each contained `fn name(arg in strategy, ...) { body }` as a
+/// property over randomly generated cases.
+///
+/// Mirrors `proptest::proptest!`, including the optional leading
+/// `#![proptest_config(...)]` attribute.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!{ ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::test_runner::ProptestConfig = $cfg;
+            $crate::__rt::run_property(
+                stringify!($name),
+                &cfg,
+                ($($strat,)+),
+                |($($arg,)+)| -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                },
+            );
+        }
+        $crate::__proptest_fns!{ ($cfg) $($rest)* }
+    };
+}
+
+/// `assert!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// `assert_eq!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "{} (left: `{:?}`, right: `{:?}`)",
+            format!($($fmt)*), l, r
+        );
+    }};
+}
+
+/// `assert_ne!` that reports through the property runner.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left), stringify!($right), l
+        );
+    }};
+}
+
+/// Skips the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Picks uniformly among several strategies with the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::OneOf::new(vec![
+            $($crate::strategy::Strategy::boxed($strat),)+
+        ])
+    };
+}

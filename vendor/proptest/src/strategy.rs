@@ -1,0 +1,432 @@
+//! Value-generation strategies (`proptest::strategy` surface subset).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A recipe for generating random values of one type.
+///
+/// Unlike upstream proptest there is no value tree / shrinking: a strategy
+/// is just a deterministic function of the runner's RNG state.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy so heterogeneous strategies with the same
+    /// value type can be mixed (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy {
+            inner: Box::new(self),
+        }
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<T> {
+    inner: Box<dyn Strategy<Value = T>>,
+}
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        self.inner.sample(rng)
+    }
+}
+
+/// Always produces a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn sample(&self, rng: &mut StdRng) -> U {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Uniformly random booleans (`prop::bool::ANY`).
+#[derive(Debug, Clone, Copy)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn sample(&self, rng: &mut StdRng) -> bool {
+        rng.gen::<f64>() < 0.5
+    }
+}
+
+/// Uniform choice among same-valued strategies (`prop_oneof!`).
+pub struct OneOf<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> OneOf<T> {
+    /// Builds from at least one boxed option.
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Self { options }
+    }
+}
+
+impl<T> Strategy for OneOf<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        let i = rng.gen_range(0..self.options.len());
+        self.options[i].sample(rng)
+    }
+}
+
+macro_rules! range_strategy_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+macro_rules! tuple_strategy_impls {
+    ($(($($name:ident $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy_impls!(
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+);
+
+/// Length specification for [`vec`]: a fixed size or a range of sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi_inclusive: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self {
+            lo: n,
+            hi_inclusive: n,
+        }
+    }
+}
+
+impl From<core::ops::Range<usize>> for SizeRange {
+    fn from(r: core::ops::Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        Self {
+            lo: r.start,
+            hi_inclusive: r.end - 1,
+        }
+    }
+}
+
+impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+        Self {
+            lo: *r.start(),
+            hi_inclusive: *r.end(),
+        }
+    }
+}
+
+/// Generates `Vec`s whose elements come from `elem` and whose length is
+/// drawn from `size` (`prop::collection::vec`).
+pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        elem,
+        size: size.into(),
+    }
+}
+
+/// The result of [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+        (0..len).map(|_| self.elem.sample(rng)).collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Pattern-string strategies: `"[a-z]{1,8}"` generates matching strings.
+// ---------------------------------------------------------------------------
+
+/// One repeatable unit of a string pattern.
+#[derive(Debug, Clone)]
+enum PatternAtom {
+    /// A fixed literal character.
+    Lit(char),
+    /// A character class: any of the listed characters.
+    Class(Vec<char>),
+    /// A parenthesised sub-pattern.
+    Group(Vec<RepeatedAtom>),
+}
+
+#[derive(Debug, Clone)]
+struct RepeatedAtom {
+    atom: PatternAtom,
+    min: usize,
+    max: usize,
+}
+
+fn parse_class(chars: &[char], mut i: usize) -> (Vec<char>, usize) {
+    let mut set = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let (lo, hi) = (chars[i], chars[i + 2]);
+            assert!(lo <= hi, "inverted class range `{lo}-{hi}`");
+            set.extend(lo..=hi);
+            i += 3;
+        } else {
+            set.push(chars[i]);
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated character class");
+    assert!(!set.is_empty(), "empty character class");
+    (set, i + 1)
+}
+
+fn parse_quantifier(chars: &[char], i: usize) -> (usize, usize, usize) {
+    if i < chars.len() && chars[i] == '{' {
+        let close = chars[i..]
+            .iter()
+            .position(|&c| c == '}')
+            .expect("unterminated quantifier")
+            + i;
+        let body: String = chars[i + 1..close].iter().collect();
+        let (min, max) = match body.split_once(',') {
+            Some((lo, hi)) => (
+                lo.trim().parse().expect("bad quantifier"),
+                hi.trim().parse().expect("bad quantifier"),
+            ),
+            None => {
+                let n = body.trim().parse().expect("bad quantifier");
+                (n, n)
+            }
+        };
+        (min, max, close + 1)
+    } else if i < chars.len() && chars[i] == '?' {
+        (0, 1, i + 1)
+    } else {
+        (1, 1, i)
+    }
+}
+
+/// Parses a sub-pattern until `end` (or end of input when `end` is None).
+fn parse_sequence(chars: &[char], mut i: usize, until_paren: bool) -> (Vec<RepeatedAtom>, usize) {
+    let mut atoms = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            ')' if until_paren => return (atoms, i + 1),
+            '[' => {
+                let (set, next) = parse_class(chars, i + 1);
+                i = next;
+                PatternAtom::Class(set)
+            }
+            '(' => {
+                let (seq, next) = parse_sequence(chars, i + 1, true);
+                i = next;
+                PatternAtom::Group(seq)
+            }
+            '\\' => {
+                assert!(i + 1 < chars.len(), "dangling escape");
+                i += 2;
+                PatternAtom::Lit(chars[i - 1])
+            }
+            '.' => {
+                // Any char except newline. Sample from ASCII printable plus
+                // a few multi-byte code points so byte-vs-char bugs surface.
+                let mut set: Vec<char> = (' '..='~').collect();
+                set.extend(['\t', 'é', 'λ', '軍', '🦀']);
+                i += 1;
+                PatternAtom::Class(set)
+            }
+            c => {
+                assert!(
+                    !matches!(c, '|' | '*' | '+' | '^' | '$'),
+                    "unsupported pattern metacharacter `{c}` — the offline \
+                     proptest shim generates from a literal/class/group subset"
+                );
+                i += 1;
+                PatternAtom::Lit(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(chars, i);
+        i = next;
+        atoms.push(RepeatedAtom { atom, min, max });
+    }
+    assert!(!until_paren, "unterminated group");
+    (atoms, i)
+}
+
+fn sample_atoms(atoms: &[RepeatedAtom], rng: &mut StdRng, out: &mut String) {
+    for ra in atoms {
+        let reps = rng.gen_range(ra.min..=ra.max);
+        for _ in 0..reps {
+            match &ra.atom {
+                PatternAtom::Lit(c) => out.push(*c),
+                PatternAtom::Class(set) => {
+                    out.push(set[rng.gen_range(0..set.len())]);
+                }
+                PatternAtom::Group(seq) => sample_atoms(seq, rng, out),
+            }
+        }
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let chars: Vec<char> = self.chars().collect();
+        let (atoms, _) = parse_sequence(&chars, 0, false);
+        let mut out = String::new();
+        sample_atoms(&atoms, rng, &mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ranges_sample_within_bounds() {
+        let mut r = rng();
+        for _ in 0..1000 {
+            let x = (3u32..9).sample(&mut r);
+            assert!((3..9).contains(&x));
+            let f = (0.5f64..2.0).sample(&mut r);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn vec_and_tuple_compose() {
+        let mut r = rng();
+        let strat = vec((0u8..5, 10u8..20), 2..6);
+        for _ in 0..200 {
+            let v = strat.sample(&mut r);
+            assert!((2..6).contains(&v.len()));
+            for (a, b) in v {
+                assert!(a < 5 && (10..20).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn map_and_oneof_transform() {
+        let mut r = rng();
+        let strat = crate::prop_oneof![
+            (0u32..5).prop_map(|x| x * 2),
+            Just(100u32),
+        ];
+        let mut saw_even_small = false;
+        let mut saw_hundred = false;
+        for _ in 0..200 {
+            match strat.sample(&mut r) {
+                100 => saw_hundred = true,
+                x => {
+                    assert!(x < 10 && x % 2 == 0);
+                    saw_even_small = true;
+                }
+            }
+        }
+        assert!(saw_even_small && saw_hundred);
+    }
+
+    #[test]
+    fn pattern_strings_match_their_shape() {
+        let mut r = rng();
+        for _ in 0..300 {
+            let s = "[a-z]{1,8}".sample(&mut r);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let t = "[A-Z][a-z0-9]{0,4}".sample(&mut r);
+            assert!(t.chars().next().unwrap().is_ascii_uppercase());
+            assert!(t.len() <= 5);
+
+            let u = "[a-d]{1,3}( [a-d]{1,3}){0,2}".sample(&mut r);
+            let words: Vec<&str> = u.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "bad word count in {u:?}");
+            for w in words {
+                assert!((1..=3).contains(&w.len()));
+                assert!(w.chars().all(|c| ('a'..='d').contains(&c)));
+            }
+        }
+    }
+
+    #[test]
+    fn class_with_split_range_avoids_excluded_char() {
+        let mut r = rng();
+        for _ in 0..500 {
+            let s = "[a-mo-z]".sample(&mut r);
+            assert_ne!(s, "n");
+            assert_eq!(s.len(), 1);
+        }
+    }
+}

@@ -1,0 +1,359 @@
+//! Vendored, API-compatible subset of the `rand` crate (v0.8 surface).
+//!
+//! This workspace builds in fully offline environments, so the external
+//! crates.io dependency is replaced by this shim implementing exactly the
+//! surface crowdkit uses: [`Rng`], [`SeedableRng`], [`rngs::StdRng`] and
+//! [`seq::SliceRandom`].
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — a different
+//! stream than upstream `rand`'s ChaCha12, but with the same determinism
+//! contract (same seed ⇒ same sequence) and statistical quality far beyond
+//! what the simulator's tests require. Integer ranges use the widening
+//! multiply-shift method, so the bias is at most 2⁻⁶⁴ per draw.
+
+/// The core source of randomness: a 64-bit generator.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that can be sampled uniformly from an `Rng` via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits, uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range. Panics when empty.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Element types with a uniform range sampler. The [`SampleRange`] impls
+/// are generic over this trait — mirroring upstream `rand` — so type
+/// inference can unify an untyped integer-literal range with the value
+/// type demanded by the surrounding expression.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Draws uniformly from `[lo, hi)` (or `[lo, hi]` when `inclusive`).
+    fn sample_uniform<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+/// Unbiased-to-2⁻⁶⁴ draw from `[0, span)` via widening multiply.
+#[inline]
+fn mul_shift(rng_word: u64, span: u64) -> u64 {
+    ((rng_word as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_uniform_impls {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    if span == u64::MAX {
+                        return rng.next_u64() as $t;
+                    }
+                    (lo as $wide).wrapping_add(mul_shift(rng.next_u64(), span + 1) as $wide) as $t
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                    (lo as $wide).wrapping_add(mul_shift(rng.next_u64(), span) as $wide) as $t
+                }
+            }
+        }
+    )*};
+}
+
+int_uniform_impls!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+);
+
+macro_rules! float_uniform_impls {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let u: f64 = Standard::sample_standard(rng);
+                if inclusive {
+                    assert!(lo <= hi, "cannot sample empty range");
+                    (lo as f64 + u * (hi as f64 - lo as f64)) as $t
+                } else {
+                    assert!(lo < hi, "cannot sample empty range");
+                    let v = (lo as f64 + u * (hi as f64 - lo as f64)) as $t;
+                    // Clamp away from `hi` in case of rounding.
+                    if v >= hi { lo } else { v }
+                }
+            }
+        }
+    )*};
+}
+
+float_uniform_impls!(f32, f64);
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(self.start, self.end, false, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_uniform(*self.start(), *self.end(), true, rng)
+    }
+}
+
+/// Convenience methods layered over [`RngCore`], mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution
+    /// (uniform over the type's range; `[0, 1)` for floats).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p` (clamped to `[0, 1]`).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        let u: f64 = Standard::sample_standard(self);
+        u < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed, expanding it to full state.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// SplitMix64 step — the canonical seed-expansion function.
+#[inline]
+pub(crate) fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{splitmix64, RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the same stream as upstream `rand`'s `StdRng` (ChaCha12), but
+    /// the same contract: a fixed seed yields a fixed sequence.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            StdRng { s }
+        }
+    }
+}
+
+/// Sequence helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{Rng, SampleRange};
+
+    /// Shuffle and sampling extensions for slices.
+    pub trait SliceRandom {
+        /// The element type.
+        type Item;
+
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+        /// Returns one uniformly chosen element, or `None` when empty.
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample_single(rng);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(0..self.len()).sample_single(rng)])
+            }
+        }
+    }
+}
+
+/// Commonly used re-exports, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::StdRng;
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, RngCore, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let xs: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(xs[0], c.next_u64(), "different seeds diverge");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(-5..=5i64);
+            assert!((-5..=5).contains(&y));
+            let f = rng.gen_range(0.25f64..0.75);
+            assert!((0.25..0.75).contains(&f));
+        }
+    }
+
+    #[test]
+    fn uniform_f64_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean} far from 0.5");
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.gen_bool(0.3)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.3).abs() < 0.01, "rate {rate} far from 0.3");
+    }
+
+    #[test]
+    fn shuffle_and_choose_cover_all_elements() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut xs: Vec<u32> = (0..10).collect();
+        xs.shuffle(&mut rng);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..10).collect::<Vec<_>>());
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..1000 {
+            seen.insert(*xs.choose(&mut rng).unwrap());
+        }
+        assert_eq!(seen.len(), 10, "choose eventually hits every element");
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+    }
+}

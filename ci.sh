@@ -5,3 +5,6 @@ set -euo pipefail
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Machine-readable truth-inference timings (per-algorithm ns/iter).
+cargo run --release -p crowdkit-bench --bin bench_truth -- BENCH_truth.json

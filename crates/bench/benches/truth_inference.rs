@@ -1,14 +1,131 @@
 //! Criterion micro-benchmarks for the truth-inference kernels behind
 //! experiments E1/E2: algorithm runtime over a fixed response matrix as
 //! task count and redundancy scale.
+//!
+//! `main` first runs a regression gate: the flat-CSR Dawid–Skene kernel
+//! must beat a frozen copy of the original pointer-chasing sequential
+//! implementation (see [`seed_ds`]) by at least 2× on the E2 workload
+//! (1000 tasks, 9-vote redundancy) before any benchmark is reported.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use crowdkit_core::par::default_threads;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::TruthInferencer;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::mixes;
 use crowdkit_sim::SimulatedCrowd;
+use crowdkit_truth::em::EmConfig;
 use crowdkit_truth::{pipeline::label_tasks, DawidSkene, Glad, Kos, MajorityVote, OneCoinEm};
+use std::time::Instant;
+
+/// Frozen copy of the seed Dawid–Skene kernel: nested `Vec<Vec<f64>>`
+/// state, per-iteration allocations, and `ln` calls in the E-step inner
+/// loop. Kept verbatim (modulo visibility) as the baseline the flat
+/// kernel is gated against — do not "optimize" this module.
+mod seed_ds {
+    use crowdkit_core::response::ResponseMatrix;
+
+    fn normalize(row: &mut [f64]) {
+        let sum: f64 = row.iter().sum();
+        if sum > 0.0 {
+            for x in row.iter_mut() {
+                *x /= sum;
+            }
+        } else {
+            let u = 1.0 / row.len() as f64;
+            row.fill(u);
+        }
+    }
+
+    fn log_normalize(row: &mut [f64]) {
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+        }
+        normalize(row);
+    }
+
+    /// Seed-layout Dawid–Skene EM; returns the argmax labels.
+    pub fn infer(matrix: &ResponseMatrix, max_iters: usize, tol: f64, smoothing: f64) -> Vec<u32> {
+        let k = matrix.num_labels();
+        let n_workers = matrix.num_workers();
+
+        let mut posteriors = vec![vec![0.0f64; k]; matrix.num_tasks()];
+        for o in matrix.observations() {
+            posteriors[o.task][o.label as usize] += 1.0;
+        }
+        for row in &mut posteriors {
+            normalize(row);
+        }
+        let mut priors = vec![1.0 / k as f64; k];
+        let mut confusion = vec![vec![vec![0.0f64; k]; k]; n_workers];
+
+        let mut iterations = 0;
+        while iterations < max_iters {
+            iterations += 1;
+
+            priors.fill(0.0);
+            for row in &posteriors {
+                for (p, &x) in priors.iter_mut().zip(row) {
+                    *p += x;
+                }
+            }
+            normalize(&mut priors);
+            for cm in &mut confusion {
+                for row in cm.iter_mut() {
+                    row.fill(smoothing);
+                }
+            }
+            for o in matrix.observations() {
+                let post = &posteriors[o.task];
+                let cm = &mut confusion[o.worker];
+                for (t, &p) in post.iter().enumerate() {
+                    cm[t][o.label as usize] += p;
+                }
+            }
+            for cm in &mut confusion {
+                for row in cm.iter_mut() {
+                    normalize(row);
+                }
+            }
+
+            let mut next = vec![vec![0.0f64; k]; matrix.num_tasks()];
+            for (t, row) in next.iter_mut().enumerate() {
+                for (l, x) in row.iter_mut().enumerate() {
+                    *x = priors[l].max(1e-300).ln();
+                }
+                for o in matrix.observations_for_task(t) {
+                    let cm = &confusion[o.worker];
+                    for (l, x) in row.iter_mut().enumerate() {
+                        *x += cm[l][o.label as usize].max(1e-300).ln();
+                    }
+                }
+                log_normalize(row);
+            }
+
+            let delta = posteriors
+                .iter()
+                .zip(&next)
+                .flat_map(|(a, b)| a.iter().zip(b).map(|(x, y)| (x - y).abs()))
+                .fold(0.0f64, f64::max);
+            posteriors = next;
+            if delta < tol {
+                break;
+            }
+        }
+
+        posteriors
+            .iter()
+            .map(|row| {
+                row.iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .map(|(l, _)| l as u32)
+                    .unwrap()
+            })
+            .collect()
+    }
+}
 
 /// Builds a realistic response matrix by running the collection pipeline
 /// once (outside the timed region).
@@ -18,6 +135,50 @@ fn matrix(n_tasks: usize, k: usize) -> ResponseMatrix {
     label_tasks(&crowd, &data.tasks, k, &MajorityVote)
         .expect("collection succeeds")
         .matrix
+}
+
+/// Median wall-clock seconds of `f` over `runs` invocations.
+fn median_secs<F: FnMut()>(runs: usize, mut f: F) -> f64 {
+    let mut samples: Vec<f64> = (0..runs)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// Regression gate: the flat kernel must hold a ≥2× lead over the seed
+/// sequential implementation on the E2 workload.
+fn check_flat_kernel_speedup() {
+    let m = matrix(1000, 9);
+    let cfg = EmConfig::default();
+    let ds = DawidSkene::with_config(cfg);
+    // Warm the CSR cache outside the timed region for both arms.
+    let flat_labels = ds.infer(&m).expect("inference succeeds").labels;
+    let seed_labels = seed_ds::infer(&m, cfg.max_iters, cfg.tol, cfg.smoothing);
+    assert_eq!(
+        flat_labels, seed_labels,
+        "flat kernel must agree with the seed kernel before being timed"
+    );
+    let seed = median_secs(5, || {
+        std::hint::black_box(seed_ds::infer(&m, cfg.max_iters, cfg.tol, cfg.smoothing));
+    });
+    let flat = median_secs(5, || {
+        std::hint::black_box(ds.infer(&m).unwrap());
+    });
+    let speedup = seed / flat;
+    println!(
+        "ds 1000x9: seed {:.2} ms, flat {:.2} ms ({speedup:.1}x)",
+        seed * 1e3,
+        flat * 1e3
+    );
+    assert!(
+        speedup >= 2.0,
+        "flat DS kernel must beat the seed kernel at least 2x (got {speedup:.2}x)"
+    );
 }
 
 fn bench_inference(c: &mut Criterion) {
@@ -52,5 +213,44 @@ fn bench_redundancy_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_inference, bench_redundancy_scaling);
-criterion_main!(benches);
+/// One thread vs the machine's default pool width on the E2 workload,
+/// plus the frozen seed kernel for reference. Results are byte-identical
+/// across the thread settings; only the wall-clock moves.
+fn bench_ds_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ds_parallel");
+    let m = matrix(1000, 9);
+    group.bench_function("seed", |b| {
+        let cfg = EmConfig::default();
+        b.iter(|| {
+            std::hint::black_box(seed_ds::infer(
+                std::hint::black_box(&m),
+                cfg.max_iters,
+                cfg.tol,
+                cfg.smoothing,
+            ))
+        });
+    });
+    let mut widths = vec![1usize];
+    if default_threads() > 1 {
+        widths.push(default_threads());
+    }
+    for threads in widths {
+        let ds = DawidSkene::with_config(EmConfig::default().with_threads(threads));
+        group.bench_function(format!("threads_{threads}"), |b| {
+            b.iter(|| ds.infer(std::hint::black_box(&m)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_inference,
+    bench_redundancy_scaling,
+    bench_ds_parallel
+);
+
+fn main() {
+    check_flat_kernel_speedup();
+    benches();
+}

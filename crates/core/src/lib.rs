@@ -13,6 +13,8 @@
 //!   algorithms.
 //! * [`traits`] — the extension points: [`traits::CrowdOracle`],
 //!   [`traits::TruthInferencer`], [`traits::StoppingRule`].
+//! * [`par`] — deterministic data-parallel primitives (the scoped-pool
+//!   chunking pattern shared by the simulator and the inference kernels).
 //! * [`budget`] — cost models and budget ledgers.
 //! * [`metrics`] — evaluation metrics (accuracy, F1, Kendall tau, cluster
 //!   F1, MAE/RMSE, NDCG, entropy, …).
@@ -32,6 +34,7 @@ pub mod error;
 pub mod ids;
 pub mod label;
 pub mod metrics;
+pub mod par;
 pub mod response;
 pub mod task;
 pub mod traits;

@@ -1,0 +1,200 @@
+//! Deterministic data-parallel primitives shared across the workspace.
+//!
+//! Both the platform simulator (`crowdkit-sim`) and the truth-inference
+//! kernels (`crowdkit-truth`) parallelize with the same scoped-pool
+//! pattern: the input is split into **contiguous, position-determined
+//! chunks** (never work-stealing), each chunk is processed by one scoped
+//! thread, and outputs are reassembled in chunk order. Because chunking
+//! depends only on input length — and every per-item computation is a pure
+//! function of its item — results are byte-identical at any thread count.
+//! Thread count is a perf knob, not a semantics knob.
+//!
+//! The rule the helpers enforce (the *deterministic-reduction rule*): a
+//! parallel region may only write disjoint, position-assigned outputs.
+//! Cross-item floating-point reductions (priors, convergence deltas, RMS
+//! norms) stay sequential in a fixed order, or are folded from per-shard
+//! partials in shard order with shard boundaries independent of the thread
+//! count.
+
+/// Applies `f` to every item, fanning out across `threads` scoped workers,
+/// and returns the results **in input order**.
+///
+/// Items are split into contiguous chunks (one per worker) so the output
+/// permutation — and therefore every determinism property downstream — is
+/// independent of scheduling. Falls back to a plain sequential map when a
+/// single thread is requested or the input is too small to be worth the
+/// spawn overhead.
+pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    const MIN_ITEMS_PER_THREAD: usize = 2;
+    if threads == 1 || items.len() < MIN_ITEMS_PER_THREAD * 2 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let chunk_len = items.len().div_ceil(threads);
+    let chunks: Vec<(usize, &[T])> = items
+        .chunks(chunk_len)
+        .enumerate()
+        .map(|(c, chunk)| (c * chunk_len, chunk))
+        .collect();
+
+    let results: Vec<Vec<R>> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .iter()
+            .map(|&(base, chunk)| {
+                let f = &f;
+                s.spawn(move |_| {
+                    chunk
+                        .iter()
+                        .enumerate()
+                        .map(|(i, t)| f(base + i, t))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .collect()
+    })
+    .expect("parallel_map scope panicked");
+
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in results {
+        out.extend(chunk);
+    }
+    out
+}
+
+/// Splits `data` — a flat buffer of consecutive fixed-size items, each
+/// `item_len` elements — into contiguous runs of whole items and applies
+/// `f(first_item_index, run)` to each run on its own scoped thread.
+///
+/// This is the mutable counterpart of [`parallel_map`] for kernels that
+/// fill a preallocated flat output (posterior tables, confusion matrices)
+/// without per-call allocation. The runs partition `data`, so writes are
+/// disjoint by construction; as long as `f` computes each item purely from
+/// shared read-only state, the buffer contents are byte-identical at any
+/// thread count.
+///
+/// With `threads <= 1` (or a single item) `f` is invoked once on the whole
+/// buffer, making the sequential path zero-overhead.
+///
+/// # Panics
+/// Panics if `item_len == 0` or `data.len()` is not a multiple of
+/// `item_len`.
+pub fn parallel_items_mut<T, F>(data: &mut [T], item_len: usize, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(item_len > 0, "item_len must be positive");
+    assert!(
+        data.len().is_multiple_of(item_len),
+        "buffer length {} is not a multiple of item length {}",
+        data.len(),
+        item_len
+    );
+    let n_items = data.len() / item_len;
+    if n_items == 0 {
+        return;
+    }
+    let threads = threads.max(1).min(n_items);
+    if threads == 1 {
+        f(0, data);
+        return;
+    }
+
+    let chunk_items = n_items.div_ceil(threads);
+    crossbeam::thread::scope(|s| {
+        for (c, chunk) in data.chunks_mut(chunk_items * item_len).enumerate() {
+            let f = &f;
+            s.spawn(move |_| f(c * chunk_items, chunk));
+        }
+    })
+    .expect("parallel_items_mut scope panicked");
+}
+
+/// Default worker-pool width: the machine's available parallelism, capped
+/// to keep spawn overhead negligible for the workloads in this repo.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_preserves_order_at_any_width() {
+        let items: Vec<u64> = (0..103).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let got = parallel_map(&items, threads, |_, &x| x * x);
+            assert_eq!(got, expect, "order broken at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn parallel_map_passes_global_indices() {
+        let items = vec!["a"; 37];
+        let got = parallel_map(&items, 4, |i, _| i);
+        assert_eq!(got, (0..37).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn parallel_map_handles_empty_and_tiny_inputs() {
+        let empty: Vec<u8> = vec![];
+        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(parallel_map(&[5u8], 8, |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn items_mut_fills_every_item_exactly_once() {
+        // 41 items of width 3, processed at several widths: each item is
+        // stamped with its global index, so any overlap or gap would show.
+        let expect: Vec<usize> = (0..41).flat_map(|i| [i, i, i]).collect();
+        for threads in [1, 2, 5, 8, 64] {
+            let mut buf = vec![usize::MAX; 41 * 3];
+            parallel_items_mut(&mut buf, 3, threads, |first, run| {
+                for (j, item) in run.chunks_mut(3).enumerate() {
+                    item.fill(first + j);
+                }
+            });
+            assert_eq!(buf, expect, "bad fill at {threads} threads");
+        }
+    }
+
+    #[test]
+    fn items_mut_handles_empty_and_single_item() {
+        let mut empty: Vec<u8> = vec![];
+        parallel_items_mut(&mut empty, 4, 8, |_, _| panic!("no items to visit"));
+        let mut one = vec![0u8; 4];
+        parallel_items_mut(&mut one, 4, 8, |first, run| {
+            assert_eq!(first, 0);
+            run.fill(7);
+        });
+        assert_eq!(one, vec![7; 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn items_mut_rejects_ragged_buffers() {
+        let mut buf = vec![0u8; 7];
+        parallel_items_mut(&mut buf, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_capped() {
+        let n = default_threads();
+        assert!((1..=16).contains(&n));
+    }
+}

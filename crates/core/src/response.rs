@@ -4,8 +4,22 @@
 //! into dense indices so EM-style algorithms can run over flat vectors.
 //! It keeps bidirectional maps between external [`TaskId`]/[`WorkerId`]s and
 //! internal dense indices.
+//!
+//! # Memory layout
+//!
+//! Observations are stored twice:
+//!
+//! * the **insertion-order log** (`observations`) — the audit trail that
+//!   concurrency tests and gold scoring iterate;
+//! * a **CSR (compressed sparse row) index** — contiguous `(worker, label)`
+//!   pairs grouped by task and `(task, label)` pairs grouped by worker,
+//!   each with an offsets array, built lazily in one counting-sort pass and
+//!   cached until the next `push`. EM hot loops iterate these flat entry
+//!   slices with zero indirection instead of chasing
+//!   `Vec<Vec<usize>> → observations[i]`.
 
 use std::collections::HashMap;
+use std::sync::OnceLock;
 
 use crate::answer::Answer;
 use crate::error::{CrowdError, Result};
@@ -22,6 +36,24 @@ pub struct Observation {
     pub label: u32,
 }
 
+/// The cached CSR groupings of a [`ResponseMatrix`].
+///
+/// `task_entries[task_offsets[t]..task_offsets[t + 1]]` holds task `t`'s
+/// `(worker, label)` pairs in insertion order; the worker side mirrors it
+/// with `(task, label)` pairs. Entries are `u32` pairs so a grouping row
+/// is one contiguous 8-byte-stride scan.
+#[derive(Debug, Clone, Default)]
+struct CsrIndex {
+    /// `task_entries` offsets, one per task plus a trailing total.
+    task_offsets: Vec<usize>,
+    /// `(worker, label)` pairs grouped by task.
+    task_entries: Vec<(u32, u32)>,
+    /// `worker_entries` offsets, one per worker plus a trailing total.
+    worker_offsets: Vec<usize>,
+    /// `(task, label)` pairs grouped by worker.
+    worker_entries: Vec<(u32, u32)>,
+}
+
 /// A dense-indexed view over categorical crowd answers.
 #[derive(Debug, Clone, Default)]
 pub struct ResponseMatrix {
@@ -31,10 +63,8 @@ pub struct ResponseMatrix {
     worker_ids: Vec<WorkerId>,
     task_index: HashMap<TaskId, usize>,
     worker_index: HashMap<WorkerId, usize>,
-    /// Observation indices grouped by task, for per-task iteration.
-    by_task: Vec<Vec<usize>>,
-    /// Observation indices grouped by worker, for per-worker iteration.
-    by_worker: Vec<Vec<usize>>,
+    /// Lazily built CSR groupings; invalidated by `push`.
+    csr: OnceLock<CsrIndex>,
 }
 
 impl ResponseMatrix {
@@ -50,6 +80,19 @@ impl ResponseMatrix {
         }
     }
 
+    /// Creates an empty matrix preallocated for roughly `observations`
+    /// pushes, avoiding incremental growth of the observation log and the
+    /// id-interning maps.
+    pub fn with_capacity(num_labels: usize, observations: usize) -> Self {
+        let mut m = Self::new(num_labels);
+        m.observations.reserve(observations);
+        m.task_ids.reserve(observations.min(1024));
+        m.worker_ids.reserve(observations.min(1024));
+        m.task_index.reserve(observations.min(1024));
+        m.worker_index.reserve(observations.min(1024));
+        m
+    }
+
     /// Builds a matrix from [`Answer`]s, using each answer's `Choice` value.
     ///
     /// Fails if any answer is not a `Choice` or its label is out of range.
@@ -57,7 +100,8 @@ impl ResponseMatrix {
     where
         I: IntoIterator<Item = &'a Answer>,
     {
-        let mut m = Self::new(num_labels);
+        let answers = answers.into_iter();
+        let mut m = Self::with_capacity(num_labels, answers.size_hint().0);
         for a in answers {
             let label = a.value.as_choice().ok_or(CrowdError::AnswerTypeMismatch {
                 expected: "choice",
@@ -78,14 +122,16 @@ impl ResponseMatrix {
         }
         let t = self.intern_task(task);
         let w = self.intern_worker(worker);
-        let idx = self.observations.len();
         self.observations.push(Observation {
             task: t,
             worker: w,
             label,
         });
-        self.by_task[t].push(idx);
-        self.by_worker[w].push(idx);
+        // The cached groupings are stale now; the next accessor rebuilds
+        // them in one pass.
+        if self.csr.get().is_some() {
+            self.csr = OnceLock::new();
+        }
         Ok(())
     }
 
@@ -96,7 +142,6 @@ impl ResponseMatrix {
         let i = self.task_ids.len();
         self.task_ids.push(task);
         self.task_index.insert(task, i);
-        self.by_task.push(Vec::new());
         i
     }
 
@@ -107,8 +152,46 @@ impl ResponseMatrix {
         let i = self.worker_ids.len();
         self.worker_ids.push(worker);
         self.worker_index.insert(worker, i);
-        self.by_worker.push(Vec::new());
         i
+    }
+
+    /// The CSR groupings, building them on first access after a mutation.
+    ///
+    /// One counting-sort pass over the observation log: per-group order is
+    /// insertion order (the sort is stable), so downstream reductions see a
+    /// deterministic entry order regardless of when the index was built.
+    fn csr(&self) -> &CsrIndex {
+        self.csr.get_or_init(|| {
+            let n_obs = self.observations.len();
+            let mut task_offsets = vec![0usize; self.task_ids.len() + 1];
+            let mut worker_offsets = vec![0usize; self.worker_ids.len() + 1];
+            for o in &self.observations {
+                task_offsets[o.task + 1] += 1;
+                worker_offsets[o.worker + 1] += 1;
+            }
+            for i in 1..task_offsets.len() {
+                task_offsets[i] += task_offsets[i - 1];
+            }
+            for i in 1..worker_offsets.len() {
+                worker_offsets[i] += worker_offsets[i - 1];
+            }
+            let mut task_entries = vec![(0u32, 0u32); n_obs];
+            let mut worker_entries = vec![(0u32, 0u32); n_obs];
+            let mut task_cursor = task_offsets.clone();
+            let mut worker_cursor = worker_offsets.clone();
+            for o in &self.observations {
+                task_entries[task_cursor[o.task]] = (o.worker as u32, o.label);
+                task_cursor[o.task] += 1;
+                worker_entries[worker_cursor[o.worker]] = (o.task as u32, o.label);
+                worker_cursor[o.worker] += 1;
+            }
+            CsrIndex {
+                task_offsets,
+                task_entries,
+                worker_offsets,
+                worker_entries,
+            }
+        })
     }
 
     /// Number of labels in the space.
@@ -167,34 +250,83 @@ impl ResponseMatrix {
         self.worker_index.get(&worker).copied()
     }
 
-    /// Observations on dense task index `t`.
-    pub fn observations_for_task(&self, t: usize) -> impl Iterator<Item = &Observation> {
-        self.by_task[t].iter().map(move |&i| &self.observations[i])
+    /// The flat task grouping: `(offsets, entries)` where the slice
+    /// `entries[offsets[t]..offsets[t + 1]]` holds task `t`'s
+    /// `(worker, label)` pairs in insertion order.
+    ///
+    /// This is the hot-path view: EM E-steps walk one contiguous entry
+    /// slice per task. Prefer it over [`Self::observations_for_task`] in
+    /// inner loops.
+    pub fn task_csr(&self) -> (&[usize], &[(u32, u32)]) {
+        let csr = self.csr();
+        (&csr.task_offsets, &csr.task_entries)
     }
 
-    /// Observations by dense worker index `w`.
-    pub fn observations_by_worker(&self, w: usize) -> impl Iterator<Item = &Observation> {
-        self.by_worker[w].iter().map(move |&i| &self.observations[i])
+    /// The flat worker grouping: `(offsets, entries)` where the slice
+    /// `entries[offsets[w]..offsets[w + 1]]` holds worker `w`'s
+    /// `(task, label)` pairs in insertion order.
+    ///
+    /// The hot-path view for M-step soft-count accumulation over workers.
+    pub fn worker_csr(&self) -> (&[usize], &[(u32, u32)]) {
+        let csr = self.csr();
+        (&csr.worker_offsets, &csr.worker_entries)
+    }
+
+    /// Task `t`'s `(worker, label)` pairs as one contiguous slice.
+    pub fn task_entries(&self, t: usize) -> &[(u32, u32)] {
+        let csr = self.csr();
+        &csr.task_entries[csr.task_offsets[t]..csr.task_offsets[t + 1]]
+    }
+
+    /// Worker `w`'s `(task, label)` pairs as one contiguous slice.
+    pub fn worker_entries(&self, w: usize) -> &[(u32, u32)] {
+        let csr = self.csr();
+        &csr.worker_entries[csr.worker_offsets[w]..csr.worker_offsets[w + 1]]
+    }
+
+    /// Observations on dense task index `t`, in insertion order.
+    pub fn observations_for_task(&self, t: usize) -> impl Iterator<Item = Observation> + '_ {
+        self.task_entries(t).iter().map(move |&(w, label)| Observation {
+            task: t,
+            worker: w as usize,
+            label,
+        })
+    }
+
+    /// Observations by dense worker index `w`, in insertion order.
+    pub fn observations_by_worker(&self, w: usize) -> impl Iterator<Item = Observation> + '_ {
+        self.worker_entries(w).iter().map(move |&(t, label)| Observation {
+            task: t as usize,
+            worker: w,
+            label,
+        })
     }
 
     /// Number of answers each worker gave, indexed densely.
     pub fn answers_per_worker(&self) -> Vec<usize> {
-        self.by_worker.iter().map(Vec::len).collect()
+        let offsets = &self.csr().worker_offsets;
+        offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Number of answers each task received, indexed densely.
     pub fn answers_per_task(&self) -> Vec<usize> {
-        self.by_task.iter().map(Vec::len).collect()
+        let offsets = &self.csr().task_offsets;
+        offsets.windows(2).map(|w| w[1] - w[0]).collect()
     }
 
     /// Per-task vote counts: `counts[t][l]` = how many workers labelled
     /// task `t` as `l`.
     pub fn vote_counts(&self) -> Vec<Vec<u32>> {
-        let mut counts = vec![vec![0u32; self.num_labels]; self.num_tasks()];
-        for o in &self.observations {
-            counts[o.task][o.label as usize] += 1;
-        }
-        counts
+        let (offsets, entries) = self.task_csr();
+        (0..self.num_tasks())
+            .map(|t| {
+                let mut row = vec![0u32; self.num_labels];
+                for &(_, l) in &entries[offsets[t]..offsets[t + 1]] {
+                    row[l as usize] += 1;
+                }
+                row
+            })
+            .collect()
     }
 }
 
@@ -277,5 +409,34 @@ mod tests {
     #[should_panic(expected = "at least one label")]
     fn zero_labels_panics() {
         let _ = ResponseMatrix::new(0);
+    }
+
+    #[test]
+    fn csr_entries_group_in_insertion_order() {
+        let mut m = ResponseMatrix::new(3);
+        m.push(tid(0), wid(0), 0).unwrap();
+        m.push(tid(1), wid(0), 2).unwrap();
+        m.push(tid(0), wid(1), 1).unwrap();
+        let (t_off, t_entries) = m.task_csr();
+        assert_eq!(t_off, &[0, 2, 3]);
+        assert_eq!(t_entries, &[(0, 0), (1, 1), (0, 2)]);
+        let (w_off, w_entries) = m.worker_csr();
+        assert_eq!(w_off, &[0, 2, 3]);
+        assert_eq!(w_entries, &[(0, 0), (1, 2), (0, 1)]);
+        assert_eq!(m.task_entries(0), &[(0, 0), (1, 1)]);
+        assert_eq!(m.worker_entries(1), &[(0, 1)]);
+    }
+
+    #[test]
+    fn csr_rebuilds_after_interleaved_push() {
+        let mut m = ResponseMatrix::new(2);
+        m.push(tid(0), wid(0), 1).unwrap();
+        assert_eq!(m.task_entries(0), &[(0, 1)]);
+        // Push after a read: the cached index must be invalidated.
+        m.push(tid(0), wid(1), 0).unwrap();
+        m.push(tid(1), wid(0), 0).unwrap();
+        assert_eq!(m.task_entries(0), &[(0, 1), (1, 0)]);
+        assert_eq!(m.answers_per_task(), vec![2, 1]);
+        assert_eq!(m.answers_per_worker(), vec![2, 1]);
     }
 }

@@ -30,70 +30,11 @@ pub fn derive_seed(platform_seed: u64, task_raw: u64, attempt: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Applies `f` to every item, fanning out across `threads` scoped workers,
-/// and returns the results **in input order**.
-///
-/// Items are split into contiguous chunks (one per worker) so the output
-/// permutation — and therefore every determinism property downstream — is
-/// independent of scheduling. Falls back to a plain sequential map when a
-/// single thread is requested or the input is too small to be worth the
-/// spawn overhead.
-pub fn parallel_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
-where
-    T: Sync,
-    R: Send,
-    F: Fn(usize, &T) -> R + Sync,
-{
-    let threads = threads.max(1).min(items.len().max(1));
-    const MIN_ITEMS_PER_THREAD: usize = 2;
-    if threads == 1 || items.len() < MIN_ITEMS_PER_THREAD * 2 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
-    }
-
-    let chunk_len = items.len().div_ceil(threads);
-    let chunks: Vec<(usize, &[T])> = items
-        .chunks(chunk_len)
-        .enumerate()
-        .map(|(c, chunk)| (c * chunk_len, chunk))
-        .collect();
-
-    let results: Vec<Vec<R>> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = chunks
-            .iter()
-            .map(|&(base, chunk)| {
-                let f = &f;
-                s.spawn(move |_| {
-                    chunk
-                        .iter()
-                        .enumerate()
-                        .map(|(i, t)| f(base + i, t))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("batch worker panicked"))
-            .collect()
-    })
-    .expect("batch scope panicked");
-
-    let mut out = Vec::with_capacity(items.len());
-    for chunk in results {
-        out.extend(chunk);
-    }
-    out
-}
-
-/// Default worker-pool width for batch execution: the machine's available
-/// parallelism, capped to keep spawn overhead negligible for simulated
-/// (non-blocking) work.
-pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(16)
-}
+/// The order-preserving chunked map and the default pool width now live in
+/// [`crowdkit_core::par`] so the truth-inference kernels share the exact
+/// same deterministic-partitioning implementation; re-exported here for
+/// existing call sites.
+pub use crowdkit_core::par::{default_threads, parallel_map};
 
 #[cfg(test)]
 mod tests {
@@ -114,27 +55,14 @@ mod tests {
         assert_eq!(derive_seed(7, 0, 0), a, "derivation is pure");
     }
 
+    /// The re-exported pool helper keeps its contract (full coverage lives
+    /// in `crowdkit-core::par`).
     #[test]
-    fn parallel_map_preserves_order_at_any_width() {
+    fn reexported_parallel_map_preserves_order() {
         let items: Vec<u64> = (0..103).collect();
         let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
-        for threads in [1, 2, 3, 8, 64] {
-            let got = parallel_map(&items, threads, |_, &x| x * x);
-            assert_eq!(got, expect, "order broken at {threads} threads");
+        for threads in [1, 4] {
+            assert_eq!(parallel_map(&items, threads, |_, &x| x * x), expect);
         }
-    }
-
-    #[test]
-    fn parallel_map_passes_global_indices() {
-        let items = vec!["a"; 37];
-        let got = parallel_map(&items, 4, |i, _| i);
-        assert_eq!(got, (0..37).collect::<Vec<_>>());
-    }
-
-    #[test]
-    fn parallel_map_handles_empty_and_tiny_inputs() {
-        let empty: Vec<u8> = vec![];
-        assert!(parallel_map(&empty, 8, |_, &x| x).is_empty());
-        assert_eq!(parallel_map(&[5u8], 8, |_, &x| x + 1), vec![6]);
     }
 }

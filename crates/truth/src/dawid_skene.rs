@@ -13,13 +13,27 @@
 //! * **E-step** — recompute task posteriors
 //!   `P(t | answers) ∝ ρ[t] · Π_answers π_w[t][l]` in log space to avoid
 //!   underflow on high-redundancy tasks.
+//!
+//! # Kernel layout
+//!
+//! All state is flat and preallocated once: confusion matrices live in one
+//! `Vec<f64>` with `w·k² + t·k + l` indexing, posteriors ping-pong between
+//! two `n·k` buffers, and each M-step precomputes a **transposed log
+//! table** `log π_w[t][l]` stored as `lt[w·k² + l·k + t]` so the E-step
+//! inner loop is pure adds over one contiguous `k`-slice per observation
+//! (no `ln` calls, no indirection). The E-step shards over task ranges and
+//! the soft-count M-step over worker ranges via
+//! [`parallel_items_mut`]; both write disjoint item slots from shared
+//! read-only state, so posteriors are byte-identical at any thread count.
 
 use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::par::parallel_items_mut;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 
 use crate::em::{
-    argmax_labels, max_abs_diff, normalize, update_priors, vote_fraction_posteriors, EmConfig,
+    argmax_labels, log_normalize, max_abs_diff, normalize, posterior_rows, resolve_threads,
+    update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
 };
 
 /// The Dawid–Skene EM algorithm.
@@ -43,97 +57,121 @@ impl DawidSkene {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
         let k = matrix.num_labels();
+        let n_tasks = matrix.num_tasks();
         let n_workers = matrix.num_workers();
         let cfg = self.config;
+        let threads = resolve_threads(cfg.threads, matrix.num_observations() * k);
+        let (t_off, t_entries) = matrix.task_csr();
+        let (w_off, w_entries) = matrix.worker_csr();
 
+        // Flat state, allocated once and reused every iteration.
         let mut posteriors = vote_fraction_posteriors(matrix);
+        let mut next = vec![0.0f64; n_tasks * k];
         let mut priors = vec![1.0 / k as f64; k];
-        let mut confusion = vec![vec![vec![0.0f64; k]; k]; n_workers];
+        let mut log_priors = vec![0.0f64; k];
+        // Confusion matrices: `confusion[w*k*k + t*k + l] = π_w[t][l]`.
+        let mut confusion = vec![0.0f64; n_workers * k * k];
+        // Transposed log table: `log_table[w*k*k + l*k + t] = ln π_w[t][l]`,
+        // so the E-step reads one contiguous k-slice per observation.
+        let mut log_table = vec![0.0f64; n_workers * k * k];
 
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
 
-            // M-step: priors and confusion matrices from soft counts.
-            update_priors(&posteriors, &mut priors);
-            for cm in &mut confusion {
-                for row in cm.iter_mut() {
-                    row.fill(cfg.smoothing);
-                }
+            // M-step: priors, then per-worker confusion soft counts over
+            // worker ranges. Each worker's accumulation walks its CSR
+            // entries in insertion order, so the float sum order is fixed
+            // regardless of sharding.
+            update_priors(&posteriors, k, &mut priors);
+            for (lp, &p) in log_priors.iter_mut().zip(&priors) {
+                *lp = p.max(LN_FLOOR).ln();
             }
-            for o in matrix.observations() {
-                let post = &posteriors[o.task];
-                let cm = &mut confusion[o.worker];
-                for (t, &p) in post.iter().enumerate() {
-                    cm[t][o.label as usize] += p;
-                }
-            }
-            for cm in &mut confusion {
-                for row in cm.iter_mut() {
-                    normalize(row);
-                }
-            }
-
-            // E-step in log space.
-            let mut next = vec![vec![0.0f64; k]; matrix.num_tasks()];
-            for (t, row) in next.iter_mut().enumerate() {
-                for (l, x) in row.iter_mut().enumerate() {
-                    *x = priors[l].max(1e-300).ln();
-                }
-                for o in matrix.observations_for_task(t) {
-                    let cm = &confusion[o.worker];
-                    for (l, x) in row.iter_mut().enumerate() {
-                        *x += cm[l][o.label as usize].max(1e-300).ln();
+            let post = &posteriors;
+            parallel_items_mut(&mut confusion, k * k, threads, |w0, run| {
+                for (i, cm) in run.chunks_mut(k * k).enumerate() {
+                    let w = w0 + i;
+                    cm.fill(cfg.smoothing);
+                    for &(t, l) in &w_entries[w_off[w]..w_off[w + 1]] {
+                        let row = &post[t as usize * k..t as usize * k + k];
+                        for (truth, &p) in row.iter().enumerate() {
+                            cm[truth * k + l as usize] += p;
+                        }
+                    }
+                    for row in cm.chunks_mut(k) {
+                        normalize(row);
                     }
                 }
-                log_normalize(row);
-            }
+            });
+
+            // Log-table transpose, also over worker ranges: all `ln` calls
+            // happen here (W·k² of them) instead of per observation in the
+            // E-step.
+            let conf = &confusion;
+            parallel_items_mut(&mut log_table, k * k, threads, |w0, run| {
+                for (i, lt) in run.chunks_mut(k * k).enumerate() {
+                    let cm = &conf[(w0 + i) * k * k..(w0 + i + 1) * k * k];
+                    for l in 0..k {
+                        for t in 0..k {
+                            lt[l * k + t] = cm[t * k + l].max(LN_FLOOR).ln();
+                        }
+                    }
+                }
+            });
+
+            // E-step over task ranges: per task, start from the log priors
+            // and add one contiguous log-table slice per observation.
+            let log_priors = &log_priors;
+            let log_table = &log_table;
+            parallel_items_mut(&mut next, k, threads, |t0, run| {
+                for (i, row) in run.chunks_mut(k).enumerate() {
+                    let t = t0 + i;
+                    row.copy_from_slice(log_priors);
+                    for &(w, l) in &t_entries[t_off[t]..t_off[t + 1]] {
+                        let base = (w as usize * k + l as usize) * k;
+                        let lt = &log_table[base..base + k];
+                        for (x, &add) in row.iter_mut().zip(lt) {
+                            *x += add;
+                        }
+                    }
+                    log_normalize(row);
+                }
+            });
 
             let delta = max_abs_diff(&posteriors, &next);
-            posteriors = next;
+            std::mem::swap(&mut posteriors, &mut next);
             if delta < cfg.tol {
                 converged = true;
                 break;
             }
         }
 
-        let labels = argmax_labels(&posteriors);
-        let worker_quality = Some(worker_accuracy(&confusion, &priors));
+        let labels = argmax_labels(&posteriors, k);
+        let worker_quality = Some(worker_accuracy(&confusion, &priors, k));
+        let confusion_rows = confusion
+            .chunks(k * k)
+            .map(|cm| cm.chunks(k).map(<[f64]>::to_vec).collect())
+            .collect();
         Ok((
             InferenceResult {
                 labels,
-                posteriors,
+                posteriors: posterior_rows(&posteriors, k),
                 worker_quality,
                 iterations,
                 converged,
             },
-            confusion,
+            confusion_rows,
         ))
     }
 }
 
-/// Exponentiates and normalizes a log-space row in place, subtracting the
-/// max first for numerical stability.
-fn log_normalize(row: &mut [f64]) {
-    let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    for x in row.iter_mut() {
-        *x = (*x - max).exp();
-    }
-    normalize(row);
-}
-
-/// Scalar worker quality from a confusion matrix: the prior-weighted
+/// Scalar worker quality from the flat confusion table: the prior-weighted
 /// diagonal, i.e. the worker's marginal probability of a correct answer.
-fn worker_accuracy(confusion: &[Vec<Vec<f64>>], priors: &[f64]) -> Vec<f64> {
+fn worker_accuracy(confusion: &[f64], priors: &[f64], k: usize) -> Vec<f64> {
     confusion
-        .iter()
-        .map(|cm| {
-            cm.iter()
-                .enumerate()
-                .map(|(t, row)| priors[t] * row[t])
-                .sum::<f64>()
-        })
+        .chunks(k * k)
+        .map(|cm| (0..k).map(|t| priors[t] * cm[t * k + t]).sum::<f64>())
         .collect()
 }
 

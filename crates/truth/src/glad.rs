@@ -12,11 +12,23 @@
 //! the M-step runs a few steps of gradient ascent on the expected complete
 //! log-likelihood with respect to all `α` and `b`.
 
+//!
+//! The kernel follows the flat deterministic-parallel layout shared with
+//! the other EM algorithms: posteriors ping-pong between two flat `n·k`
+//! buffers, the gradient of `b` accumulates over task ranges (task CSR)
+//! and the gradient of `α` over worker ranges (worker CSR), each entity's
+//! sum running in fixed insertion order — so results are byte-identical at
+//! any thread count.
+
 use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::par::parallel_items_mut;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 
-use crate::em::{argmax_labels, max_abs_diff, normalize, update_priors, vote_fraction_posteriors};
+use crate::em::{
+    argmax_labels, log_normalize, max_abs_diff, posterior_rows, resolve_threads, update_priors,
+    vote_fraction_posteriors,
+};
 
 /// Settings for [`Glad`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -32,6 +44,9 @@ pub struct GladConfig {
     /// L2 pull of abilities/difficulties toward their priors (α→1, b→0);
     /// keeps parameters from diverging on tiny datasets.
     pub regularization: f64,
+    /// Worker-pool width for the E/M kernels; `0` picks automatically from
+    /// the problem size. Results are byte-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for GladConfig {
@@ -42,7 +57,15 @@ impl Default for GladConfig {
             gradient_steps: 8,
             learning_rate: 0.05,
             regularization: 0.01,
+            threads: 0,
         }
+    }
+}
+
+impl GladConfig {
+    /// Returns a copy pinned to `threads` kernel threads.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
     }
 }
 
@@ -74,35 +97,75 @@ impl Glad {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
         let k = matrix.num_labels();
+        let n_tasks = matrix.num_tasks();
+        let n_workers = matrix.num_workers();
         let wrong_share = 1.0 / (k as f64 - 1.0).max(1.0);
         let cfg = self.config;
+        let threads = resolve_threads(cfg.threads, matrix.num_observations() * k);
+        let (t_off, t_entries) = matrix.task_csr();
+        let (w_off, w_entries) = matrix.worker_csr();
 
         let mut posteriors = vote_fraction_posteriors(matrix);
+        let mut next = vec![0.0f64; n_tasks * k];
         let mut priors = vec![1.0 / k as f64; k];
-        let mut alpha = vec![1.0f64; matrix.num_workers()];
-        let mut b = vec![0.0f64; matrix.num_tasks()]; // β = e^b
+        let mut log_priors = vec![0.0f64; k];
+        let mut alpha = vec![1.0f64; n_workers];
+        let mut b = vec![0.0f64; n_tasks]; // β = e^b
+        // Gradient buffers, hoisted out of the gradient-step loop.
+        let mut g_alpha = vec![0.0f64; n_workers];
+        let mut g_b = vec![0.0f64; n_tasks];
+
+        // The per-observation gradient factor:
+        // Σ_l T[t][l] · d log P(answer | truth=l) where the derivative of
+        // log σ is (1−s)·∂(αβ) and of log(1−s) is −s·∂(αβ).
+        let factor = |post: &[f64], a: f64, beta: f64, t: usize, l: usize| {
+            let s = sigmoid(a * beta);
+            let p_correct = post[t * k + l];
+            p_correct * (1.0 - s) - (1.0 - p_correct) * s
+        };
 
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
-            update_priors(&posteriors, &mut priors);
+            update_priors(&posteriors, k, &mut priors);
+            for (lp, &p) in log_priors.iter_mut().zip(&priors) {
+                *lp = p.max(1e-300).ln();
+            }
 
-            // M-step: gradient ascent on α and b.
+            // M-step: gradient ascent on α and b. Both gradients are read
+            // from the pre-update parameters: g_b accumulates over task
+            // ranges (task CSR) and g_α over worker ranges (worker CSR),
+            // each entity in fixed insertion order, then the sequential
+            // updates apply both.
             for _ in 0..cfg.gradient_steps {
-                let mut g_alpha = vec![0.0f64; alpha.len()];
-                let mut g_b = vec![0.0f64; b.len()];
-                for o in matrix.observations() {
-                    let beta = b[o.task].exp();
-                    let s = sigmoid(alpha[o.worker] * beta);
-                    // Σ_l T[t][l] · d log P(answer | truth=l) where the
-                    // derivative of log σ is (1−s)·∂(αβ) and of log(1−s) is
-                    // −s·∂(αβ).
-                    let p_correct = posteriors[o.task][o.label as usize];
-                    let factor = p_correct * (1.0 - s) - (1.0 - p_correct) * s;
-                    g_alpha[o.worker] += factor * beta;
-                    g_b[o.task] += factor * alpha[o.worker] * beta;
-                }
+                let post = &posteriors;
+                let alpha_r = &alpha;
+                let b_r = &b;
+                parallel_items_mut(&mut g_b, 1, threads, |t0, run| {
+                    for (i, g) in run.iter_mut().enumerate() {
+                        let t = t0 + i;
+                        let beta = b_r[t].exp();
+                        let mut acc = 0.0;
+                        for &(w, l) in &t_entries[t_off[t]..t_off[t + 1]] {
+                            let a = alpha_r[w as usize];
+                            acc += factor(post, a, beta, t, l as usize) * a * beta;
+                        }
+                        *g = acc;
+                    }
+                });
+                parallel_items_mut(&mut g_alpha, 1, threads, |w0, run| {
+                    for (i, g) in run.iter_mut().enumerate() {
+                        let w = w0 + i;
+                        let a = alpha_r[w];
+                        let mut acc = 0.0;
+                        for &(t, l) in &w_entries[w_off[w]..w_off[w + 1]] {
+                            let beta = b_r[t as usize].exp();
+                            acc += factor(post, a, beta, t as usize, l as usize) * beta;
+                        }
+                        *g = acc;
+                    }
+                });
                 for (w, a) in alpha.iter_mut().enumerate() {
                     *a += cfg.learning_rate * (g_alpha[w] - cfg.regularization * (*a - 1.0));
                     *a = a.clamp(-8.0, 8.0);
@@ -113,37 +176,41 @@ impl Glad {
                 }
             }
 
-            // E-step in log space.
-            let mut next = vec![vec![0.0f64; k]; matrix.num_tasks()];
-            for (t, row) in next.iter_mut().enumerate() {
-                for (l, x) in row.iter_mut().enumerate() {
-                    *x = priors[l].max(1e-300).ln();
-                }
-                let beta = b[t].exp();
-                for o in matrix.observations_for_task(t) {
-                    let s = sigmoid(alpha[o.worker] * beta).clamp(1e-9, 1.0 - 1e-9);
-                    let right = s.ln();
-                    let wrong = ((1.0 - s) * wrong_share).ln();
-                    for (l, x) in row.iter_mut().enumerate() {
-                        *x += if l == o.label as usize { right } else { wrong };
+            // E-step over task ranges, with the one-coin scalar-update
+            // trick (each observation contributes a base mass to all
+            // labels and a right/wrong correction to its own).
+            let log_priors_r = &log_priors;
+            let alpha_r = &alpha;
+            let b_r = &b;
+            parallel_items_mut(&mut next, k, threads, |t0, run| {
+                for (i, row) in run.chunks_mut(k).enumerate() {
+                    let t = t0 + i;
+                    row.copy_from_slice(log_priors_r);
+                    let beta = b_r[t].exp();
+                    let mut base = 0.0;
+                    for &(w, l) in &t_entries[t_off[t]..t_off[t + 1]] {
+                        let s = sigmoid(alpha_r[w as usize] * beta).clamp(1e-9, 1.0 - 1e-9);
+                        let right = s.ln();
+                        let wrong = ((1.0 - s) * wrong_share).ln();
+                        base += wrong;
+                        row[l as usize] += right - wrong;
                     }
+                    for x in row.iter_mut() {
+                        *x += base;
+                    }
+                    log_normalize(row);
                 }
-                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                for x in row.iter_mut() {
-                    *x = (*x - max).exp();
-                }
-                normalize(row);
-            }
+            });
 
             let delta = max_abs_diff(&posteriors, &next);
-            posteriors = next;
+            std::mem::swap(&mut posteriors, &mut next);
             if delta < cfg.tol {
                 converged = true;
                 break;
             }
         }
 
-        let labels = argmax_labels(&posteriors);
+        let labels = argmax_labels(&posteriors, k);
         // Scalar worker quality: σ(α) — correctness probability on a task of
         // reference difficulty β = 1.
         let worker_quality = Some(alpha.iter().map(|&a| sigmoid(a)).collect());
@@ -154,7 +221,7 @@ impl Glad {
         Ok((
             InferenceResult {
                 labels,
-                posteriors,
+                posteriors: posterior_rows(&posteriors, k),
                 worker_quality,
                 iterations,
                 converged,

@@ -20,7 +20,7 @@ use crowdkit_core::ids::{TaskId, WorkerId};
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 
-use crate::em::{argmax_labels, normalize};
+use crate::em::{argmax_labels, normalize, posterior_rows};
 
 /// A set of tasks with known answers, used to score workers.
 #[derive(Debug, Clone, Default)]
@@ -166,14 +166,16 @@ impl TruthInferencer for GoldWeightedVote {
             }
         };
 
-        let mut posteriors = vec![vec![0.0f64; k]; matrix.num_tasks()];
-        for o in matrix.observations() {
-            posteriors[o.task][o.label as usize] += weight_of(o.worker);
-        }
-        for row in &mut posteriors {
+        let (offsets, entries) = matrix.task_csr();
+        let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
+        for (t, row) in posteriors.chunks_mut(k).enumerate() {
+            for &(w, l) in &entries[offsets[t]..offsets[t + 1]] {
+                row[l as usize] += weight_of(w as usize);
+            }
             normalize(row);
         }
-        let mut labels = argmax_labels(&posteriors);
+        let mut labels = argmax_labels(&posteriors, k);
+        let mut posteriors = posterior_rows(&posteriors, k);
 
         // Gold tasks are fixed to their known answers.
         for t in 0..matrix.num_tasks() {

@@ -12,9 +12,20 @@
 //! Labels are encoded ±1 internally; label `1` of a binary
 //! [`ResponseMatrix`] maps to `+1`.
 
+//!
+//! Messages live on the edges of the bipartite graph, one per observation,
+//! in flat edge arrays. Each half-round shards deterministically: entity
+//! sums (per task, per worker) accumulate over their CSR edge lists in
+//! fixed insertion order, and the per-edge message updates are pure
+//! element-wise maps — so results are byte-identical at any thread count.
+//! The RMS renormalization stays a sequential fixed-order reduction.
+
 use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::par::parallel_items_mut;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
+
+use crate::em::resolve_threads;
 
 /// The KOS message-passing algorithm. Binary tasks only.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -22,11 +33,24 @@ pub struct Kos {
     /// Number of message-passing rounds (the paper uses 10–20; estimates
     /// stabilize quickly).
     pub iterations: usize,
+    /// Worker-pool width for the message kernels; `0` picks automatically
+    /// from the problem size. Results are byte-identical at every setting.
+    pub threads: usize,
 }
 
 impl Default for Kos {
     fn default() -> Self {
-        Self { iterations: 15 }
+        Self {
+            iterations: 15,
+            threads: 0,
+        }
+    }
+}
+
+impl Kos {
+    /// Returns a copy pinned to `threads` kernel threads.
+    pub fn with_threads(self, threads: usize) -> Self {
+        Self { threads, ..self }
     }
 }
 
@@ -47,6 +71,9 @@ impl TruthInferencer for Kos {
 
         let obs = matrix.observations();
         let n_obs = obs.len();
+        let n_tasks = matrix.num_tasks();
+        let n_workers = matrix.num_workers();
+        let threads = resolve_threads(self.threads, n_obs * 8);
         // Signed votes: label 1 → +1, label 0 → −1.
         let sign: Vec<f64> = obs.iter().map(|o| if o.label == 1 { 1.0 } else { -1.0 }).collect();
 
@@ -59,34 +86,82 @@ impl TruthInferencer for Kos {
             .collect();
         let mut x = vec![0.0f64; n_obs];
 
-        // Edge adjacency: for each task/worker, which observation indices
-        // touch it.
-        let mut task_edges: Vec<Vec<usize>> = vec![Vec::new(); matrix.num_tasks()];
-        let mut worker_edges: Vec<Vec<usize>> = vec![Vec::new(); matrix.num_workers()];
+        // Flat CSR edge adjacency: for each task/worker, which edge
+        // (observation) indices touch it, grouped contiguously with offset
+        // arrays — one counting-sort pass, mirroring the response matrix's
+        // own layout.
+        let mut t_off = vec![0usize; n_tasks + 1];
+        let mut w_off = vec![0usize; n_workers + 1];
+        for o in obs {
+            t_off[o.task + 1] += 1;
+            w_off[o.worker + 1] += 1;
+        }
+        for i in 1..t_off.len() {
+            t_off[i] += t_off[i - 1];
+        }
+        for i in 1..w_off.len() {
+            w_off[i] += w_off[i - 1];
+        }
+        let mut task_edges = vec![0u32; n_obs];
+        let mut worker_edges = vec![0u32; n_obs];
+        let mut t_cur = t_off.clone();
+        let mut w_cur = w_off.clone();
         for (i, o) in obs.iter().enumerate() {
-            task_edges[o.task].push(i);
-            worker_edges[o.worker].push(i);
+            task_edges[t_cur[o.task]] = i as u32;
+            t_cur[o.task] += 1;
+            worker_edges[w_cur[o.worker]] = i as u32;
+            w_cur[o.worker] += 1;
         }
 
+        let mut task_sum = vec![0.0f64; n_tasks];
+        let mut worker_sum = vec![0.0f64; n_workers];
         for _ in 0..self.iterations {
             // Task → worker: x_{t→w} = Σ_{w'≠w} A_{t,w'} · y_{w'→t}.
-            let mut task_sum = vec![0.0f64; matrix.num_tasks()];
-            for (i, o) in obs.iter().enumerate() {
-                task_sum[o.task] += sign[i] * y[i];
-            }
-            for (i, o) in obs.iter().enumerate() {
-                x[i] = task_sum[o.task] - sign[i] * y[i];
-            }
+            // Entity sums shard over task ranges (each task folds its own
+            // edge list in fixed order); the per-edge message update is an
+            // element-wise map over edge ranges.
+            let y_r = &y;
+            let (t_off_r, task_edges_r) = (&t_off, &task_edges);
+            parallel_items_mut(&mut task_sum, 1, threads, |t0, run| {
+                for (i, s) in run.iter_mut().enumerate() {
+                    let t = t0 + i;
+                    let mut acc = 0.0;
+                    for &e in &task_edges_r[t_off_r[t]..t_off_r[t + 1]] {
+                        acc += sign[e as usize] * y_r[e as usize];
+                    }
+                    *s = acc;
+                }
+            });
+            let task_sum_r = &task_sum;
+            parallel_items_mut(&mut x, 1, threads, |e0, run| {
+                for (i, xe) in run.iter_mut().enumerate() {
+                    let e = e0 + i;
+                    *xe = task_sum_r[obs[e].task] - sign[e] * y_r[e];
+                }
+            });
             // Worker → task: y_{w→t} = Σ_{t'≠t} A_{t',w} · x_{t'→w}.
-            let mut worker_sum = vec![0.0f64; matrix.num_workers()];
-            for (i, o) in obs.iter().enumerate() {
-                worker_sum[o.worker] += sign[i] * x[i];
-            }
-            for (i, o) in obs.iter().enumerate() {
-                y[i] = worker_sum[o.worker] - sign[i] * x[i];
-            }
+            let x_r = &x;
+            let (w_off_r, worker_edges_r) = (&w_off, &worker_edges);
+            parallel_items_mut(&mut worker_sum, 1, threads, |w0, run| {
+                for (i, s) in run.iter_mut().enumerate() {
+                    let w = w0 + i;
+                    let mut acc = 0.0;
+                    for &e in &worker_edges_r[w_off_r[w]..w_off_r[w + 1]] {
+                        acc += sign[e as usize] * x_r[e as usize];
+                    }
+                    *s = acc;
+                }
+            });
+            let worker_sum_r = &worker_sum;
+            parallel_items_mut(&mut y, 1, threads, |e0, run| {
+                for (i, ye) in run.iter_mut().enumerate() {
+                    let e = e0 + i;
+                    *ye = worker_sum_r[obs[e].worker] - sign[e] * x_r[e];
+                }
+            });
             // Normalize messages to unit RMS to prevent overflow over many
-            // rounds (the decision rule is scale-invariant).
+            // rounds (the decision rule is scale-invariant). Sequential
+            // fixed-order reduction: the deterministic-reduction rule.
             let rms = (y.iter().map(|v| v * v).sum::<f64>() / n_obs as f64).sqrt();
             if rms > 0.0 {
                 for v in &mut y {

@@ -11,7 +11,7 @@ use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 use std::collections::HashMap;
 
-use crate::em::{argmax_labels, normalize};
+use crate::em::{argmax_labels, normalize, posterior_rows};
 
 /// Unweighted majority vote.
 #[derive(Debug, Clone, Copy, Default)]
@@ -27,17 +27,18 @@ impl TruthInferencer for MajorityVote {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
         let k = matrix.num_labels();
-        let mut posteriors = vec![vec![0.0f64; k]; matrix.num_tasks()];
-        for o in matrix.observations() {
-            posteriors[o.task][o.label as usize] += 1.0;
-        }
-        for row in &mut posteriors {
+        let (offsets, entries) = matrix.task_csr();
+        let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
+        for (t, row) in posteriors.chunks_mut(k).enumerate() {
+            for &(_, l) in &entries[offsets[t]..offsets[t + 1]] {
+                row[l as usize] += 1.0;
+            }
             normalize(row);
         }
-        let labels = argmax_labels(&posteriors);
+        let labels = argmax_labels(&posteriors, k);
         Ok(InferenceResult {
             labels,
-            posteriors,
+            posteriors: posterior_rows(&posteriors, k),
             worker_quality: None,
             iterations: 1,
             converged: true,
@@ -95,15 +96,20 @@ impl TruthInferencer for WeightedMajorityVote {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
         let k = matrix.num_labels();
-        let mut posteriors = vec![vec![0.0f64; k]; matrix.num_tasks()];
-        for o in matrix.observations() {
-            let w = self.weight(matrix.worker_id(o.worker));
-            posteriors[o.task][o.label as usize] += w;
-        }
-        for row in &mut posteriors {
+        // Resolve external-id weights to dense indices once, outside the
+        // accumulation loop.
+        let dense_weights: Vec<f64> = (0..matrix.num_workers())
+            .map(|w| self.weight(matrix.worker_id(w)))
+            .collect();
+        let (offsets, entries) = matrix.task_csr();
+        let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
+        for (t, row) in posteriors.chunks_mut(k).enumerate() {
+            for &(w, l) in &entries[offsets[t]..offsets[t + 1]] {
+                row[l as usize] += dense_weights[w as usize];
+            }
             normalize(row);
         }
-        let labels = argmax_labels(&posteriors);
+        let labels = argmax_labels(&posteriors, k);
         let worker_quality = Some(
             (0..matrix.num_workers())
                 .map(|w| self.weight(matrix.worker_id(w)).clamp(0.0, 1.0))
@@ -111,7 +117,7 @@ impl TruthInferencer for WeightedMajorityVote {
         );
         Ok(InferenceResult {
             labels,
-            posteriors,
+            posteriors: posterior_rows(&posteriors, k),
             worker_quality,
             iterations: 1,
             converged: true,

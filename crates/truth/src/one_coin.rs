@@ -7,12 +7,21 @@
 //! expressiveness of Dawid–Skene's full confusion matrix for far fewer
 //! parameters, which wins when workers answer only a handful of tasks.
 
+//!
+//! The kernel mirrors the Dawid–Skene layout: flat ping-pong posterior
+//! buffers, per-worker log tables (`ln p_w`, `ln` of the wrong-label
+//! share) refreshed once per M-step, reliability estimation sharded over
+//! worker ranges and the E-step over task ranges — byte-identical output
+//! at any thread count.
+
 use crowdkit_core::error::{CrowdError, Result};
+use crowdkit_core::par::parallel_items_mut;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 
 use crate::em::{
-    argmax_labels, max_abs_diff, normalize, update_priors, vote_fraction_posteriors, EmConfig,
+    argmax_labels, log_normalize, max_abs_diff, posterior_rows, resolve_threads, update_priors,
+    vote_fraction_posteriors, EmConfig, LN_FLOOR,
 };
 
 /// The one-coin EM algorithm.
@@ -39,66 +48,94 @@ impl TruthInferencer for OneCoinEm {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
         let k = matrix.num_labels();
+        let n_tasks = matrix.num_tasks();
+        let n_workers = matrix.num_workers();
         let wrong_share = 1.0 / (k as f64 - 1.0).max(1.0);
         let cfg = self.config;
+        let threads = resolve_threads(cfg.threads, matrix.num_observations() * k);
+        let (t_off, t_entries) = matrix.task_csr();
+        let (w_off, w_entries) = matrix.worker_csr();
 
         let mut posteriors = vote_fraction_posteriors(matrix);
+        let mut next = vec![0.0f64; n_tasks * k];
         let mut priors = vec![1.0 / k as f64; k];
-        let mut reliability = vec![0.8f64; matrix.num_workers()];
+        let mut log_priors = vec![0.0f64; k];
+        let mut reliability = vec![0.8f64; n_workers];
+        // Per-worker log pair refreshed each M-step: `ln p_w` and
+        // `ln((1 - p_w) · wrong_share)`.
+        let mut log_right = vec![0.0f64; n_workers];
+        let mut log_wrong = vec![0.0f64; n_workers];
 
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
 
-            // M-step: p_w = (smoothed) expected fraction of correct answers.
-            update_priors(&posteriors, &mut priors);
-            let mut correct_mass = vec![cfg.smoothing; matrix.num_workers()];
-            let mut total_mass = vec![2.0 * cfg.smoothing; matrix.num_workers()];
-            for o in matrix.observations() {
-                correct_mass[o.worker] += posteriors[o.task][o.label as usize];
-                total_mass[o.worker] += 1.0;
+            // M-step: p_w = (smoothed) expected fraction of correct
+            // answers, sharded over worker ranges; each worker sums its
+            // own CSR entries in insertion order.
+            update_priors(&posteriors, k, &mut priors);
+            for (lp, &p) in log_priors.iter_mut().zip(&priors) {
+                *lp = p.max(LN_FLOOR).ln();
             }
-            for (w, p) in reliability.iter_mut().enumerate() {
-                // Clamp away from 0 and 1 so log-likelihoods stay finite and
-                // a perfectly-agreeing worker cannot zero out all other
-                // labels' mass.
-                *p = (correct_mass[w] / total_mass[w]).clamp(1e-6, 1.0 - 1e-6);
+            let post = &posteriors;
+            parallel_items_mut(&mut reliability, 1, threads, |w0, run| {
+                for (i, r) in run.iter_mut().enumerate() {
+                    let w = w0 + i;
+                    let mut correct = cfg.smoothing;
+                    let mut total = 2.0 * cfg.smoothing;
+                    for &(t, l) in &w_entries[w_off[w]..w_off[w + 1]] {
+                        correct += post[t as usize * k + l as usize];
+                        total += 1.0;
+                    }
+                    // Clamp away from 0 and 1 so log-likelihoods stay
+                    // finite and a perfectly-agreeing worker cannot zero
+                    // out all other labels' mass.
+                    *r = (correct / total).clamp(1e-6, 1.0 - 1e-6);
+                }
+            });
+            for w in 0..n_workers {
+                let p = reliability[w];
+                log_right[w] = p.max(LN_FLOOR).ln();
+                log_wrong[w] = ((1.0 - p) * wrong_share).max(LN_FLOOR).ln();
             }
 
-            // E-step in log space.
-            let mut next = vec![vec![0.0f64; k]; matrix.num_tasks()];
-            for (t, row) in next.iter_mut().enumerate() {
-                for (l, x) in row.iter_mut().enumerate() {
-                    *x = priors[l].max(1e-300).ln();
-                }
-                for o in matrix.observations_for_task(t) {
-                    let p = reliability[o.worker];
-                    let wrong = ((1.0 - p) * wrong_share).max(1e-300).ln();
-                    let right = p.max(1e-300).ln();
-                    for (l, x) in row.iter_mut().enumerate() {
-                        *x += if l == o.label as usize { right } else { wrong };
+            // E-step over task ranges. Per observation the update is a
+            // scalar: every label gets the worker's wrong-answer mass, the
+            // observed label the right/wrong correction — O(obs + k) per
+            // task instead of O(obs · k).
+            let log_priors = &log_priors;
+            let log_right = &log_right;
+            let log_wrong = &log_wrong;
+            parallel_items_mut(&mut next, k, threads, |t0, run| {
+                for (i, row) in run.chunks_mut(k).enumerate() {
+                    let t = t0 + i;
+                    row.copy_from_slice(log_priors);
+                    let mut base = 0.0;
+                    for &(w, l) in &t_entries[t_off[t]..t_off[t + 1]] {
+                        let w = w as usize;
+                        base += log_wrong[w];
+                        row[l as usize] += log_right[w] - log_wrong[w];
                     }
+                    for x in row.iter_mut() {
+                        *x += base;
+                    }
+                    log_normalize(row);
                 }
-                let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-                for x in row.iter_mut() {
-                    *x = (*x - max).exp();
-                }
-                normalize(row);
-            }
+            });
 
             let delta = max_abs_diff(&posteriors, &next);
-            posteriors = next;
+            std::mem::swap(&mut posteriors, &mut next);
             if delta < cfg.tol {
                 converged = true;
                 break;
             }
         }
 
-        let labels = argmax_labels(&posteriors);
+        let labels = argmax_labels(&posteriors, k);
         Ok(InferenceResult {
             labels,
-            posteriors,
+            posteriors: posterior_rows(&posteriors, k),
             worker_quality: Some(reliability),
             iterations,
             converged,

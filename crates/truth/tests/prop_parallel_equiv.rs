@@ -1,0 +1,77 @@
+//! Thread-count invariance: every parallel EM kernel must produce
+//! *byte-identical* results at any worker-pool width.
+//!
+//! These are exact `==` comparisons on the full [`InferenceResult`] —
+//! posteriors, labels, worker quality, and iteration counts — not
+//! approximate float checks. The kernels earn this by partitioning work
+//! over disjoint item ranges and keeping every cross-item reduction
+//! sequential in fixed order, so chunk boundaries cannot perturb a single
+//! bit of the output.
+
+use crowdkit_core::ids::{TaskId, WorkerId};
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::traits::{InferenceResult, TruthInferencer};
+use crowdkit_truth::em::EmConfig;
+use crowdkit_truth::glad::GladConfig;
+use crowdkit_truth::{DawidSkene, Glad, Kos, OneCoinEm};
+use proptest::prelude::*;
+
+/// Arbitrary non-empty response matrices over k labels.
+fn matrix_strategy(k: u32) -> impl Strategy<Value = ResponseMatrix> {
+    prop::collection::vec((0u64..15, 0u64..8, 0..k), 1..120).prop_map(move |obs| {
+        let mut m = ResponseMatrix::new(k as usize);
+        for (t, w, l) in obs {
+            m.push(TaskId::new(t), WorkerId::new(w), l).unwrap();
+        }
+        m
+    })
+}
+
+/// Runs `make(threads).infer(m)` at widths 1, 2, and 8 and demands exact
+/// equality with the single-threaded result.
+fn assert_thread_invariant<F>(m: &ResponseMatrix, make: F) -> std::result::Result<(), TestCaseError>
+where
+    F: Fn(usize) -> Box<dyn TruthInferencer>,
+{
+    let reference: InferenceResult = make(1).infer(m).expect("non-empty matrix infers");
+    for threads in [2usize, 8] {
+        let r = make(threads).infer(m).expect("non-empty matrix infers");
+        prop_assert_eq!(
+            &reference,
+            &r,
+            "results diverge between 1 and {} threads",
+            threads
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn dawid_skene_is_thread_invariant(m in matrix_strategy(3)) {
+        assert_thread_invariant(&m, |t| {
+            Box::new(DawidSkene::with_config(EmConfig::default().with_threads(t)))
+        })?;
+    }
+
+    #[test]
+    fn one_coin_is_thread_invariant(m in matrix_strategy(3)) {
+        assert_thread_invariant(&m, |t| {
+            Box::new(OneCoinEm::with_config(EmConfig::default().with_threads(t)))
+        })?;
+    }
+
+    #[test]
+    fn glad_is_thread_invariant(m in matrix_strategy(2)) {
+        assert_thread_invariant(&m, |t| {
+            Box::new(Glad::with_config(GladConfig::default().with_threads(t)))
+        })?;
+    }
+
+    #[test]
+    fn kos_is_thread_invariant(m in matrix_strategy(2)) {
+        assert_thread_invariant(&m, |t| Box::new(Kos::default().with_threads(t)))?;
+    }
+}

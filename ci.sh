@@ -5,6 +5,11 @@ set -euo pipefail
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+# Telemetry overhead gate: instrumented hot paths must stay within 5% of
+# the null-recorder baseline (asserted inside the bench binary).
+cargo bench -p crowdkit-bench --bench obs_overhead
 
 # Machine-readable truth-inference timings (per-algorithm ns/iter).
 cargo run --release -p crowdkit-bench --bin bench_truth -- BENCH_truth.json

@@ -6,6 +6,7 @@ use crowdkit_core::error::Result;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_obs::{self as obs, Event};
 
 use crate::policy::{AssignState, AssignmentPolicy};
 
@@ -52,6 +53,8 @@ where
     let mut state = AssignState::new(tasks.len(), k, max_per_task);
     let mut matrix = ResponseMatrix::new(k);
     let mut asked = 0usize;
+    let rec = obs::current();
+    let mut waves = 0u64;
 
     while asked < budget_questions {
         let wave_cap = (budget_questions - asked).min(tasks.len().max(1));
@@ -70,6 +73,7 @@ where
             wave.iter().map(|&t| AskRequest::new(&tasks[t])).collect();
         let outcomes = oracle.ask_batch(&reqs)?;
         state.clear_pending();
+        let asked_before = asked;
         let mut exhausted = false;
         for (&t, out) in wave.iter().zip(&outcomes) {
             match &out.shortfall {
@@ -85,9 +89,27 @@ where
                 }
             }
         }
+        if rec.enabled() {
+            rec.record(
+                Event::new("assign.wave")
+                    .u64("wave", waves)
+                    .u64("requested", wave.len() as u64)
+                    .u64("delivered", (asked - asked_before) as u64)
+                    .u64("exhausted", u64::from(exhausted)),
+            );
+        }
+        waves += 1;
         if exhausted {
             break;
         }
+    }
+    if rec.enabled() {
+        rec.record(
+            Event::new("assign.run")
+                .u64("tasks", tasks.len() as u64)
+                .u64("waves", waves)
+                .u64("questions", asked as u64),
+        );
     }
 
     Ok(AssignmentOutcome {

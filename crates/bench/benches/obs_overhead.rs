@@ -1,0 +1,146 @@
+//! Telemetry overhead gate: instrumented vs null-recorder hot paths.
+//!
+//! The observability layer's contract is "near zero cost": with the
+//! default [`crowdkit_obs::NullRecorder`] every instrumentation site
+//! reduces to one thread-local read and a branch, and even with the
+//! aggregating [`crowdkit_obs::MemoryRecorder`] active the events are
+//! per-wave/per-iteration summaries, never per-observation work inside the
+//! kernels. `main` enforces that contract before the benches run: the
+//! instrumented arm of each workload must stay within 5 % of the
+//! uninstrumented arm. The two workloads cover both instrumented layers
+//! that matter for throughput — batched platform execution (`ask_batch`)
+//! and EM truth inference (Dawid–Skene).
+//!
+//! Samples are interleaved (null, instrumented, null, …) so clock drift
+//! and thermal effects hit both arms equally, and the gate compares
+//! minima, the statistic least sensitive to scheduler noise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use crowdkit_core::ask::AskRequest;
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::{CrowdOracle, TruthInferencer};
+use crowdkit_obs as obs;
+use crowdkit_sim::dataset::LabelingDataset;
+use crowdkit_sim::latency::LatencyModel;
+use crowdkit_sim::population::{mixes, PopulationBuilder};
+use crowdkit_sim::{PlatformBuilder, SimulatedCrowd};
+use crowdkit_truth::{pipeline::label_tasks, DawidSkene, MajorityVote};
+
+const N_TASKS: usize = 200;
+const VOTES: usize = 3;
+const SEED: u64 = 7;
+const GATE_SAMPLES: usize = 60;
+const MAX_OVERHEAD: f64 = 0.05;
+
+fn workload() -> Vec<Task> {
+    LabelingDataset::binary(N_TASKS, SEED).tasks
+}
+
+fn crowd() -> SimulatedCrowd {
+    let pop = PopulationBuilder::new().reliable(80, 0.8, 0.95).build(SEED);
+    PlatformBuilder::new(pop)
+        .latency(LatencyModel::human_default())
+        .seed(SEED)
+        .threads(4)
+        .build()
+}
+
+fn run_batch(tasks: &[Task]) {
+    let crowd = crowd();
+    let reqs: Vec<AskRequest<'_>> = tasks
+        .iter()
+        .map(|t| AskRequest::new(t).with_redundancy(VOTES))
+        .collect();
+    let outs = crowd.ask_batch(&reqs).expect("unlimited budget");
+    assert!(outs.iter().all(|o| o.delivered() == VOTES));
+}
+
+fn inference_matrix() -> ResponseMatrix {
+    let data = LabelingDataset::binary(500, SEED);
+    let crowd = SimulatedCrowd::new(mixes::mixed(60, SEED), SEED);
+    label_tasks(&crowd, &data.tasks, 5, &MajorityVote)
+        .expect("collection succeeds")
+        .matrix
+}
+
+/// Interleaved min-of-N comparison: runs `f` alternately without a
+/// recorder and under a fresh [`obs::MemoryRecorder`], returning
+/// `(null_min_ns, instrumented_min_ns)`.
+fn gate_pair(mut f: impl FnMut()) -> (u64, u64) {
+    // Warm both arms.
+    f();
+    obs::with_recorder(Arc::new(obs::MemoryRecorder::new()), &mut f);
+    let mut null_min = u64::MAX;
+    let mut instr_min = u64::MAX;
+    for _ in 0..GATE_SAMPLES {
+        let t0 = Instant::now();
+        f();
+        null_min = null_min.min(t0.elapsed().as_nanos() as u64);
+        let rec: Arc<dyn obs::Recorder> = Arc::new(obs::MemoryRecorder::new());
+        let t0 = Instant::now();
+        obs::with_recorder(rec, &mut f);
+        instr_min = instr_min.min(t0.elapsed().as_nanos() as u64);
+    }
+    (null_min, instr_min)
+}
+
+fn check_overhead(name: &str, f: impl FnMut()) {
+    let (null_min, instr_min) = gate_pair(f);
+    let overhead = instr_min as f64 / null_min as f64 - 1.0;
+    println!(
+        "{name}: null {null_min} ns, instrumented {instr_min} ns ({:+.2}%)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "{name}: instrumentation overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}
+
+fn bench_ask_batch(c: &mut Criterion) {
+    let tasks = workload();
+    let mut group = c.benchmark_group("obs_ask_batch_200x3");
+    group.bench_function("null", |b| {
+        b.iter(|| run_batch(std::hint::black_box(&tasks)));
+    });
+    group.bench_function("memory_recorder", |b| {
+        let rec: Arc<dyn obs::Recorder> = Arc::new(obs::MemoryRecorder::new());
+        b.iter(|| obs::with_recorder(rec.clone(), || run_batch(std::hint::black_box(&tasks))));
+    });
+    group.finish();
+}
+
+fn bench_dawid_skene(c: &mut Criterion) {
+    let m = inference_matrix();
+    let ds = DawidSkene::default();
+    let mut group = c.benchmark_group("obs_dawid_skene_500x5");
+    group.bench_function("null", |b| {
+        b.iter(|| ds.infer(std::hint::black_box(&m)).unwrap());
+    });
+    group.bench_function("memory_recorder", |b| {
+        let rec: Arc<dyn obs::Recorder> = Arc::new(obs::MemoryRecorder::new());
+        b.iter(|| {
+            obs::with_recorder(rec.clone(), || ds.infer(std::hint::black_box(&m)).unwrap())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ask_batch, bench_dawid_skene);
+
+fn main() {
+    let tasks = workload();
+    check_overhead("ask_batch", || run_batch(&tasks));
+    let m = inference_matrix();
+    let ds = DawidSkene::default();
+    check_overhead("dawid_skene", || {
+        std::hint::black_box(ds.infer(&m).unwrap());
+    });
+    benches();
+}

@@ -10,6 +10,7 @@
 //! cargo run --release -p crowdkit-bench --bin bench_truth -- out.json
 //! ```
 
+use crowdkit_core::par::default_threads;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::TruthInferencer;
 use crowdkit_sim::dataset::LabelingDataset;
@@ -47,6 +48,20 @@ fn time_algo(algo: &dyn TruthInferencer, m: &ResponseMatrix) -> u64 {
     samples[samples.len() / 2]
 }
 
+/// The short git revision of the working tree, or `"unknown"` outside a
+/// checkout. Recorded so archived timing files say what they measured.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 fn main() {
     let out_path = std::env::args()
         .nth(1)
@@ -67,6 +82,8 @@ fn main() {
         "  \"workload\": {{\"n_tasks\": {N_TASKS}, \"redundancy\": {REDUNDANCY}, \"observations\": {}}},\n",
         m.num_observations()
     ));
+    json.push_str(&format!("  \"threads\": {},\n", default_threads()));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
     json.push_str("  \"algorithms\": {\n");
     let timings: Vec<(&str, u64)> = algos
         .iter()

@@ -1,19 +1,26 @@
 //! The experiment runner.
 //!
 //! ```sh
-//! experiments all          # every experiment, in order
-//! experiments e1 e3 e10    # selected experiments
-//! experiments list         # id + description
+//! experiments all                           # every experiment, in order
+//! experiments all --report                  # also writes RUNREPORT.json
+//! experiments all --report --log run.jsonl  # plus the merged event log
+//! experiments e1 e3 e10                     # selected experiments
+//! experiments list                          # id + description
 //! ```
+//!
+//! `--report` runs the suite instrumented: every experiment executes under
+//! its own in-memory recorder and the distilled cost/latency/quality
+//! triangle lands in `RUNREPORT.json`. `--log <path>` additionally captures
+//! the full deterministic event stream (wall-clock data omitted) as JSONL.
 
 use std::process::ExitCode;
 
-use crowdkit_bench::{run_by_name, EXPERIMENTS};
+use crowdkit_bench::{run_all_with_report, run_by_name, EXPERIMENTS};
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: experiments <all | list | e1 [e2 …]>");
+        eprintln!("usage: experiments <all [--report] [--log <path>] | list | e1 [e2 …]>");
         return ExitCode::from(2);
     }
     if args[0] == "list" {
@@ -22,6 +29,57 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+
+    let mut report = false;
+    let mut log_path: Option<String> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--report" => {
+                report = true;
+                args.remove(i);
+            }
+            "--log" => {
+                if i + 1 >= args.len() {
+                    eprintln!("--log requires a path");
+                    return ExitCode::from(2);
+                }
+                log_path = Some(args.remove(i + 1));
+                args.remove(i);
+            }
+            _ => i += 1,
+        }
+    }
+    let log_requested = log_path.is_some();
+    if (report || log_requested) && args.first().map(String::as_str) != Some("all") {
+        eprintln!("--report/--log apply to `all` only");
+        return ExitCode::from(2);
+    }
+
+    if args.first().map(String::as_str) == Some("all") && (report || log_requested) {
+        let suite = run_all_with_report(log_requested);
+        print!("{}", suite.rendered);
+        if let Err(e) = std::fs::write("RUNREPORT.json", suite.report.to_json()) {
+            eprintln!("failed to write RUNREPORT.json: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "RUNREPORT.json: {} experiments, {} crowd questions, {:.2} spent",
+            suite.report.experiments.len(),
+            suite.report.total_questions(),
+            suite.report.total_spend(),
+        );
+        if let Some(path) = log_path {
+            if let Err(e) = std::fs::write(&path, &suite.events) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let lines = suite.events.iter().filter(|&&b| b == b'\n').count();
+            eprintln!("{path}: {lines} events");
+        }
+        return ExitCode::SUCCESS;
+    }
+
     let ids: Vec<&str> = if args[0] == "all" {
         EXPERIMENTS.iter().map(|e| e.id).collect()
     } else {

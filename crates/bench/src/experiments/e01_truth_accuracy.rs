@@ -8,6 +8,7 @@
 //! `k`.
 
 use crowdkit_core::metrics::accuracy;
+use crowdkit_obs as obs;
 use crowdkit_core::traits::TruthInferencer;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::{mixes, Population};
@@ -52,6 +53,7 @@ fn mix_table(name: &str, make_pop: fn(usize, u64) -> Population) -> Table {
                     .collect();
                 acc += accuracy(&predicted, &data.truths);
             }
+            obs::quality("accuracy", acc / SEEDS.len() as f64);
             cells.push(pct(acc / SEEDS.len() as f64));
         }
         t.row(cells);

@@ -7,6 +7,7 @@
 //! more data than the one-coin model at small counts.
 
 use crowdkit_core::metrics::mae;
+use crowdkit_obs as obs;
 use crowdkit_core::traits::TruthInferencer;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::PopulationBuilder;
@@ -62,6 +63,7 @@ pub fn run() -> Vec<Table> {
                 .map(|&s| estimation_error(n, s, algo))
                 .sum::<f64>()
                 / SEEDS.len() as f64;
+            obs::quality("worker_mae", avg);
             cells.push(f3(avg));
         }
         t.row(cells);

@@ -8,6 +8,7 @@
 
 use crowdkit_core::answer::AnswerValue;
 use crowdkit_core::metrics::pairwise_cluster_f1;
+use crowdkit_obs as obs;
 use crowdkit_core::task::Task;
 use crowdkit_ops::join::{
     all_pairs_count, candidate_pairs, crowd_join, AskOrder, CandidatePair, JoinConfig,
@@ -44,6 +45,7 @@ fn join_with(
     )
     .expect("join succeeds");
     let f1 = pairwise_cluster_f1(&out.clusters, &data.truth_clusters()).f1();
+    obs::quality("cluster_f1", f1);
     (out.pairs_asked, out.questions_asked, f1)
 }
 

@@ -8,6 +8,7 @@
 //! moderate budgets; tournament max succeeds with ~n matches.
 
 use crowdkit_core::metrics::kendall_tau;
+use crowdkit_obs as obs;
 use crowdkit_ops::sort::active::{active_comparisons, ActiveConfig};
 use crowdkit_ops::sort::rankers::{borda, bradley_terry, copeland, elo};
 use crowdkit_ops::sort::tournament::crowd_max;
@@ -59,6 +60,9 @@ pub fn run() -> Vec<Table> {
     );
     for &b in &budgets {
         let taus = taus_for_budget(b);
+        for tau in taus {
+            obs::quality("kendall_tau", tau);
+        }
         t.row(vec![
             b.to_string(),
             f3(taus[0]),
@@ -87,6 +91,7 @@ pub fn run() -> Vec<Table> {
         }
         questions += out.questions_asked;
     }
+    obs::quality("max_success_rate", successes as f64 / runs as f64);
     t2.row(vec![
         "tournament max".into(),
         (questions / runs as usize).to_string(),

@@ -7,6 +7,7 @@
 //! largest when answers are lopsided.
 
 use crowdkit_core::metrics::accuracy;
+use crowdkit_obs as obs;
 use crowdkit_core::traits::StoppingRule;
 use crowdkit_ops::filter::crowd_filter;
 use crowdkit_sim::dataset::LabelingDataset;
@@ -59,6 +60,7 @@ pub fn run() -> Vec<Table> {
         );
         for (name, rule) in &rules {
             let (cost, acc) = run_rule(rule.as_ref(), selectivity);
+            obs::quality("filter_accuracy", acc);
             t.row(vec![name.to_string(), f3(cost), pct(acc)]);
         }
         tables.push(t);

@@ -7,6 +7,7 @@
 //! sample approaches the population.
 
 use crowdkit_core::metrics::relative_error;
+use crowdkit_obs as obs;
 use crowdkit_ops::agg::estimate_count;
 use crowdkit_sim::dataset::CountingDataset;
 use crowdkit_sim::population::PopulationBuilder;
@@ -51,6 +52,8 @@ pub fn run() -> Vec<Table> {
     );
     for fraction in [0.01, 0.05, 0.1, 0.25, 1.0] {
         let (rel, width, cov) = at_fraction(fraction);
+        obs::quality("count_rel_error", rel);
+        obs::quality("ci_coverage", cov);
         t.row(vec![
             format!("{fraction}"),
             f3(rel),

@@ -7,6 +7,7 @@
 //! truth from the observed count; Good–Turing coverage rises toward 1.
 
 use crowdkit_core::ids::TaskId;
+use crowdkit_obs as obs;
 use crowdkit_ops::collect::crowd_collect;
 use crowdkit_sim::dataset::CollectionPool;
 use crowdkit_sim::population::PopulationBuilder;
@@ -38,6 +39,13 @@ pub fn run() -> Vec<Table> {
                 f3(p.coverage),
             ]);
         }
+    }
+    if let Some(last) = out.curve.last() {
+        obs::quality("species_coverage", last.coverage);
+        obs::quality(
+            "chao92_rel_error",
+            (last.chao92_estimate - RICHNESS as f64).abs() / RICHNESS as f64,
+        );
     }
     vec![t]
 }

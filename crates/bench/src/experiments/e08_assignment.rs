@@ -8,6 +8,7 @@
 
 use crowdkit_assign::{run_assignment, AssignmentPolicy, EntropyGreedy, ExpectedAccuracyGain, RandomAssign, RoundRobin};
 use crowdkit_core::traits::TruthInferencer;
+use crowdkit_obs as obs;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::mixes;
 use crowdkit_sim::SimulatedCrowd;
@@ -67,6 +68,7 @@ pub fn run() -> Vec<Table> {
                 .map(|&s| accuracy_under_budget(policy, b, s))
                 .sum::<f64>()
                 / SEEDS.len() as f64;
+            obs::quality("accuracy", avg);
             cells.push(pct(avg));
         }
         t.row(cells);

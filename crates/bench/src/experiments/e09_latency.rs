@@ -7,6 +7,7 @@
 //! at a small extra-answer cost; dropping stragglers is fastest but loses
 //! answers.
 
+use crowdkit_obs as obs;
 use crowdkit_sim::latency::{LatencyModel, RoundSimulator, StragglerPolicy};
 
 use crate::table::{f3, Table};
@@ -51,6 +52,8 @@ pub fn run() -> Vec<Table> {
             ("drop@0.9", StragglerPolicy::Drop { quantile: 0.9 }),
         ] {
             let (time, bought, dropped) = simulate(rs, policy);
+            obs::quality("completion_time_s", time);
+            obs::quality("dropped_share", dropped / bought.max(1.0));
             t.row(vec![
                 rs.to_string(),
                 name.into(),

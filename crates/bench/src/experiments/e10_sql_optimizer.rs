@@ -6,6 +6,7 @@
 //! shapes. Expected shape: the optimizer wins by the selectivity factor on
 //! fill queries and by ~n/log n on top-k ordering.
 
+use crowdkit_obs as obs;
 use crowdkit_sim::population::PopulationBuilder;
 use crowdkit_sim::SimulatedCrowd;
 use crowdkit_sql::exec::SimTaskFactory;
@@ -78,6 +79,9 @@ pub fn run() -> Vec<Table> {
     for (name, sql) in QUERIES {
         let naive = questions(sql, false);
         let opt = questions(sql, true);
+        if naive > 0 {
+            obs::quality("question_saving", (naive - opt) as f64 / naive as f64);
+        }
         let saving = if naive > 0 {
             format!("{:.0}%", 100.0 * (naive - opt) as f64 / naive as f64)
         } else {

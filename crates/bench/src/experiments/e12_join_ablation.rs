@@ -9,6 +9,7 @@
 
 use crowdkit_core::answer::AnswerValue;
 use crowdkit_core::metrics::pairwise_cluster_f1;
+use crowdkit_obs as obs;
 use crowdkit_core::task::Task;
 use crowdkit_ops::join::{candidate_pairs, crowd_join, AskOrder, JoinConfig};
 use crowdkit_sim::dataset::EntityDataset;
@@ -65,6 +66,7 @@ pub fn run() -> Vec<Table> {
         ("no deduction + random order", false, AskOrder::Random(SEED)),
     ] {
         let (asked, deduced, f1) = run_config(trans, order);
+        obs::quality("cluster_f1", f1);
         t.row(vec![
             name.into(),
             asked.to_string(),

@@ -7,6 +7,7 @@
 //! the cost of the gold questions themselves.
 
 use crowdkit_core::traits::TruthInferencer;
+use crowdkit_obs as obs;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::mixes;
 use crowdkit_sim::SimulatedCrowd;
@@ -51,11 +52,13 @@ fn run_config(gold_stride: Option<usize>, algo_name: &str, seed: u64) -> f64 {
 }
 
 fn mean_over_seeds(gold_stride: Option<usize>, algo: &str) -> f64 {
-    SEEDS
+    let mean = SEEDS
         .iter()
         .map(|&s| run_config(gold_stride, algo, s))
         .sum::<f64>()
-        / SEEDS.len() as f64
+        / SEEDS.len() as f64;
+    obs::quality("accuracy", mean);
+    mean
 }
 
 /// Runs E13.

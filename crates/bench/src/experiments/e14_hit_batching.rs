@@ -9,6 +9,7 @@
 //! widens with HIT size because candidate pairs cluster around duplicate
 //! entities.
 
+use crowdkit_obs as obs;
 use crowdkit_ops::join::{
     candidate_pairs, cluster_based_hits, hits_cover_all, pair_based_hits,
 };
@@ -37,6 +38,12 @@ pub fn run() -> Vec<Table> {
     );
     for h in [2usize, 4, 6, 10] {
         let (pairs, pairwise, cluster) = counts_for(h);
+        if pairwise > 0 {
+            obs::quality(
+                "hit_reduction",
+                (pairwise as f64 - cluster as f64) / pairwise as f64,
+            );
+        }
         t.row(vec![
             h.to_string(),
             pairs.to_string(),

@@ -11,6 +11,7 @@
 //! at a given τ at the price of EM's well-known overconfidence.
 
 use crowdkit_core::traits::TruthInferencer;
+use crowdkit_obs as obs;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::mixes;
 use crowdkit_sim::SimulatedCrowd;
@@ -68,6 +69,10 @@ pub fn run() -> Vec<Table> {
     for &tau in &taus {
         let (mv_cov, mv_acc) = tradeoff(&MajorityVote, tau);
         let (ds_cov, ds_acc) = tradeoff(&DawidSkene::default(), tau);
+        obs::quality("coverage", mv_cov);
+        obs::quality("coverage", ds_cov);
+        obs::quality("selected_accuracy", mv_acc);
+        obs::quality("selected_accuracy", ds_acc);
         t.row(vec![
             format!("{tau}"),
             pct(mv_cov),

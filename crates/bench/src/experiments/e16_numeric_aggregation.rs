@@ -12,6 +12,7 @@ use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::metrics::mae;
 use crowdkit_core::task::{Task, TaskKind};
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_obs as obs;
 use crowdkit_sim::population::{Archetype, PopulationBuilder};
 use crowdkit_sim::SimulatedCrowd;
 use crowdkit_truth::numeric::{
@@ -45,7 +46,9 @@ fn run_mix(spam_share: f64, seed: u64) -> [f64; 4] {
     let mut ids = IdGen::new();
     let mut truths = Vec::with_capacity(N_TASKS);
     let mut responses = NumericResponses::new();
-    let mut truth_map = std::collections::HashMap::new();
+    // Keep (task, truth) in insertion order: scoring must sum in a fixed
+    // order so repeat runs produce bit-identical aggregates.
+    let mut truth_by_task: Vec<(TaskId, f64)> = Vec::with_capacity(N_TASKS);
     for i in 0..N_TASKS {
         let truth = 10.0 + (i as f64 * 7.3) % 80.0;
         let task = Task::new(
@@ -58,7 +61,7 @@ fn run_mix(spam_share: f64, seed: u64) -> [f64; 4] {
         )
         .with_truth(AnswerValue::Number(truth));
         truths.push(truth);
-        truth_map.insert(task.id, truth);
+        truth_by_task.push((task.id, truth));
         for a in crowd.ask_many(&task, K).expect("collection succeeds") {
             responses.push(a.task, a.worker, a.value.as_number().unwrap());
         }
@@ -67,8 +70,8 @@ fn run_mix(spam_share: f64, seed: u64) -> [f64; 4] {
     let score = |estimates: &std::collections::HashMap<TaskId, f64>| -> f64 {
         let mut est = Vec::with_capacity(N_TASKS);
         let mut tru = Vec::with_capacity(N_TASKS);
-        for (task, &truth) in &truth_map {
-            est.push(estimates[task]);
+        for &(task, truth) in &truth_by_task {
+            est.push(estimates[&task]);
             tru.push(truth);
         }
         mae(&est, &tru)
@@ -104,6 +107,9 @@ pub fn run() -> Vec<Table> {
     );
     for spam in [0.0, 0.2, 0.4] {
         let [mean_err, median_err, trimmed_err, rew_err] = mean_over_seeds(spam);
+        obs::quality("mae_mean", mean_err);
+        obs::quality("mae_median", median_err);
+        obs::quality("mae_reweighted", rew_err);
         t.row(vec![
             format!("{spam}"),
             f3(mean_err),

@@ -9,6 +9,7 @@
 //! most of the loss (supply redundancy as latency control).
 
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_obs as obs;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::latency::LatencyModel;
 use crowdkit_sim::population::PopulationBuilder;
@@ -59,11 +60,11 @@ pub fn run() -> Vec<Table> {
         &["duty cycle", "pool 10 (s)", "pool 40 (s)"],
     );
     for duty in [1.0, 0.5, 0.2, 0.05] {
-        t.row(vec![
-            format!("{duty}"),
-            f3(mean_time(duty, 10)),
-            f3(mean_time(duty, 40)),
-        ]);
+        let small = mean_time(duty, 10);
+        let large = mean_time(duty, 40);
+        obs::quality("completion_time_s", small);
+        obs::quality("completion_time_s", large);
+        t.row(vec![format!("{duty}"), f3(small), f3(large)]);
     }
     vec![t]
 }

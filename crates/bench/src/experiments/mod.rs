@@ -19,6 +19,10 @@ pub mod e15_selective_output;
 pub mod e16_numeric_aggregation;
 pub mod e17_worker_supply;
 
+use std::sync::Arc;
+
+use crowdkit_obs::{self as obs, Event, ExperimentReport, RunReport};
+
 use crate::table::Table;
 
 /// An experiment entry: id, description, and runner.
@@ -147,6 +151,81 @@ pub fn run_all() -> String {
         }
     });
     results.concat()
+}
+
+/// Output of an instrumented suite run ([`run_all_with_report`]).
+pub struct SuiteRun {
+    /// Concatenated rendered tables, in registry order (same text as
+    /// [`run_all`]).
+    pub rendered: String,
+    /// Per-experiment cost/latency/quality telemetry plus suite totals —
+    /// the `RUNREPORT.json` payload.
+    pub report: RunReport,
+    /// The merged deterministic JSONL event log (empty unless requested).
+    pub events: Vec<u8>,
+}
+
+/// Runs every experiment like [`run_all`], but with telemetry: each
+/// experiment executes under its own [`obs::MemoryRecorder`] and the
+/// distilled [`ExperimentReport`]s land in a [`RunReport`], in registry
+/// order.
+///
+/// With `capture_events` the full event streams are also captured, one
+/// [`obs::ShardBuffers`] shard per experiment, and merged in registry order
+/// into one JSONL log. Wall-clock data is omitted from the log, so its
+/// bytes are a pure function of the experiments' seeds — identical at any
+/// thread count and across repeat runs.
+pub fn run_all_with_report(capture_events: bool) -> SuiteRun {
+    let shards = obs::ShardBuffers::new(EXPERIMENTS.len(), capture_events);
+    let mut rendered = String::new();
+    let mut report = RunReport::new();
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = EXPERIMENTS
+            .iter()
+            .enumerate()
+            .map(|(i, e)| {
+                let shard = shards.shard(i);
+                scope.spawn(move || {
+                    // The recorder scope is thread-local, so it must be
+                    // entered *inside* the experiment's own thread.
+                    let mem = Arc::new(obs::MemoryRecorder::new());
+                    let rec: Arc<dyn obs::Recorder> = if capture_events {
+                        Arc::new(obs::Tee(shard, mem.clone()))
+                    } else {
+                        mem.clone()
+                    };
+                    let start = std::time::Instant::now();
+                    let text = obs::with_recorder(rec, || {
+                        obs::record(Event::new("exp.begin").str("id", e.id));
+                        let text = run_by_name(e.id).expect("registered id");
+                        obs::record(Event::new("exp.end").str("id", e.id));
+                        text
+                    });
+                    let wall_ms = start.elapsed().as_millis() as u64;
+                    let rep =
+                        ExperimentReport::from_recorder(e.id, e.description, wall_ms, &mem);
+                    (text, rep)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (text, rep) = h.join().expect("experiment thread panicked");
+            rendered.push_str(&text);
+            report.experiments.push(rep);
+        }
+    });
+    let events = if capture_events {
+        let sink = obs::JsonlRecorder::in_memory().with_wall(false);
+        shards.flush_to(&sink);
+        sink.take_bytes()
+    } else {
+        Vec::new()
+    };
+    SuiteRun {
+        rendered,
+        report,
+        events,
+    }
 }
 
 #[cfg(test)]

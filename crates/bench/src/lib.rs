@@ -21,4 +21,4 @@
 pub mod experiments;
 pub mod table;
 
-pub use experiments::{run_all, run_by_name, EXPERIMENTS};
+pub use experiments::{run_all, run_all_with_report, run_by_name, SuiteRun, EXPERIMENTS};

@@ -122,16 +122,19 @@ impl AskOutcome {
     }
 
     /// Number of answers delivered.
+    #[must_use]
     pub fn delivered(&self) -> usize {
         self.answers.len()
     }
 
     /// Number of answers requested but not delivered.
+    #[must_use]
     pub fn missing(&self) -> usize {
         self.requested.saturating_sub(self.answers.len())
     }
 
     /// True when every requested answer arrived.
+    #[must_use]
     pub fn is_complete(&self) -> bool {
         self.shortfall.is_none() && self.answers.len() >= self.requested
     }
@@ -144,6 +147,7 @@ impl AskOutcome {
 
     /// True when the shortfall is specifically a drained budget — the one
     /// condition that starves every later request in a batch too.
+    #[must_use]
     pub fn stopped_by_budget(&self) -> bool {
         matches!(&self.shortfall, Some(CrowdError::BudgetExhausted { .. }))
     }

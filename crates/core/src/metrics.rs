@@ -386,8 +386,8 @@ mod tests {
         let rev = [4.0, 3.0, 2.0, 1.0];
         assert_eq!(kendall_tau(&a, &a), 1.0);
         assert_eq!(kendall_tau(&a, &rev), -1.0);
-        // One swapped adjacent pair out of 6 pairs: (6-2)/6 - wait:
-        // 5 concordant, 1 discordant → (5-1)/6.
+        // One swapped adjacent pair out of 6 pairs: 5 concordant,
+        // 1 discordant → (5-1)/6.
         let b = [1.0, 2.0, 4.0, 3.0];
         assert!((kendall_tau(&a, &b) - 4.0 / 6.0).abs() < 1e-12);
     }

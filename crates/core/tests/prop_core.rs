@@ -6,7 +6,20 @@ use crowdkit_core::metrics::{
     accuracy, entropy, js_divergence, kendall_tau, majority, median, pairwise_cluster_f1,
 };
 use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::traits::InferenceResult;
 use proptest::prelude::*;
+
+/// A synthetic result whose per-task confidence is exactly `confs[t]`
+/// (chosen label 0, remaining mass on label 1).
+fn result_with_confidences(confs: &[f64]) -> InferenceResult {
+    InferenceResult {
+        labels: vec![0; confs.len()],
+        posteriors: confs.iter().map(|&c| vec![c, 1.0 - c]).collect(),
+        worker_quality: None,
+        iterations: 1,
+        converged: true,
+    }
+}
 
 proptest! {
     #[test]
@@ -135,4 +148,67 @@ proptest! {
             prop_assert_eq!(m.task_index(m.task_id(t)), Some(t));
         }
     }
+
+    #[test]
+    fn select_confident_at_tau_zero_selects_everything(
+        confs in prop::collection::vec(0.0f64..=1.0, 1..60)
+    ) {
+        let r = result_with_confidences(&confs);
+        // Every posterior entry is >= 0, so tau = 0 can exclude nothing.
+        prop_assert_eq!(r.select_confident(0.0).len(), confs.len());
+        prop_assert_eq!(r.coverage(0.0), 1.0);
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_tau_and_matches_selection(
+        confs in prop::collection::vec(0.0f64..=1.0, 1..60),
+        taus in prop::collection::vec(0.0f64..=1.0, 2..10)
+    ) {
+        let r = result_with_confidences(&confs);
+        let mut taus = taus;
+        taus.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let mut prev_cov = f64::INFINITY;
+        for &tau in &taus {
+            let sel = r.select_confident(tau);
+            let cov = r.coverage(tau);
+            prop_assert!((cov - sel.len() as f64 / confs.len() as f64).abs() < 1e-12);
+            prop_assert!(cov <= prev_cov, "coverage must not grow as tau rises");
+            // Selection is exactly the >= tau set, indices in order.
+            let expect: Vec<usize> =
+                (0..confs.len()).filter(|&t| confs[t] >= tau).collect();
+            prop_assert_eq!(sel, expect);
+            prev_cov = cov;
+        }
+    }
+
+    #[test]
+    fn posteriors_stay_nan_free_under_selection(
+        confs in prop::collection::vec(0.0f64..=1.0, 1..60),
+        tau in 0.0f64..=1.0
+    ) {
+        let r = result_with_confidences(&confs);
+        for &t in &r.select_confident(tau) {
+            prop_assert!(r.confidence(t).is_finite());
+            prop_assert!(r.posteriors[t].iter().all(|p| p.is_finite()));
+        }
+    }
+}
+
+#[test]
+fn select_confident_keeps_exact_boundary_ties() {
+    // Confidence exactly equal to tau must be selected (>=, not >).
+    let r = result_with_confidences(&[0.5, 0.5 - 1e-12, 0.5 + 1e-12, 0.9]);
+    assert_eq!(r.select_confident(0.5), vec![0, 2, 3]);
+    assert_eq!(r.coverage(0.5), 0.75);
+    // tau = 1.0 keeps only fully-certain tasks.
+    let certain = result_with_confidences(&[1.0, 0.999, 1.0]);
+    assert_eq!(certain.select_confident(1.0), vec![0, 2]);
+}
+
+#[test]
+fn coverage_of_empty_result_is_zero_not_nan() {
+    let r = result_with_confidences(&[]);
+    assert_eq!(r.coverage(0.0), 0.0);
+    assert_eq!(r.coverage(1.0), 0.0);
+    assert!(r.select_confident(0.0).is_empty());
 }

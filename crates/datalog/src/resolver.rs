@@ -19,6 +19,7 @@ use crowdkit_core::error::Result;
 use crowdkit_core::ids::IdGen;
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_obs::{self as obs, Event};
 
 use crate::ast::Const;
 
@@ -183,17 +184,26 @@ where
         }
         let mut tallies: Vec<(String, u32)> = counts.into_iter().collect();
         tallies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-        match tallies.as_slice() {
-            [] => Ok(Vec::new()),
-            [(_, c1), (_, c2), ..] if c1 == c2 => Ok(Vec::new()), // tie: no verdict
+        let resolved = match tallies.as_slice() {
+            [] => Vec::new(),
+            [(_, c1), (_, c2), ..] if c1 == c2 => Vec::new(), // tie: no verdict
             [(top, _), ..] => {
                 let value = match top.parse::<i64>() {
                     Ok(i) => Const::Int(i),
                     Err(_) => Const::Str(top.clone()),
                 };
-                Ok(vec![value])
+                vec![value]
             }
+        };
+        if obs::enabled() {
+            obs::record(
+                Event::new("datalog.fetch")
+                    .str("predicate", predicate)
+                    .u64("answers", out.answers.len() as u64)
+                    .u64("resolved", u64::from(!resolved.is_empty())),
+            );
         }
+        Ok(resolved)
     }
 
     fn questions_asked(&self) -> u64 {

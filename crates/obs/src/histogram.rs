@@ -1,0 +1,172 @@
+//! Log-scale histograms for latency-style measurements.
+//!
+//! Buckets are powers of two over a fixed-point representation (values are
+//! scaled by [`SCALE`] before bucketing), so the histogram covers ~nine
+//! decades — sub-millisecond to weeks of simulated seconds — in 64 buckets
+//! with bounded relative error. Buckets are atomics: recording is lock-free
+//! and safe from any thread, and *where* a sample lands never depends on
+//! which thread recorded it, so histogram contents obey the same
+//! determinism contract as the event stream.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Fixed-point scale applied before bucketing: 1 unit = 1 microsecond when
+/// samples are seconds.
+pub const SCALE: f64 = 1e6;
+
+const BUCKETS: usize = 64;
+
+/// A lock-free power-of-two histogram.
+#[derive(Debug)]
+pub struct LogHistogram {
+    buckets: [AtomicU64; BUCKETS],
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+}
+
+/// Index of the bucket holding `value`: `floor(log2(value * SCALE)) + 1`,
+/// with zero/negative values in bucket 0.
+fn bucket_of(value: f64) -> usize {
+    let scaled = value * SCALE;
+    // NaN, zero, negative and sub-unit values all land in bucket 0.
+    if scaled.is_nan() || scaled < 1.0 {
+        return 0;
+    }
+    let scaled = scaled.min(u64::MAX as f64) as u64;
+    (64 - scaled.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+/// Lower edge of bucket `i`, in sample units.
+fn bucket_floor(i: usize) -> f64 {
+    if i == 0 {
+        0.0
+    } else {
+        (1u64 << (i - 1)) as f64 / SCALE
+    }
+}
+
+impl LogHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: f64) {
+        self.buckets[bucket_of(value)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Approximate `q`-quantile (`0 ≤ q ≤ 1`): the lower edge of the bucket
+    /// containing the `q`-th sample. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        let total = self.count();
+        if total == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * total as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return bucket_floor(i);
+            }
+        }
+        bucket_floor(BUCKETS - 1)
+    }
+
+    /// Merges another histogram's counts into this one.
+    pub fn merge(&self, other: &LogHistogram) {
+        for (a, b) in self.buckets.iter().zip(&other.buckets) {
+            a.fetch_add(b.load(Ordering::Relaxed), Ordering::Relaxed);
+        }
+    }
+
+    /// `(bucket_floor, count)` for every non-empty bucket, in value order.
+    pub fn nonzero_buckets(&self) -> Vec<(f64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter_map(|(i, b)| {
+                let n = b.load(Ordering::Relaxed);
+                (n > 0).then(|| (bucket_floor(i), n))
+            })
+            .collect()
+    }
+}
+
+impl Clone for LogHistogram {
+    fn clone(&self) -> Self {
+        let h = LogHistogram::new();
+        h.merge(self);
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_bracket_the_data() {
+        let h = LogHistogram::new();
+        for _ in 0..90 {
+            h.record(1.0);
+        }
+        for _ in 0..10 {
+            h.record(1000.0);
+        }
+        assert_eq!(h.count(), 100);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // p50 must sit in the ~1 s bucket, p99 in the ~1000 s bucket.
+        assert!((0.25..=1.0).contains(&p50), "p50 = {p50}");
+        assert!((250.0..=1000.0).contains(&p99), "p99 = {p99}");
+        assert!(p99 > p50);
+    }
+
+    #[test]
+    fn degenerate_inputs_land_in_the_zero_bucket() {
+        let h = LogHistogram::new();
+        h.record(0.0);
+        h.record(-5.0);
+        h.record(f64::NAN);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.quantile(1.0), 0.0);
+    }
+
+    #[test]
+    fn empty_histogram_quantile_is_zero() {
+        assert_eq!(LogHistogram::new().quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let a = LogHistogram::new();
+        let b = LogHistogram::new();
+        a.record(1.0);
+        b.record(1.0);
+        b.record(64.0);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.nonzero_buckets().len(), 2);
+    }
+
+    #[test]
+    fn huge_values_saturate_the_top_bucket() {
+        let h = LogHistogram::new();
+        h.record(f64::MAX);
+        assert_eq!(h.count(), 1);
+        assert!(h.quantile(1.0) > 0.0);
+    }
+}

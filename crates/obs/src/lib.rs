@@ -1,0 +1,188 @@
+//! # crowdkit-obs — deterministic tracing and run telemetry
+//!
+//! Structured, near-zero-overhead observability for the crowdkit stack.
+//! Every layer (platform simulation, assignment, truth inference, SQL and
+//! Datalog execution) emits [`Event`]s describing what it did — wave sizes,
+//! budget debits, makespans, per-iteration convergence deltas, per-plan-node
+//! crowd fetches — into whichever [`Recorder`] is active.
+//!
+//! ## Determinism contract
+//!
+//! The event stream (keys, simulated timestamps and deterministic fields)
+//! is a pure function of the run's seed and inputs: layers emit only from
+//! sequential, fixed-order code paths, never from inside parallel workers,
+//! so the stream is byte-identical at any thread count — the same rule the
+//! compute kernels follow. Host-side timings ride along in separate
+//! wall-clock fields that deterministic sinks omit (see
+//! [`JsonlRecorder::with_wall`]).
+//!
+//! ## Activating a recorder
+//!
+//! The active recorder is scoped and thread-local, like a tracing
+//! subscriber; the default is [`NullRecorder`], which reduces every
+//! instrumentation site to one branch:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crowdkit_obs as obs;
+//!
+//! let rec = Arc::new(obs::MemoryRecorder::new());
+//! obs::with_recorder(rec.clone(), || {
+//!     // Any crowdkit work in here is recorded.
+//!     obs::quality("accuracy", 0.93);
+//! });
+//! assert_eq!(rec.count("exp.quality"), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod histogram;
+pub mod recorder;
+pub mod report;
+
+pub use event::{wall_ns, Event, FieldValue};
+pub use histogram::LogHistogram;
+pub use recorder::{
+    FieldStats, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, ShardBuffers,
+    ShardRecorder, Tee,
+};
+pub use report::{CostReport, ExperimentReport, InferenceReport, LatencyReport, RunReport};
+
+use std::cell::RefCell;
+use std::sync::Arc;
+
+thread_local! {
+    static CURRENT: RefCell<Arc<dyn Recorder>> = RefCell::new(Arc::new(NullRecorder));
+}
+
+/// The recorder active on this thread. Defaults to [`NullRecorder`].
+///
+/// Hot paths should call this once per operation and reuse the handle
+/// rather than re-resolving per item.
+pub fn current() -> Arc<dyn Recorder> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether the active recorder wants events — the cheap pre-check for
+/// instrumentation sites that would otherwise build an [`Event`].
+pub fn enabled() -> bool {
+    CURRENT.with(|c| c.borrow().enabled())
+}
+
+/// Restores the previous recorder when dropped, so a panic inside
+/// [`with_recorder`] cannot leak the scoped recorder into later work.
+struct RestoreGuard {
+    previous: Option<Arc<dyn Recorder>>,
+}
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            CURRENT.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+}
+
+/// Runs `f` with `rec` as this thread's active recorder, restoring the
+/// previous recorder afterwards (including on panic). Scopes nest.
+///
+/// The scope is per-thread: work `f` hands to other threads sees those
+/// threads' own recorders (normally the null default). Instrumented layers
+/// honour this by emitting only from the calling thread's sequential code.
+pub fn with_recorder<R>(rec: Arc<dyn Recorder>, f: impl FnOnce() -> R) -> R {
+    let previous = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), rec));
+    let _guard = RestoreGuard {
+        previous: Some(previous),
+    };
+    f()
+}
+
+/// Records `event` into the active recorder, if one is enabled.
+pub fn record(event: Event) {
+    CURRENT.with(|c| {
+        let rec = c.borrow();
+        if rec.enabled() {
+            rec.record(event);
+        }
+    });
+}
+
+/// Records a scalar sample into the active recorder, if one is enabled.
+pub fn sample(key: &'static str, value: f64) {
+    CURRENT.with(|c| {
+        let rec = c.borrow();
+        if rec.enabled() {
+            rec.sample(key, value);
+        }
+    });
+}
+
+/// Reports a quality metric (accuracy, F1, rank correlation, …) for the
+/// current run as an `exp.quality` event. The per-metric means surface in
+/// the run's [`ExperimentReport`].
+pub fn quality(metric: &'static str, value: f64) {
+    record(Event::new("exp.quality").str("metric", metric).f64("value", value));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_recorder_is_null() {
+        assert!(!enabled());
+        // Recording into the default is a no-op, not a panic.
+        record(Event::new("x"));
+        sample("y", 1.0);
+    }
+
+    #[test]
+    fn with_recorder_scopes_and_restores() {
+        let rec = Arc::new(MemoryRecorder::new());
+        assert!(!enabled());
+        with_recorder(rec.clone(), || {
+            assert!(enabled());
+            record(Event::new("k").u64("n", 1));
+            quality("acc", 0.5);
+        });
+        assert!(!enabled());
+        assert_eq!(rec.count("k"), 1);
+        assert_eq!(rec.count("exp.quality"), 1);
+    }
+
+    #[test]
+    fn with_recorder_nests() {
+        let outer = Arc::new(MemoryRecorder::new());
+        let inner = Arc::new(MemoryRecorder::new());
+        with_recorder(outer.clone(), || {
+            record(Event::new("a"));
+            with_recorder(inner.clone(), || record(Event::new("b")));
+            record(Event::new("c"));
+        });
+        assert_eq!(outer.count("a"), 1);
+        assert_eq!(outer.count("c"), 1);
+        assert_eq!(outer.count("b"), 0);
+        assert_eq!(inner.count("b"), 1);
+    }
+
+    #[test]
+    fn with_recorder_restores_after_panic() {
+        let rec = Arc::new(MemoryRecorder::new());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_recorder(rec.clone(), || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(!enabled(), "panic must not leak the scoped recorder");
+    }
+
+    #[test]
+    fn scope_is_thread_local() {
+        let rec = Arc::new(MemoryRecorder::new());
+        with_recorder(rec.clone(), || {
+            let handle = std::thread::spawn(enabled);
+            assert!(!handle.join().unwrap(), "other threads see the default");
+            assert!(enabled());
+        });
+    }
+}

@@ -40,6 +40,7 @@ use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{TaskId, WorkerId};
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_obs::{self as obs, Event};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
@@ -491,6 +492,21 @@ impl CrowdOracle for SimulatedCrowd {
             .insert(worker.id);
         self.delivered.fetch_add(1, Ordering::Relaxed);
 
+        let rec = obs::current();
+        if rec.enabled() {
+            rec.sample("platform.latency", service);
+            rec.record(
+                Event::new("platform.ask")
+                    .at(core.clock)
+                    .u64("task", task.id.raw())
+                    .u64("worker", worker.id.raw())
+                    .u64("delivered", 1)
+                    .f64("spend", price)
+                    .f64("makespan", service)
+                    .f64("latency_sum", service),
+            );
+        }
+
         Ok(Answer {
             task: task.id,
             worker: worker.id,
@@ -514,6 +530,8 @@ impl CrowdOracle for SimulatedCrowd {
         if reqs.is_empty() {
             return Ok(Vec::new());
         }
+        let rec = obs::current();
+        let t_plan = std::time::Instant::now();
 
         // ---- Phase 1: sequential planning ------------------------------
         let (plan, mut outcomes, epoch) = {
@@ -564,6 +582,8 @@ impl CrowdOracle for SimulatedCrowd {
             }
             (plan, outcomes, epoch)
         };
+        let plan_ns = t_plan.elapsed().as_nanos() as u64;
+        let t_exec = std::time::Instant::now();
 
         // ---- Phase 2: parallel execution -------------------------------
         let answers: Vec<Answer> = parallel_map(&plan, self.threads, |_, p| {
@@ -582,15 +602,58 @@ impl CrowdOracle for SimulatedCrowd {
         });
 
         // ---- Assembly: input order, makespan clock ---------------------
+        let exec_ns = t_exec.elapsed().as_nanos() as u64;
+        let enabled = rec.enabled();
+        let detail = enabled && rec.detail();
         let mut makespan = epoch;
+        let mut latency_sum = 0.0;
         for (p, a) in plan.iter().zip(answers) {
             makespan = makespan.max(a.submitted_at);
+            if enabled {
+                let latency = a.submitted_at - epoch;
+                latency_sum += latency;
+                rec.sample("platform.latency", latency);
+                if detail {
+                    rec.record(
+                        Event::new("platform.assign")
+                            .at(a.submitted_at)
+                            .u64("task", a.task.raw())
+                            .u64("worker", a.worker.raw())
+                            .u64("req", p.req_idx as u64)
+                            .f64("latency", latency)
+                            .f64("price", p.price),
+                    );
+                }
+            }
             outcomes[p.req_idx].answers.push(a);
         }
         self.delivered.fetch_add(plan.len() as u64, Ordering::Relaxed);
         {
             let mut core = self.core.lock();
             core.clock = core.clock.max(makespan);
+        }
+        if enabled {
+            let (mut budget_stopped, mut no_worker) = (0u64, 0u64);
+            for o in &outcomes {
+                match &o.shortfall {
+                    Some(CrowdError::BudgetExhausted { .. }) => budget_stopped += 1,
+                    Some(CrowdError::NoWorkerAvailable) => no_worker += 1,
+                    _ => {}
+                }
+            }
+            rec.record(
+                Event::new("platform.batch")
+                    .at(makespan)
+                    .u64("requests", reqs.len() as u64)
+                    .u64("delivered", plan.len() as u64)
+                    .f64("spend", plan.iter().map(|p| p.price).sum())
+                    .f64("makespan", makespan - epoch)
+                    .f64("latency_sum", latency_sum)
+                    .u64("budget_stopped", budget_stopped)
+                    .u64("no_worker", no_worker)
+                    .wall("plan_ns", plan_ns)
+                    .wall("exec_ns", exec_ns),
+            );
         }
         Ok(outcomes)
     }

@@ -20,6 +20,7 @@ use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{IdGen, TaskId};
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_obs::{self as obs, Event};
 use crowdkit_ops::sort::rankers::copeland;
 use crowdkit_ops::sort::tournament::crowd_top_k;
 use crowdkit_ops::sort::{collect_comparisons, order_by_scores, ComparisonGraph};
@@ -86,6 +87,22 @@ struct CrowdCtx<'a> {
     stats: QueryStats,
     equal_cache: HashMap<(String, String), bool>,
     writebacks: Vec<(String, usize, usize, Value)>,
+}
+
+/// Emits the `sql.node` telemetry event for one crowd operator, charging it
+/// the crowd answers bought while it ran (`q_before` is the oracle's
+/// delivered count sampled before the operator, `None` when telemetry is
+/// off).
+fn obs_node(c: &CrowdCtx<'_>, node: &'static str, rows_in: usize, rows_out: usize, q_before: Option<u64>) {
+    if let Some(q) = q_before {
+        obs::record(
+            Event::new("sql.node")
+                .str("node", node)
+                .u64("rows_in", rows_in as u64)
+                .u64("rows_out", rows_out as u64)
+                .u64("questions", c.oracle.answers_delivered().saturating_sub(q)),
+        );
+    }
 }
 
 /// A CrowdSQL session: catalog plus statement execution.
@@ -193,6 +210,17 @@ impl Session {
         }
         stats.questions = oracle.answers_delivered() - before;
         stats.rows_out = rows.len();
+        if obs::enabled() {
+            obs::record(
+                Event::new("sql.query")
+                    .u64("optimized", u64::from(optimized))
+                    .u64("questions", stats.questions)
+                    .u64("cells_filled", stats.cells_filled)
+                    .u64("equal_checks", stats.equal_checks)
+                    .u64("comparisons", stats.comparisons)
+                    .u64("rows_out", stats.rows_out as u64),
+            );
+        }
         Ok((rows.into_iter().map(|r| r.values).collect(), stats))
     }
 
@@ -305,6 +333,7 @@ impl Session {
                 let mut c = ctx.ok_or(CrowdError::Unsupported(
                     "plan requires the crowd (CrowdFill) but no oracle was provided",
                 ))?;
+                let q_before = obs::enabled().then(|| c.oracle.answers_delivered());
                 for (table, column) in columns {
                     let Some(idx) = schema.iter().position(|b| {
                         &b.table == table && &b.column == column
@@ -333,6 +362,7 @@ impl Session {
                         }
                     }
                 }
+                obs_node(&c, "CrowdFill", rows.len(), rows.len(), q_before);
                 Ok((schema, rows, Some(c)))
             }
             PlanNode::CrowdFilter { input, predicates } => {
@@ -340,6 +370,8 @@ impl Session {
                 let mut c = ctx.ok_or(CrowdError::Unsupported(
                     "plan requires the crowd (CrowdFilter) but no oracle was provided",
                 ))?;
+                let q_before = obs::enabled().then(|| c.oracle.answers_delivered());
+                let rows_in = rows.len();
                 let mut kept = Vec::with_capacity(rows.len());
                 for row in rows {
                     let mut pass = true;
@@ -364,6 +396,7 @@ impl Session {
                         kept.push(row);
                     }
                 }
+                obs_node(&c, "CrowdFilter", rows_in, kept.len(), q_before);
                 Ok((schema, kept, Some(c)))
             }
             PlanNode::MachineSort { input, column, asc } => {
@@ -393,6 +426,7 @@ impl Session {
                 let mut c = ctx.ok_or(CrowdError::Unsupported(
                     "plan requires the crowd (CrowdSort) but no oracle was provided",
                 ))?;
+                let q_before = obs::enabled().then(|| c.oracle.answers_delivered());
                 let idx = resolve_in_schema(column, &schema)?;
                 let values: Vec<Value> =
                     rows.iter().map(|r| r.values[idx].clone()).collect();
@@ -401,6 +435,7 @@ impl Session {
                 for i in order {
                     out.push(rows[i].clone());
                 }
+                obs_node(&c, "CrowdSort", rows.len(), out.len(), q_before);
                 Ok((schema, out, Some(c)))
             }
             PlanNode::Limit { input, n } => {

@@ -31,9 +31,11 @@ use crowdkit_core::par::parallel_items_mut;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 
+use crowdkit_obs as obs;
+
 use crate::em::{
-    argmax_labels, log_normalize, max_abs_diff, normalize, posterior_rows, resolve_threads,
-    update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
+    argmax_labels, log_normalize, max_abs_diff, normalize, obs_iter, obs_run, posterior_rows,
+    resolve_threads, update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
 };
 
 /// The Dawid–Skene EM algorithm.
@@ -75,10 +77,15 @@ impl DawidSkene {
         // so the E-step reads one contiguous k-slice per observation.
         let mut log_table = vec![0.0f64; n_workers * k * k];
 
+        let rec = obs::current();
+        let obs_on = rec.enabled();
+        let run_start = std::time::Instant::now();
+
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
+            let t_m = obs_on.then(std::time::Instant::now);
 
             // M-step: priors, then per-worker confusion soft counts over
             // worker ranges. Each worker's accumulation walks its CSR
@@ -120,6 +127,9 @@ impl DawidSkene {
                 }
             });
 
+            let m_ns = t_m.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let t_e = obs_on.then(std::time::Instant::now);
+
             // E-step over task ranges: per task, start from the log priors
             // and add one contiguous log-table slice per observation.
             let log_priors = &log_priors;
@@ -141,11 +151,16 @@ impl DawidSkene {
 
             let delta = max_abs_diff(&posteriors, &next);
             std::mem::swap(&mut posteriors, &mut next);
+            if obs_on {
+                let e_ns = t_e.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                obs_iter(&*rec, "ds", iterations, delta, m_ns, e_ns);
+            }
             if delta < cfg.tol {
                 converged = true;
                 break;
             }
         }
+        obs_run("ds", matrix, iterations, converged, run_start);
 
         let labels = argmax_labels(&posteriors, k);
         let worker_quality = Some(worker_accuracy(&confusion, &priors, k));

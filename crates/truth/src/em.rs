@@ -20,6 +20,7 @@
 
 use crowdkit_core::par::default_threads;
 use crowdkit_core::response::ResponseMatrix;
+use crowdkit_obs::{self as obs, Event};
 
 /// Floor applied before `ln` so log-space tables stay finite.
 pub(crate) const LN_FLOOR: f64 = 1e-300;
@@ -131,6 +132,55 @@ pub(crate) fn resolve_threads(requested: usize, work: usize) -> usize {
         }
         n => n,
     }
+}
+
+/// Emits the per-iteration `truth.iter` telemetry event. The convergence
+/// `delta` (max posterior change) stands in for the log-likelihood
+/// trajectory: every EM loop already computes it, it tracks the same
+/// convergence signal, and recording it costs no extra kernel pass. Phase
+/// timings ride in wall-clock fields, outside the determinism boundary.
+pub(crate) fn obs_iter(
+    rec: &dyn obs::Recorder,
+    algo: &'static str,
+    iter: usize,
+    delta: f64,
+    m_ns: u64,
+    e_ns: u64,
+) {
+    rec.record(
+        Event::new("truth.iter")
+            .str("algo", algo)
+            .u64("iter", iter as u64)
+            .f64("delta", delta)
+            .wall("m_ns", m_ns)
+            .wall("e_ns", e_ns),
+    );
+}
+
+/// Emits the `truth.run` summary event every [`TruthInferencer`] run ends
+/// with (iterative or not): problem shape, EM effort, convergence.
+///
+/// [`TruthInferencer`]: crowdkit_core::traits::TruthInferencer
+pub(crate) fn obs_run(
+    algo: &'static str,
+    matrix: &ResponseMatrix,
+    iterations: usize,
+    converged: bool,
+    start: std::time::Instant,
+) {
+    if !obs::enabled() {
+        return;
+    }
+    obs::record(
+        Event::new("truth.run")
+            .str("algo", algo)
+            .u64("tasks", matrix.num_tasks() as u64)
+            .u64("workers", matrix.num_workers() as u64)
+            .u64("observations", matrix.num_observations() as u64)
+            .u64("iters", iterations as u64)
+            .u64("converged", u64::from(converged))
+            .wall("run_ns", start.elapsed().as_nanos() as u64),
+    );
 }
 
 /// Convergence/iteration settings shared by the EM algorithms.

@@ -25,9 +25,11 @@ use crowdkit_core::par::parallel_items_mut;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 
+use crowdkit_obs as obs;
+
 use crate::em::{
-    argmax_labels, log_normalize, max_abs_diff, posterior_rows, resolve_threads, update_priors,
-    vote_fraction_posteriors,
+    argmax_labels, log_normalize, max_abs_diff, obs_iter, obs_run, posterior_rows,
+    resolve_threads, update_priors, vote_fraction_posteriors,
 };
 
 /// Settings for [`Glad`].
@@ -124,10 +126,15 @@ impl Glad {
             p_correct * (1.0 - s) - (1.0 - p_correct) * s
         };
 
+        let rec = obs::current();
+        let obs_on = rec.enabled();
+        let run_start = std::time::Instant::now();
+
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
+            let t_m = obs_on.then(std::time::Instant::now);
             update_priors(&posteriors, k, &mut priors);
             for (lp, &p) in log_priors.iter_mut().zip(&priors) {
                 *lp = p.max(1e-300).ln();
@@ -176,6 +183,9 @@ impl Glad {
                 }
             }
 
+            let m_ns = t_m.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let t_e = obs_on.then(std::time::Instant::now);
+
             // E-step over task ranges, with the one-coin scalar-update
             // trick (each observation contributes a base mass to all
             // labels and a right/wrong correction to its own).
@@ -204,11 +214,16 @@ impl Glad {
 
             let delta = max_abs_diff(&posteriors, &next);
             std::mem::swap(&mut posteriors, &mut next);
+            if obs_on {
+                let e_ns = t_e.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                obs_iter(&*rec, "glad", iterations, delta, m_ns, e_ns);
+            }
             if delta < cfg.tol {
                 converged = true;
                 break;
             }
         }
+        obs_run("glad", matrix, iterations, converged, run_start);
 
         let labels = argmax_labels(&posteriors, k);
         // Scalar worker quality: σ(α) — correctness probability on a task of

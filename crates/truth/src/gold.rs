@@ -153,6 +153,7 @@ impl TruthInferencer for GoldWeightedVote {
         if matrix.is_empty() {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
+        let run_start = std::time::Instant::now();
         let k = matrix.num_labels();
         let scores = estimate_worker_quality(matrix, &self.gold);
         let weight_of = |w: usize| -> f64 {
@@ -192,6 +193,7 @@ impl TruthInferencer for GoldWeightedVote {
                 .map(|w| scores[&matrix.worker_id(w)].accuracy)
                 .collect(),
         );
+        crate::em::obs_run("gold_wmv", matrix, 1, true, run_start);
         Ok(InferenceResult {
             labels,
             posteriors,

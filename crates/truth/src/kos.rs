@@ -68,6 +68,7 @@ impl TruthInferencer for Kos {
                 "KOS message passing applies to binary label spaces only",
             ));
         }
+        let run_start = std::time::Instant::now();
 
         let obs = matrix.observations();
         let n_obs = obs.len();
@@ -210,6 +211,7 @@ impl TruthInferencer for Kos {
             })
             .collect();
 
+        crate::em::obs_run("kos", matrix, self.iterations, true, run_start);
         Ok(InferenceResult {
             labels,
             posteriors,

@@ -26,6 +26,7 @@ impl TruthInferencer for MajorityVote {
         if matrix.is_empty() {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
+        let run_start = std::time::Instant::now();
         let k = matrix.num_labels();
         let (offsets, entries) = matrix.task_csr();
         let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
@@ -36,6 +37,7 @@ impl TruthInferencer for MajorityVote {
             normalize(row);
         }
         let labels = argmax_labels(&posteriors, k);
+        crate::em::obs_run("mv", matrix, 1, true, run_start);
         Ok(InferenceResult {
             labels,
             posteriors: posterior_rows(&posteriors, k),
@@ -95,6 +97,7 @@ impl TruthInferencer for WeightedMajorityVote {
         if matrix.is_empty() {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
+        let run_start = std::time::Instant::now();
         let k = matrix.num_labels();
         // Resolve external-id weights to dense indices once, outside the
         // accumulation loop.
@@ -115,6 +118,7 @@ impl TruthInferencer for WeightedMajorityVote {
                 .map(|w| self.weight(matrix.worker_id(w)).clamp(0.0, 1.0))
                 .collect(),
         );
+        crate::em::obs_run("wmv", matrix, 1, true, run_start);
         Ok(InferenceResult {
             labels,
             posteriors: posterior_rows(&posteriors, k),

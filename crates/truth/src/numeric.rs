@@ -6,16 +6,19 @@
 //! scheme that learns per-worker precision — the numeric analogue of the
 //! categorical EM family.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crowdkit_core::answer::Answer;
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{TaskId, WorkerId};
 
 /// Grouped numeric observations: per task, the `(worker, value)` pairs.
+///
+/// Tasks iterate in id order so every aggregate that reduces across tasks
+/// or workers is bit-reproducible run to run.
 #[derive(Debug, Clone, Default)]
 pub struct NumericResponses {
-    groups: HashMap<TaskId, Vec<(WorkerId, f64)>>,
+    groups: BTreeMap<TaskId, Vec<(WorkerId, f64)>>,
 }
 
 impl NumericResponses {
@@ -55,7 +58,7 @@ impl NumericResponses {
         self.groups.is_empty()
     }
 
-    /// Iterates `(task, observations)` in unspecified order.
+    /// Iterates `(task, observations)` in task-id order.
     pub fn iter(&self) -> impl Iterator<Item = (TaskId, &[(WorkerId, f64)])> {
         self.groups.iter().map(|(t, v)| (*t, v.as_slice()))
     }
@@ -136,7 +139,7 @@ pub struct ReweightedResult {
 /// suppressed. This is the numeric analogue of one-coin EM.
 pub fn reweighted_estimates(r: &NumericResponses, max_iters: usize) -> Result<ReweightedResult> {
     non_empty(r)?;
-    let mut weights: HashMap<WorkerId, f64> = HashMap::new();
+    let mut weights: BTreeMap<WorkerId, f64> = BTreeMap::new();
     for (_, obs) in r.iter() {
         for (w, _) in obs {
             weights.insert(*w, 1.0);
@@ -161,8 +164,10 @@ pub fn reweighted_estimates(r: &NumericResponses, max_iters: usize) -> Result<Re
         }
 
         // (b) Per-worker variance from residuals (floored to avoid infinite
-        // precision for workers who happen to match exactly).
-        let mut sq: HashMap<WorkerId, (f64, usize)> = HashMap::new();
+        // precision for workers who happen to match exactly). Ordered maps
+        // keep the residual sums and the normalization below in worker-id
+        // order, so the learned weights are bit-identical across runs.
+        let mut sq: BTreeMap<WorkerId, (f64, usize)> = BTreeMap::new();
         for (t, obs) in r.iter() {
             let est = next[&t];
             for (w, v) in obs {
@@ -171,7 +176,7 @@ pub fn reweighted_estimates(r: &NumericResponses, max_iters: usize) -> Result<Re
                 e.1 += 1;
             }
         }
-        let mut raw: HashMap<WorkerId, f64> = HashMap::new();
+        let mut raw: BTreeMap<WorkerId, f64> = BTreeMap::new();
         for (w, (ss, n)) in &sq {
             let var = (ss / *n as f64).max(1e-9);
             raw.insert(*w, 1.0 / var);
@@ -195,7 +200,7 @@ pub fn reweighted_estimates(r: &NumericResponses, max_iters: usize) -> Result<Re
 
     Ok(ReweightedResult {
         estimates,
-        worker_weights: weights,
+        worker_weights: weights.into_iter().collect(),
         iterations,
     })
 }

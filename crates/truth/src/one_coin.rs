@@ -19,9 +19,11 @@ use crowdkit_core::par::parallel_items_mut;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 
+use crowdkit_obs as obs;
+
 use crate::em::{
-    argmax_labels, log_normalize, max_abs_diff, posterior_rows, resolve_threads, update_priors,
-    vote_fraction_posteriors, EmConfig, LN_FLOOR,
+    argmax_labels, log_normalize, max_abs_diff, obs_iter, obs_run, posterior_rows,
+    resolve_threads, update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
 };
 
 /// The one-coin EM algorithm.
@@ -66,10 +68,15 @@ impl TruthInferencer for OneCoinEm {
         let mut log_right = vec![0.0f64; n_workers];
         let mut log_wrong = vec![0.0f64; n_workers];
 
+        let rec = obs::current();
+        let obs_on = rec.enabled();
+        let run_start = std::time::Instant::now();
+
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
+            let t_m = obs_on.then(std::time::Instant::now);
 
             // M-step: p_w = (smoothed) expected fraction of correct
             // answers, sharded over worker ranges; each worker sums its
@@ -100,6 +107,9 @@ impl TruthInferencer for OneCoinEm {
                 log_wrong[w] = ((1.0 - p) * wrong_share).max(LN_FLOOR).ln();
             }
 
+            let m_ns = t_m.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let t_e = obs_on.then(std::time::Instant::now);
+
             // E-step over task ranges. Per observation the update is a
             // scalar: every label gets the worker's wrong-answer mass, the
             // observed label the right/wrong correction — O(obs + k) per
@@ -126,11 +136,16 @@ impl TruthInferencer for OneCoinEm {
 
             let delta = max_abs_diff(&posteriors, &next);
             std::mem::swap(&mut posteriors, &mut next);
+            if obs_on {
+                let e_ns = t_e.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                obs_iter(&*rec, "zc", iterations, delta, m_ns, e_ns);
+            }
             if delta < cfg.tol {
                 converged = true;
                 break;
             }
         }
+        obs_run("zc", matrix, iterations, converged, run_start);
 
         let labels = argmax_labels(&posteriors, k);
         Ok(InferenceResult {

@@ -145,7 +145,7 @@ tuple_strategy_impls!(
     (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
 );
 
-/// Length specification for [`vec`]: a fixed size or a range of sizes.
+/// Length specification for [`vec()`]: a fixed size or a range of sizes.
 #[derive(Debug, Clone, Copy)]
 pub struct SizeRange {
     lo: usize,
@@ -189,7 +189,7 @@ pub fn vec<S: Strategy>(elem: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
     }
 }
 
-/// The result of [`vec`].
+/// The result of [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     elem: S,

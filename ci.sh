@@ -5,6 +5,12 @@ set -euo pipefail
 cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Workspace static analysis: determinism & safety rules (DET/PANIC/SAFETY/
+# DOC). Exits nonzero on any unsuppressed finding; LINT.json is the
+# machine-readable report.
+cargo run --release -p crowdkit-lint -- --json LINT.json
+
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
 # Telemetry overhead gate: instrumented hot paths must stay within 5% of

@@ -137,8 +137,7 @@ impl AssignmentPolicy for EntropyGreedy {
             .map(|t| (t, entropy(&state.posterior(t))))
             // Ties → fewest answers, then smallest index, for determinism.
             .max_by(|(ta, ea), (tb, eb)| {
-                ea.partial_cmp(eb)
-                    .expect("entropy is finite")
+                ea.total_cmp(eb)
                     .then_with(|| state.count(*tb).cmp(&state.count(*ta)))
                     .then_with(|| tb.cmp(ta))
             })
@@ -210,8 +209,7 @@ impl AssignmentPolicy for ExpectedAccuracyGain {
                 (t, gain)
             })
             .max_by(|(ta, ga), (tb, gb)| {
-                ga.partial_cmp(gb)
-                    .expect("gain is finite")
+                ga.total_cmp(gb)
                     .then_with(|| state.count(*tb).cmp(&state.count(*ta)))
                     .then_with(|| tb.cmp(ta))
             })

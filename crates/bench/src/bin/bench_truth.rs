@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! Machine-readable truth-inference timings.
 //!
 //! Times every truth-inference algorithm on the standard E1 workload
@@ -39,7 +40,7 @@ fn time_algo(algo: &dyn TruthInferencer, m: &ResponseMatrix) -> u64 {
     }
     let mut samples: Vec<u64> = (0..TIMED_ITERS)
         .map(|_| {
-            let start = Instant::now();
+            let start = Instant::now(); // crowdkit-lint: allow(DET002) — benchmark harness: measuring wall time is the point
             std::hint::black_box(algo.infer(std::hint::black_box(m)).unwrap());
             start.elapsed().as_nanos() as u64
         })

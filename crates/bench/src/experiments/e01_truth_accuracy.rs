@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E1 — Truth-inference accuracy vs redundancy across crowd mixes.
 //!
 //! Emulates the comparison tables of the truth-inference literature

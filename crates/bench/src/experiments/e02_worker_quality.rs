@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E2 — Worker-quality estimation error vs answers per worker.
 //!
 //! Emulates the worker-model evaluation figures of the EM papers: how

@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E3 — Crowd join cost ladder: all-pairs vs blocking vs transitivity.
 //!
 //! Emulates the CrowdER ('12) and transitivity ('13/'14) cost tables:

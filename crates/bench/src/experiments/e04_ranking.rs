@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E4 — Ranking quality vs comparison budget.
 //!
 //! Emulates the crowdsourced-sort evaluation figures (Qurk's sort '12 and

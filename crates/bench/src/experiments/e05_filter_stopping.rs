@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E5 — Crowd filter cost/accuracy under adaptive stopping.
 //!
 //! Emulates the CrowdScreen-style cost/accuracy figures: per-item cost and

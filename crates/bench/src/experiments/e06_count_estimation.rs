@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E6 — Sampling-based crowd COUNT.
 //!
 //! Emulates the sampling-for-aggregation figures: relative error and

@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E7 — Open-world enumeration with species estimation.
 //!
 //! Emulates the CrowdDB open-world / Trushkowsky et al. Chao92 figures:

@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E8 — Task-assignment policies under fixed budgets.
 //!
 //! Emulates the QASCA ('15) evaluation table: final label accuracy under

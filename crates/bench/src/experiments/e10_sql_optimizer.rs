@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E10 — CrowdSQL optimizer: naive vs optimized plan cost.
 //!
 //! Emulates the CrowdDB ('11) plan-cost comparisons: crowd questions asked

@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E11 — Crowd-Datalog fetch minimization by body ordering.
 //!
 //! Emulates the Deco ('12) fetch-rule cost results: the number of crowd

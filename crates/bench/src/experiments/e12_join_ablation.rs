@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E12 — ER ablation: transitivity × ask order.
 //!
 //! The design choice DESIGN.md calls out for `ops::join`: transitive

@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E13 — Gold-question injection.
 //!
 //! Quality control without a worker model: seed the stream with questions

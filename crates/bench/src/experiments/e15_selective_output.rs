@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E15 — Selective output: the coverage/accuracy trade-off of posterior
 //! thresholding.
 //!

@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E16 — Numeric aggregation under contaminated crowds.
 //!
 //! The numeric analogue of E1: MAE of mean / median / trimmed mean /
@@ -67,7 +68,7 @@ fn run_mix(spam_share: f64, seed: u64) -> [f64; 4] {
         }
     }
 
-    let score = |estimates: &std::collections::HashMap<TaskId, f64>| -> f64 {
+    let score = |estimates: &std::collections::BTreeMap<TaskId, f64>| -> f64 {
         let mut est = Vec::with_capacity(N_TASKS);
         let mut tru = Vec::with_capacity(N_TASKS);
         for &(task, truth) in &truth_by_task {

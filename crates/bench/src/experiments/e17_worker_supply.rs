@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E17 — Worker supply: churned availability and completion time.
 //!
 //! The latency axis is not just service time: on real platforms workers

@@ -1,3 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! The experiment registry. Each module regenerates one table/figure from
 //! DESIGN.md's per-experiment index.
 
@@ -194,7 +195,7 @@ pub fn run_all_with_report(capture_events: bool) -> SuiteRun {
                     } else {
                         mem.clone()
                     };
-                    let start = std::time::Instant::now();
+                    let start = std::time::Instant::now(); // crowdkit-lint: allow(DET002) — benchmark harness: measuring wall time is the point
                     let text = obs::with_recorder(rec, || {
                         obs::record(Event::new("exp.begin").str("id", e.id));
                         let text = run_by_name(e.id).expect("registered id");

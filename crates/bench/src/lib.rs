@@ -17,6 +17,8 @@
 //! tooling reuse the same code path.
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod experiments;
 pub mod table;

@@ -8,8 +8,7 @@
 //! estimation, and entropy/JS divergence for uncertainty-driven task
 //! assignment.
 
-use std::collections::HashMap;
-use std::hash::Hash;
+use std::collections::BTreeMap;
 
 /// Fraction of positions where `predicted[i] == truth[i]`.
 ///
@@ -181,7 +180,7 @@ pub fn ndcg_at_k(predicted_order: &[usize], relevance: &[f64], k: usize) -> f64 
         .map(|(rank, &item)| relevance[item] / ((rank + 2) as f64).log2())
         .sum();
     let mut ideal: Vec<f64> = relevance.to_vec();
-    ideal.sort_by(|a, b| b.partial_cmp(a).expect("relevance must not be NaN"));
+    ideal.sort_by(|a, b| b.total_cmp(a));
     let idcg: f64 = ideal
         .iter()
         .take(k)
@@ -282,11 +281,11 @@ pub fn js_divergence(p: &[f64], q: &[f64]) -> f64 {
 
 /// Majority element of a slice with deterministic tie-breaking (smallest
 /// value wins among the most frequent). Returns `None` for empty input.
-pub fn majority<T: Eq + Hash + Ord + Clone>(values: &[T]) -> Option<T> {
+pub fn majority<T: Eq + Ord + Clone>(values: &[T]) -> Option<T> {
     if values.is_empty() {
         return None;
     }
-    let mut counts: HashMap<&T, usize> = HashMap::new();
+    let mut counts: BTreeMap<&T, usize> = BTreeMap::new();
     for v in values {
         *counts.entry(v).or_insert(0) += 1;
     }
@@ -319,11 +318,12 @@ pub fn std_dev(xs: &[f64]) -> f64 {
 /// Median of a slice (average of middle two for even lengths).
 ///
 /// # Panics
-/// Panics on empty input or NaN entries.
+/// Panics on empty input. NaN entries sort to a deterministic position
+/// under IEEE total order rather than panicking.
 pub fn median(xs: &[f64]) -> f64 {
     assert!(!xs.is_empty(), "median of empty slice is undefined");
     let mut v = xs.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("median input must not contain NaN"));
+    v.sort_by(|a, b| a.total_cmp(b));
     let n = v.len();
     if n % 2 == 1 {
         v[n / 2]
@@ -471,7 +471,7 @@ pub fn cohens_kappa(rater_a: &[u32], rater_b: &[u32]) -> f64 {
         .chain(rater_b)
         .copied()
         .max()
-        .expect("non-empty") as usize
+        .expect("non-empty") as usize // crowdkit-lint: allow(PANIC001) — rater_a asserted non-empty above, so the chain has a max
         + 1;
     let observed = rater_a
         .iter()

@@ -59,10 +59,10 @@ where
             .collect();
         handles
             .into_iter()
-            .map(|h| h.join().expect("parallel_map worker panicked"))
+            .map(|h| h.join().expect("parallel_map worker panicked")) // crowdkit-lint: allow(PANIC001) — re-raises a child-thread panic; join fails only when the child panicked
             .collect()
     })
-    .expect("parallel_map scope panicked");
+    .expect("parallel_map scope panicked"); // crowdkit-lint: allow(PANIC001) — scope errors only report child panics, which must propagate
 
     let mut out = Vec::with_capacity(items.len());
     for chunk in results {
@@ -117,7 +117,7 @@ where
             s.spawn(move |_| f(c * chunk_items, chunk));
         }
     })
-    .expect("parallel_items_mut scope panicked");
+    .expect("parallel_items_mut scope panicked"); // crowdkit-lint: allow(PANIC001) — scope errors only report child panics, which must propagate
 }
 
 /// Default worker-pool width: the machine's available parallelism, capped

@@ -420,7 +420,7 @@ impl Engine {
                             rule,
                         )?);
                     }
-                    None => tuple.push(key_iter.next().expect("key arity matches")),
+                    None => tuple.push(key_iter.next().expect("key arity matches")), // crowdkit-lint: allow(PANIC001) — key tuple was built with one entry per non-aggregate position
                 }
             }
             out.push(tuple);
@@ -738,8 +738,8 @@ fn apply_aggregate(func: AggFunc, values: &BTreeSet<Const>, rule: &Rule) -> Resu
             }
             Ok(Const::Int(total))
         }
-        AggFunc::Min => Ok(values.iter().min().expect("non-empty").clone()),
-        AggFunc::Max => Ok(values.iter().max().expect("non-empty").clone()),
+        AggFunc::Min => Ok(values.iter().min().expect("non-empty").clone()), // crowdkit-lint: allow(PANIC001) — aggregate groups exist only for matched (non-empty) bindings
+        AggFunc::Max => Ok(values.iter().max().expect("non-empty").clone()), // crowdkit-lint: allow(PANIC001) — aggregate groups exist only for matched (non-empty) bindings
     }
 }
 

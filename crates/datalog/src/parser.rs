@@ -203,14 +203,14 @@ impl<'a> Lexer<'a> {
                 c if c.is_ascii_digit() || c == b'-' => {
                     let mut s = String::new();
                     if c == b'-' {
-                        s.push(self.bump().unwrap() as char);
+                        s.push(self.bump().unwrap() as char); // crowdkit-lint: allow(PANIC001) — peek() returned Some for this byte just above
                         if !matches!(self.peek(), Some(d) if d.is_ascii_digit()) {
                             return Err(self.err("expected digits after '-'"));
                         }
                     }
                     while let Some(d) = self.peek() {
                         if d.is_ascii_digit() {
-                            s.push(self.bump().unwrap() as char);
+                            s.push(self.bump().unwrap() as char); // crowdkit-lint: allow(PANIC001) — peek() returned Some for this byte just above
                         } else {
                             break;
                         }
@@ -224,7 +224,7 @@ impl<'a> Lexer<'a> {
                     let mut s = String::new();
                     while let Some(d) = self.peek() {
                         if d.is_ascii_alphanumeric() || d == b'_' {
-                            s.push(self.bump().unwrap() as char);
+                            s.push(self.bump().unwrap() as char); // crowdkit-lint: allow(PANIC001) — peek() returned Some for this byte just above
                         } else {
                             break;
                         }

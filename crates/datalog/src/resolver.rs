@@ -12,7 +12,7 @@
 //!   [`CrowdOracle`] and reconciles them by normalized plurality, exactly
 //!   like the FILL operator.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::Result;
@@ -164,7 +164,8 @@ where
         _arity: usize,
     ) -> Result<Vec<Const>> {
         let task = (self.make_task)(self.ids.next_task(), predicate, bound, free_pos);
-        let mut counts: HashMap<String, u32> = HashMap::new();
+        // Key-ordered: the tally fold below must not depend on hash order.
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
         let out = self
             .oracle
             .ask(&AskRequest::new(&task).with_redundancy(self.votes.max(1) as usize))?;

@@ -1,0 +1,350 @@
+//! The scan engine: walks the tree, runs the rules, applies suppressions,
+//! and renders human and JSON reports.
+//!
+//! # Suppression protocol
+//!
+//! Suppressions are explicit and auditable. Three forms, all requiring a
+//! written reason after a separator (`—`, `--`, or `:`):
+//!
+//! * trailing, on the offending line:
+//!   `let t = x.unwrap(); // crowdkit-lint: allow(PANIC001) — len checked above`
+//! * standalone, on the line above the offending line — when that line
+//!   opens a block (`fn`, `for`, `impl`, …), the whole block is covered:
+//!   `// crowdkit-lint: allow(DET001) — folded into a max, order-free`
+//! * file-level, anywhere in the file (conventionally at the top):
+//!   `// crowdkit-lint: allow-file(PANIC001) — experiment harness, fail-fast by design`
+//!
+//! A suppression with no reason does not suppress anything and is itself
+//! reported (`LINT000`), so the audit trail cannot silently decay.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::analyze::{analyze, Analysis};
+use crate::lexer::{lex, Comment, Lexed, Tok};
+use crate::rules::{run_rules, FileCtx, Finding, ALL_RULES};
+
+/// Scan configuration.
+pub struct Config {
+    /// Repository root; `crates/` and `src/` under it are scanned.
+    pub root: PathBuf,
+    /// When non-empty, only these rules run.
+    pub only_rules: BTreeSet<String>,
+}
+
+/// Scan output: surviving findings plus suppression accounting.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Count of suppressed findings per rule.
+    pub suppressed: BTreeMap<String, usize>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Total suppressed findings across rules.
+    pub fn suppressed_total(&self) -> usize {
+        self.suppressed.values().sum()
+    }
+}
+
+/// One parsed suppression comment.
+struct Suppression {
+    rules: Vec<String>,
+    /// Line range (inclusive) the suppression covers; `None` = whole file.
+    span: Option<(u32, u32)>,
+}
+
+/// Walks `crates/` and `src/` under the root, collecting `.rs` files.
+/// Skips `target/`, `vendor/`, `fixtures/` (lint test data is known-bad
+/// on purpose), and hidden directories.
+fn collect_files(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    for top in ["crates", "src"] {
+        let dir = root.join(top);
+        if dir.is_dir() {
+            walk(&dir, &mut out);
+        }
+    }
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name.starts_with('.')
+                || name == "target"
+                || name == "vendor"
+                || name == "fixtures"
+            {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Parses `crowdkit-lint: allow(...)` / `allow-file(...)` comments.
+/// Returns the suppressions and any malformed-suppression findings.
+fn parse_suppressions(
+    rel_path: &str,
+    lexed: &Lexed,
+    analysis: &Analysis,
+) -> (Vec<Suppression>, Vec<Finding>) {
+    let mut sups = Vec::new();
+    let mut bad = Vec::new();
+    for c in &lexed.comments {
+        // Doc comments (`//!`, `///`) are prose — suppression examples in
+        // them must stay inert.
+        if c.text.starts_with('!') || c.text.starts_with('/') {
+            continue;
+        }
+        let Some(at) = c.text.find("crowdkit-lint:") else {
+            continue;
+        };
+        let rest = c.text[at + "crowdkit-lint:".len()..].trim_start();
+        let (file_wide, rest) = if let Some(r) = rest.strip_prefix("allow-file(") {
+            (true, r)
+        } else if let Some(r) = rest.strip_prefix("allow(") {
+            (false, r)
+        } else {
+            bad.push(malformed(rel_path, c, "expected `allow(RULE)` or `allow-file(RULE)`"));
+            continue;
+        };
+        let Some(close) = rest.find(')') else {
+            bad.push(malformed(rel_path, c, "unclosed rule list"));
+            continue;
+        };
+        let rules: Vec<String> = rest[..close]
+            .split(',')
+            .map(|r| r.trim().to_owned())
+            .filter(|r| !r.is_empty())
+            .collect();
+        if rules.is_empty() || rules.iter().any(|r| !ALL_RULES.contains(&r.as_str())) {
+            bad.push(malformed(rel_path, c, "unknown or empty rule id"));
+            continue;
+        }
+        // The reason: text after the closing paren, past a separator.
+        let reason = rest[close + 1..]
+            .trim_start()
+            .trim_start_matches(['—', '–', '-', ':', ' '])
+            .trim();
+        if reason.len() < 3 {
+            bad.push(malformed(rel_path, c, "missing written reason"));
+            continue;
+        }
+        let span = if file_wide {
+            None
+        } else if c.trailing {
+            Some((c.line, c.line))
+        } else {
+            // Standalone: covers the next code line; when that line opens
+            // a block, the whole block.
+            Some(standalone_span(c.line, lexed, analysis))
+        };
+        sups.push(Suppression { rules, span });
+    }
+    (sups, bad)
+}
+
+fn malformed(rel_path: &str, c: &Comment, why: &str) -> Finding {
+    Finding {
+        rule: "LINT000",
+        file: rel_path.to_owned(),
+        line: c.line,
+        message: format!("malformed suppression: {why}"),
+        hint: "format: `// crowdkit-lint: allow(RULE_ID) — <reason>` \
+(or allow-file); the reason is mandatory",
+    }
+}
+
+/// Computes the line span a standalone suppression at `comment_line`
+/// covers: the next code line, extended to the full block when that line
+/// opens one before hitting a `;`.
+fn standalone_span(comment_line: u32, lexed: &Lexed, analysis: &Analysis) -> (u32, u32) {
+    let tokens = &lexed.tokens;
+    let Some(first) = tokens.iter().position(|t| t.line > comment_line) else {
+        return (comment_line + 1, comment_line + 1);
+    };
+    let target_line = tokens[first].line;
+    let mut i = first;
+    while i < tokens.len() {
+        match &tokens[i].tok {
+            Tok::Punct(';') => break,
+            Tok::Punct('{') => {
+                if let Some(close) = analysis.brace_match[i] {
+                    return (target_line, tokens[close].line);
+                }
+                break;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    (target_line, target_line)
+}
+
+/// Scans one file. Returns (kept findings, suppressed-count-per-rule).
+pub fn scan_file(
+    root: &Path,
+    path: &Path,
+    only_rules: &BTreeSet<String>,
+) -> (Vec<Finding>, BTreeMap<String, usize>) {
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    let source = match fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            return (
+                vec![Finding {
+                    rule: "LINT000",
+                    file: rel,
+                    line: 0,
+                    message: format!("unreadable source file: {e}"),
+                    hint: "the scanner must be able to read every source file it governs",
+                }],
+                BTreeMap::new(),
+            );
+        }
+    };
+    let lexed = lex(&source);
+    let analysis = analyze(&lexed);
+    let is_crate_root = rel.ends_with("src/lib.rs") && {
+        path.parent()
+            .and_then(Path::parent)
+            .is_some_and(|crate_dir| crate_dir.join("Cargo.toml").is_file())
+    };
+    let ctx = FileCtx {
+        rel_path: &rel,
+        is_crate_root,
+    };
+    let raw = run_rules(&ctx, &lexed, &analysis, only_rules);
+    let (sups, malformed) = parse_suppressions(&rel, &lexed, &analysis);
+
+    let mut kept = Vec::new();
+    let mut suppressed: BTreeMap<String, usize> = BTreeMap::new();
+    for f in raw {
+        let hit = sups.iter().any(|s| {
+            s.rules.iter().any(|r| r == f.rule)
+                && match s.span {
+                    None => true,
+                    Some((lo, hi)) => f.line >= lo && f.line <= hi,
+                }
+        });
+        if hit {
+            *suppressed.entry(f.rule.to_owned()).or_insert(0) += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    // LINT000 findings (malformed suppressions) are never suppressible.
+    kept.extend(malformed);
+    (kept, suppressed)
+}
+
+/// Runs the full scan.
+pub fn scan(config: &Config) -> Report {
+    let files = collect_files(&config.root);
+    let mut report = Report {
+        files_scanned: files.len(),
+        ..Report::default()
+    };
+    for path in &files {
+        let (kept, suppressed) = scan_file(&config.root, path, &config.only_rules);
+        report.findings.extend(kept);
+        for (rule, n) in suppressed {
+            *report.suppressed.entry(rule).or_insert(0) += n;
+        }
+    }
+    report
+        .findings
+        .sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    report
+}
+
+/// Renders the human-readable report.
+pub fn render_human(report: &Report) -> String {
+    let mut out = String::new();
+    for f in &report.findings {
+        out.push_str(&format!(
+            "{}:{} {} {}\n    hint: {}\n",
+            f.file, f.line, f.rule, f.message, f.hint
+        ));
+    }
+    out.push_str(&format!(
+        "crowdkit-lint: {} file(s) scanned, {} unsuppressed finding(s), {} suppressed\n",
+        report.files_scanned,
+        report.findings.len(),
+        report.suppressed_total()
+    ));
+    out
+}
+
+fn json_escape(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders the machine-readable report (the `LINT.json` format).
+pub fn render_json(report: &Report) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n");
+    out.push_str(&format!("  \"files_scanned\": {},\n", report.files_scanned));
+    out.push_str(&format!(
+        "  \"unsuppressed\": {},\n  \"suppressed\": {},\n",
+        report.findings.len(),
+        report.suppressed_total()
+    ));
+    out.push_str("  \"suppressed_by_rule\": {");
+    for (i, (rule, n)) in report.suppressed.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    ");
+        json_escape(rule, &mut out);
+        out.push_str(&format!(": {n}"));
+    }
+    out.push_str("\n  },\n  \"findings\": [");
+    for (i, f) in report.findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rule\": ");
+        json_escape(f.rule, &mut out);
+        out.push_str(", \"file\": ");
+        json_escape(&f.file, &mut out);
+        out.push_str(&format!(", \"line\": {}, \"message\": ", f.line));
+        json_escape(&f.message, &mut out);
+        out.push_str(", \"hint\": ");
+        json_escape(f.hint, &mut out);
+        out.push('}');
+    }
+    out.push_str("\n  ]\n}\n");
+    out
+}

@@ -1,0 +1,39 @@
+//! `crowdkit-lint` — the workspace's determinism & safety static-analysis
+//! pass.
+//!
+//! The reproducibility contract of this system — same seed, same answers,
+//! same serialized JSONL stream at any thread count — was enforced only by
+//! tests until two latent `HashMap`-iteration-order float-reduction bugs
+//! shipped and were caught by accident (the PR 3 `e16` scoring and
+//! `truth::numeric` fixes). This crate turns those conventions into
+//! machine-checked rules: a token-level scanner (no external parser —
+//! the workspace is offline-vendored) walks every `.rs` file under
+//! `crates/` and `src/` and fails the build on any unsuppressed finding.
+//!
+//! Rules: [DET001] hash-ordered iteration where floats accumulate or
+//! output is serialized, [DET002] wall-clock reads outside the obs
+//! boundary, [PANIC001] `unwrap`/`expect`/`panic!` in non-test library
+//! code, [SAFETY001] `unsafe` without `// SAFETY:`, [DOC001] missing
+//! crate-root lint headers. See [`rules`] for rationale and [`engine`]
+//! for the suppression protocol.
+//!
+//! Run it as `cargo run --release -p crowdkit-lint` (add `--json
+//! LINT.json` for the machine-readable report, `--rule ID` to filter).
+//!
+//! [DET001]: rules::ALL_RULES
+//! [DET002]: rules::ALL_RULES
+//! [PANIC001]: rules::ALL_RULES
+//! [SAFETY001]: rules::ALL_RULES
+//! [DOC001]: rules::ALL_RULES
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod analyze;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{scan, scan_file, Config, Report};
+pub use rules::Finding;

@@ -1,0 +1,8 @@
+// crowdkit-lint: allow-file(PANIC001) — fixture: whole-file exemption demo
+pub fn a(xs: &[u64]) -> u64 {
+    *xs.first().unwrap()
+}
+
+pub fn b(xs: &[u64]) -> u64 {
+    *xs.last().unwrap()
+}

@@ -1,0 +1,15 @@
+pub fn lib_code(xs: &[u64]) -> u64 {
+    xs.iter().copied().max().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    pub fn helper(xs: &[u64]) -> u64 {
+        xs.first().copied().unwrap()
+    }
+
+    #[test]
+    fn uses_helper() {
+        assert_eq!(helper(&[1]), 1);
+    }
+}

@@ -1,0 +1,15 @@
+use std::collections::HashMap;
+
+pub fn sum_scores(scores: &HashMap<u64, f64>) -> f64 {
+    let mut total = 0.0f64;
+    for (_, v) in scores.iter() {
+        total += *v;
+    }
+    total
+}
+
+pub fn dump(m: &HashMap<String, u64>, out: &mut String) {
+    for (k, v) in m {
+        out.push_str(&format!("{k}={v}\n"));
+    }
+}

@@ -1,0 +1,17 @@
+use std::collections::{BTreeMap, HashMap};
+
+pub fn sum_scores(scores: &BTreeMap<u64, f64>) -> f64 {
+    let mut total = 0.0f64;
+    for (_, v) in scores.iter() {
+        total += *v;
+    }
+    total
+}
+
+pub fn keyed_lookups(index: &HashMap<u64, f64>, keys: &[u64]) -> f64 {
+    let mut total = 0.0f64;
+    for k in keys {
+        total += index.get(k).copied().unwrap_or(0.0);
+    }
+    total
+}

@@ -1,0 +1,8 @@
+pub fn elapsed() -> u64 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos() as u64
+}
+
+pub fn epoch() -> u64 {
+    std::time::SystemTime::now().elapsed().map_or(0, |d| d.as_secs())
+}

@@ -1,0 +1,4 @@
+pub fn timed() -> u64 {
+    let t = crowdkit_obs::WallTimer::start();
+    t.elapsed_ns()
+}

@@ -1,0 +1,3 @@
+//! A crate root missing the standard lint header.
+
+pub fn x() {}

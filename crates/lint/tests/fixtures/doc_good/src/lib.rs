@@ -1,0 +1,7 @@
+//! A crate root carrying the standard lint header.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub fn x() {}

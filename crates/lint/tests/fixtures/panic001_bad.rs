@@ -1,0 +1,8 @@
+pub fn first(xs: &[u64]) -> u64 {
+    let head = xs.first().unwrap();
+    let tail = xs.last().expect("non-empty");
+    if *head > *tail {
+        panic!("unsorted");
+    }
+    *head
+}

@@ -1,0 +1,25 @@
+pub struct Cursor {
+    pos: usize,
+}
+
+impl Cursor {
+    fn expect(&mut self, want: u8, what: &str) -> Result<(), String> {
+        let _ = (want, what);
+        self.pos += 1;
+        Ok(())
+    }
+
+    pub fn parse(&mut self) -> Result<(), String> {
+        self.expect(b'(', "'('")?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

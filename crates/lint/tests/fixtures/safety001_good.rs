@@ -1,0 +1,4 @@
+pub fn read_first(xs: &[u8]) -> u8 {
+    // SAFETY: the caller guarantees `xs` is non-empty.
+    unsafe { *xs.as_ptr() }
+}

@@ -1,0 +1,14 @@
+pub fn trailing(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // crowdkit-lint: allow(PANIC001) — caller checks non-empty
+}
+
+// crowdkit-lint: allow(PANIC001) — fixture: a standalone allow covers the whole block below
+pub fn block(xs: &[u64]) -> u64 {
+    let a = xs.first().unwrap();
+    let b = xs.last().unwrap();
+    *a + *b
+}
+
+pub fn reasonless(xs: &[u64]) -> u64 {
+    *xs.first().unwrap() // crowdkit-lint: allow(PANIC001)
+}

@@ -88,6 +88,38 @@ pub fn wall_ns() -> u64 {
     EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
 }
 
+/// A wall-clock stopwatch whose readings are only good for
+/// [`Event::wall`] fields.
+///
+/// This is the sanctioned way for instrumented code to time a phase:
+/// `Instant::now()` outside the obs event layer trips the workspace lint
+/// (DET002), because ad-hoc wall-clock reads are exactly how
+/// nondeterministic values leak into serialized streams. A `WallTimer`
+/// keeps the measurement inside the wall-clock-segregated side of the
+/// event model by construction.
+///
+/// ```
+/// use crowdkit_obs::{Event, WallTimer};
+/// let t = WallTimer::start();
+/// let e = Event::new("phase.done").wall("t_ns", t.elapsed_ns());
+/// assert_eq!(e.wall_fields.len(), 1);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct WallTimer(u64);
+
+impl WallTimer {
+    /// Starts the stopwatch.
+    pub fn start() -> Self {
+        Self(wall_ns())
+    }
+
+    /// Nanoseconds elapsed since [`start`](Self::start).
+    #[must_use]
+    pub fn elapsed_ns(&self) -> u64 {
+        wall_ns().saturating_sub(self.0)
+    }
+}
+
 /// One structured telemetry record. Build with the fluent methods:
 ///
 /// ```

@@ -35,13 +35,15 @@
 //! ```
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub mod event;
 pub mod histogram;
 pub mod recorder;
 pub mod report;
 
-pub use event::{wall_ns, Event, FieldValue};
+pub use event::{wall_ns, Event, FieldValue, WallTimer};
 pub use histogram::LogHistogram;
 pub use recorder::{
     FieldStats, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, ShardBuffers,

@@ -14,7 +14,7 @@
 //! * [`crowd_collect`] — the buying loop with an accumulation curve and
 //!   coverage-based stopping.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::task::Task;
@@ -23,7 +23,8 @@ use crowdkit_core::traits::CrowdOracle;
 /// Frequency histogram of collected items.
 #[derive(Debug, Clone, Default)]
 pub struct ItemCounts {
-    counts: HashMap<String, u32>,
+    // Key-ordered so [`ItemCounts::items`] iterates deterministically.
+    counts: BTreeMap<String, u32>,
     total: u64,
 }
 
@@ -59,7 +60,7 @@ impl ItemCounts {
         self.counts.values().filter(|&&c| c == k).count()
     }
 
-    /// The observed items (unordered).
+    /// The observed items, in item order.
     pub fn items(&self) -> impl Iterator<Item = (&str, u32)> {
         self.counts.iter().map(|(k, &v)| (k.as_str(), v))
     }

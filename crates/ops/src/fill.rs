@@ -8,7 +8,7 @@
 //! are reported rather than guessed. All cells go to the platform as one
 //! batch, so independent cells share one round of crowd latency.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crowdkit_core::ask::AskRequest;
 use crowdkit_core::error::{CrowdError, Result};
@@ -97,8 +97,9 @@ where
                 break;
             }
         }
-        let mut counts: HashMap<String, u32> = HashMap::new();
-        let mut first_form: HashMap<String, String> = HashMap::new();
+        // Key-ordered: the plurality fold below iterates these maps.
+        let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+        let mut first_form: BTreeMap<String, String> = BTreeMap::new();
         let mut got = 0u32;
         for a in &outcome.answers {
             if let Some(text) = a.value.as_text() {

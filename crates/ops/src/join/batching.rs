@@ -63,7 +63,10 @@ pub fn pair_based_hits(
 /// Panics if `records_per_hit < 2` (a group of one covers nothing).
 pub fn cluster_based_hits(pairs: &[CandidatePair], records_per_hit: usize) -> Vec<RecordHit> {
     assert!(records_per_hit >= 2, "groups must hold at least two records");
-    // Adjacency over candidate pairs.
+    // Adjacency over candidate pairs. Hash-ordered containers are safe
+    // here: every greedy selection below (seed, best addition, reseed) is
+    // resolved by a total order — (gain, smallest id) — so enumeration
+    // order cannot reach the output (determinism contract, DET001).
     let mut adjacency: HashMap<usize, HashSet<usize>> = HashMap::new();
     let mut uncovered: HashSet<(usize, usize)> = HashSet::new();
     for p in pairs {
@@ -93,7 +96,7 @@ pub fn cluster_based_hits(pairs: &[CandidatePair], records_per_hit: usize) -> Ve
         let &seed = adjacency
             .keys()
             .max_by_key(|&&r| (uncovered_degree(r, &uncovered, &adjacency), std::cmp::Reverse(r)))
-            .expect("uncovered pairs imply records");
+            .expect("uncovered pairs imply records"); // crowdkit-lint: allow(PANIC001) — adjacency indexes every record of every uncovered pair, so it is non-empty here
         let mut group: Vec<usize> = vec![seed];
         let mut group_set: HashSet<usize> = [seed].into();
 

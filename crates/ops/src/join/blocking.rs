@@ -52,7 +52,9 @@ pub fn jaccard(a: &HashSet<String>, b: &HashSet<String>) -> f64 {
 pub fn candidate_pairs(texts: &[String], threshold: f64) -> Vec<CandidatePair> {
     let token_sets: Vec<HashSet<String>> = texts.iter().map(|t| tokenize(t)).collect();
 
-    // Inverted index: token → records containing it.
+    // Inverted index: token → records containing it. Hash order cannot
+    // reach the output: pairs are deduplicated by key and fully sorted
+    // (similarity desc, then ids) before returning (DET001).
     let mut index: HashMap<&str, Vec<usize>> = HashMap::new();
     for (i, set) in token_sets.iter().enumerate() {
         for tok in set {
@@ -84,8 +86,7 @@ pub fn candidate_pairs(texts: &[String], threshold: f64) -> Vec<CandidatePair> {
 
     pairs.sort_by(|p, q| {
         q.similarity
-            .partial_cmp(&p.similarity)
-            .expect("similarity is finite")
+            .total_cmp(&p.similarity)
             .then_with(|| (p.a, p.b).cmp(&(q.a, q.b)))
     });
     pairs

@@ -100,8 +100,7 @@ where
             order.sort_by(|&x, &y| {
                 candidates[y]
                     .similarity
-                    .partial_cmp(&candidates[x].similarity)
-                    .expect("similarity is finite")
+                    .total_cmp(&candidates[x].similarity)
                     .then_with(|| (candidates[x].a, candidates[x].b).cmp(&(candidates[y].a, candidates[y].b)))
             });
         }

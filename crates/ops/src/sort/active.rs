@@ -87,7 +87,7 @@ where
         }
         candidates.sort_by(|x, y| {
             x.0.cmp(&y.0)
-                .then_with(|| x.1.partial_cmp(&y.1).expect("finite scores"))
+                .then_with(|| x.1.total_cmp(&y.1))
                 .then_with(|| (x.2, x.3).cmp(&(y.2, y.3)))
         });
 

@@ -173,8 +173,7 @@ pub fn order_by_scores(scores: &[f64]) -> Vec<usize> {
     let mut order: Vec<usize> = (0..scores.len()).collect();
     order.sort_by(|&x, &y| {
         scores[y]
-            .partial_cmp(&scores[x])
-            .expect("scores must not be NaN")
+            .total_cmp(&scores[x])
             .then_with(|| x.cmp(&y))
     });
     order

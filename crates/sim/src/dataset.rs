@@ -232,7 +232,7 @@ impl RankingDataset {
     pub fn true_positions(&self) -> Vec<usize> {
         let n = self.items.len();
         let mut order: Vec<usize> = (0..n).collect();
-        order.sort_by(|&x, &y| self.scores[y].partial_cmp(&self.scores[x]).unwrap());
+        order.sort_by(|&x, &y| self.scores[y].total_cmp(&self.scores[x]));
         let mut pos = vec![0usize; n];
         for (rank, &item) in order.iter().enumerate() {
             pos[item] = rank;
@@ -245,9 +245,9 @@ impl RankingDataset {
         self.scores
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
-            .expect("non-empty by construction")
+            .expect("non-empty by construction") // crowdkit-lint: allow(PANIC001) — constructor asserts n >= 2, so scores is never empty
     }
 }
 

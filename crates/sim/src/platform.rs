@@ -396,8 +396,8 @@ impl SimulatedCrowd {
                     churn.next_online(self.population.get(i).id, self.seed, core.clock),
                 )
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-            .expect("eligible is non-empty");
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("eligible is non-empty"); // crowdkit-lint: allow(PANIC001) — empty `eligible` returned None earlier in this function
         core.clock = next_t;
         Some(next_i)
     }
@@ -448,8 +448,8 @@ impl SimulatedCrowd {
                     churn.next_online(self.population.get(i).id, self.seed, epoch),
                 )
             })
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
-            .expect("eligible is non-empty");
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .expect("eligible is non-empty"); // crowdkit-lint: allow(PANIC001) — empty `eligible` returned None earlier in this function
         Some((next_i, next_t))
     }
 }
@@ -518,7 +518,7 @@ impl CrowdOracle for SimulatedCrowd {
 
     fn ask(&self, req: &AskRequest<'_>) -> Result<AskOutcome> {
         let mut outcomes = self.ask_batch(std::slice::from_ref(req))?;
-        Ok(outcomes.pop().expect("one outcome per request"))
+        Ok(outcomes.pop().expect("one outcome per request")) // crowdkit-lint: allow(PANIC001) — ask_batch returns exactly one outcome per submitted request
     }
 
     /// The batched engine. Planning (budget in request order, worker
@@ -531,7 +531,7 @@ impl CrowdOracle for SimulatedCrowd {
             return Ok(Vec::new());
         }
         let rec = obs::current();
-        let t_plan = std::time::Instant::now();
+        let t_plan = obs::WallTimer::start();
 
         // ---- Phase 1: sequential planning ------------------------------
         let (plan, mut outcomes, epoch) = {
@@ -582,8 +582,8 @@ impl CrowdOracle for SimulatedCrowd {
             }
             (plan, outcomes, epoch)
         };
-        let plan_ns = t_plan.elapsed().as_nanos() as u64;
-        let t_exec = std::time::Instant::now();
+        let plan_ns = t_plan.elapsed_ns();
+        let t_exec = obs::WallTimer::start();
 
         // ---- Phase 2: parallel execution -------------------------------
         let answers: Vec<Answer> = parallel_map(&plan, self.threads, |_, p| {
@@ -602,7 +602,7 @@ impl CrowdOracle for SimulatedCrowd {
         });
 
         // ---- Assembly: input order, makespan clock ---------------------
-        let exec_ns = t_exec.elapsed().as_nanos() as u64;
+        let exec_ns = t_exec.elapsed_ns();
         let enabled = rec.enabled();
         let detail = enabled && rec.detail();
         let mut makespan = epoch;

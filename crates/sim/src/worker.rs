@@ -129,7 +129,7 @@ impl WorkerProfile {
         let truth = task
             .truth
             .as_ref()
-            .expect("simulated workers require tasks with ground truth");
+            .expect("simulated workers require tasks with ground truth"); // crowdkit-lint: allow(PANIC001) — documented contract: simulated tasks always carry ground truth
         match (&task.kind, truth) {
             (TaskKind::SingleChoice { labels }, AnswerValue::Choice(t)) => {
                 AnswerValue::Choice(self.answer_choice(*t, labels.len() as u32, task.difficulty, rng))
@@ -150,6 +150,7 @@ impl WorkerProfile {
             (TaskKind::Collection, AnswerValue::Items(pool)) => {
                 AnswerValue::Items(self.answer_collection(pool, rng))
             }
+            // crowdkit-lint: allow(PANIC001) — documented contract: a kind/truth mismatch is a dataset construction bug
             (kind, truth) => panic!(
                 "task kind {} has incompatible ground truth {truth:?}",
                 kind.name()

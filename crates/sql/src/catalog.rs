@@ -1,6 +1,6 @@
 //! Catalog and row storage.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crowdkit_core::error::{CrowdError, Result};
 
@@ -55,8 +55,10 @@ impl TableDef {
 /// Tables plus their rows.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
-    tables: HashMap<String, TableDef>,
-    rows: HashMap<String, Vec<Vec<Value>>>,
+    // Key-ordered so every walk over the catalog (name listings, future
+    // serialization) is deterministic by construction.
+    tables: BTreeMap<String, TableDef>,
+    rows: BTreeMap<String, Vec<Vec<Value>>>,
 }
 
 impl Catalog {
@@ -135,7 +137,7 @@ impl Catalog {
                 }
             }
         }
-        self.rows.get_mut(table).expect("table exists").extend(rows);
+        self.rows.get_mut(table).expect("table exists").extend(rows); // crowdkit-lint: allow(PANIC001) — table() succeeded above; create_table inserts rows and tables entries together
         Ok(())
     }
 
@@ -171,11 +173,9 @@ impl Catalog {
         Ok(())
     }
 
-    /// Names of all tables, sorted.
+    /// Names of all tables, sorted (the catalog is key-ordered).
     pub fn table_names(&self) -> Vec<&str> {
-        let mut names: Vec<&str> = self.tables.keys().map(String::as_str).collect();
-        names.sort_unstable();
-        names
+        self.tables.keys().map(String::as_str).collect()
     }
 }
 

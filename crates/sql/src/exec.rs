@@ -12,7 +12,7 @@
 //! * **CrowdSort** — full pairwise comparisons ranked by Copeland score,
 //!   or a top-k tournament when the optimizer pushed a LIMIT into it.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 use crowdkit_core::answer::Preference;
 use crowdkit_core::ask::AskRequest;
@@ -286,6 +286,8 @@ impl Session {
                 let li = resolve_in_schema(left_col, &ls)?;
                 let ri = resolve_in_schema(right_col, &rs)?;
                 // Build side: the right input, keyed by join value.
+                // Hash order is safe here: the build table is only probed
+                // by key, and output row order follows the probe side.
                 let mut table: HashMap<&Value, Vec<&ExecRow>> = HashMap::new();
                 for b in &rr {
                     if !b.values[ri].is_null() {
@@ -542,8 +544,10 @@ fn fill_cell(
     ty: ColumnType,
 ) -> Result<Option<Value>> {
     let task = c.factory.fill_task(c.ids.next_task(), table, row_values, column);
-    let mut counts: HashMap<String, u32> = HashMap::new();
-    let mut surface: HashMap<String, String> = HashMap::new();
+    // Key-ordered maps: the plurality fold below iterates them, and
+    // iteration order must never depend on hashing (determinism contract).
+    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
+    let mut surface: BTreeMap<String, String> = BTreeMap::new();
     let out = c
         .oracle
         .ask(&AskRequest::new(&task).with_redundancy(c.votes as usize))?;

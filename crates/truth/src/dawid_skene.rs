@@ -79,13 +79,13 @@ impl DawidSkene {
 
         let rec = obs::current();
         let obs_on = rec.enabled();
-        let run_start = std::time::Instant::now();
+        let run_start = obs::WallTimer::start();
 
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
-            let t_m = obs_on.then(std::time::Instant::now);
+            let t_m = obs_on.then(obs::WallTimer::start);
 
             // M-step: priors, then per-worker confusion soft counts over
             // worker ranges. Each worker's accumulation walks its CSR
@@ -127,8 +127,8 @@ impl DawidSkene {
                 }
             });
 
-            let m_ns = t_m.map_or(0, |t| t.elapsed().as_nanos() as u64);
-            let t_e = obs_on.then(std::time::Instant::now);
+            let m_ns = t_m.map_or(0, |t| t.elapsed_ns());
+            let t_e = obs_on.then(obs::WallTimer::start);
 
             // E-step over task ranges: per task, start from the log priors
             // and add one contiguous log-table slice per observation.
@@ -152,7 +152,7 @@ impl DawidSkene {
             let delta = max_abs_diff(&posteriors, &next);
             std::mem::swap(&mut posteriors, &mut next);
             if obs_on {
-                let e_ns = t_e.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "ds", iterations, delta, m_ns, e_ns);
             }
             if delta < cfg.tol {

@@ -166,7 +166,7 @@ pub(crate) fn obs_run(
     matrix: &ResponseMatrix,
     iterations: usize,
     converged: bool,
-    start: std::time::Instant,
+    start: obs::WallTimer,
 ) {
     if !obs::enabled() {
         return;
@@ -179,7 +179,7 @@ pub(crate) fn obs_run(
             .u64("observations", matrix.num_observations() as u64)
             .u64("iters", iterations as u64)
             .u64("converged", u64::from(converged))
-            .wall("run_ns", start.elapsed().as_nanos() as u64),
+            .wall("run_ns", start.elapsed_ns()),
     );
 }
 

@@ -128,13 +128,13 @@ impl Glad {
 
         let rec = obs::current();
         let obs_on = rec.enabled();
-        let run_start = std::time::Instant::now();
+        let run_start = obs::WallTimer::start();
 
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
-            let t_m = obs_on.then(std::time::Instant::now);
+            let t_m = obs_on.then(obs::WallTimer::start);
             update_priors(&posteriors, k, &mut priors);
             for (lp, &p) in log_priors.iter_mut().zip(&priors) {
                 *lp = p.max(1e-300).ln();
@@ -183,8 +183,8 @@ impl Glad {
                 }
             }
 
-            let m_ns = t_m.map_or(0, |t| t.elapsed().as_nanos() as u64);
-            let t_e = obs_on.then(std::time::Instant::now);
+            let m_ns = t_m.map_or(0, |t| t.elapsed_ns());
+            let t_e = obs_on.then(obs::WallTimer::start);
 
             // E-step over task ranges, with the one-coin scalar-update
             // trick (each observation contributes a base mass to all
@@ -215,7 +215,7 @@ impl Glad {
             let delta = max_abs_diff(&posteriors, &next);
             std::mem::swap(&mut posteriors, &mut next);
             if obs_on {
-                let e_ns = t_e.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "glad", iterations, delta, m_ns, e_ns);
             }
             if delta < cfg.tol {

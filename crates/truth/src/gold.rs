@@ -13,7 +13,7 @@
 //! * [`GoldWeightedVote`] — a [`TruthInferencer`] that weights votes by
 //!   gold accuracy and drops workers below an elimination threshold.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{TaskId, WorkerId};
@@ -25,7 +25,7 @@ use crate::em::{argmax_labels, normalize, posterior_rows};
 /// A set of tasks with known answers, used to score workers.
 #[derive(Debug, Clone, Default)]
 pub struct GoldSet {
-    answers: HashMap<TaskId, u32>,
+    answers: BTreeMap<TaskId, u32>,
 }
 
 impl GoldSet {
@@ -85,8 +85,8 @@ pub struct GoldScore {
 pub fn estimate_worker_quality(
     matrix: &ResponseMatrix,
     gold: &GoldSet,
-) -> HashMap<WorkerId, GoldScore> {
-    let mut scores: HashMap<WorkerId, (u32, u32)> = HashMap::new();
+) -> BTreeMap<WorkerId, GoldScore> {
+    let mut scores: BTreeMap<WorkerId, (u32, u32)> = BTreeMap::new();
     for w in 0..matrix.num_workers() {
         scores.insert(matrix.worker_id(w), (0, 0));
     }
@@ -153,7 +153,7 @@ impl TruthInferencer for GoldWeightedVote {
         if matrix.is_empty() {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
-        let run_start = std::time::Instant::now();
+        let run_start = crowdkit_obs::WallTimer::start();
         let k = matrix.num_labels();
         let scores = estimate_worker_quality(matrix, &self.gold);
         let weight_of = |w: usize| -> f64 {

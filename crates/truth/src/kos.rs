@@ -68,7 +68,7 @@ impl TruthInferencer for Kos {
                 "KOS message passing applies to binary label spaces only",
             ));
         }
-        let run_start = std::time::Instant::now();
+        let run_start = crowdkit_obs::WallTimer::start();
 
         let obs = matrix.observations();
         let n_obs = obs.len();

@@ -26,7 +26,7 @@ impl TruthInferencer for MajorityVote {
         if matrix.is_empty() {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
-        let run_start = std::time::Instant::now();
+        let run_start = crowdkit_obs::WallTimer::start();
         let k = matrix.num_labels();
         let (offsets, entries) = matrix.task_csr();
         let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
@@ -54,6 +54,7 @@ impl TruthInferencer for MajorityVote {
 /// Negative weights are rejected at construction.
 #[derive(Debug, Clone)]
 pub struct WeightedMajorityVote {
+    // Keyed lookups only — never iterated, so hash order is inert (DET001).
     weights: HashMap<WorkerId, f64>,
     /// Weight applied to workers not present in the table.
     pub default_weight: f64,
@@ -97,7 +98,7 @@ impl TruthInferencer for WeightedMajorityVote {
         if matrix.is_empty() {
             return Err(CrowdError::EmptyInput("response matrix"));
         }
-        let run_start = std::time::Instant::now();
+        let run_start = crowdkit_obs::WallTimer::start();
         let k = matrix.num_labels();
         // Resolve external-id weights to dense indices once, outside the
         // accumulation loop.

@@ -6,7 +6,7 @@
 //! scheme that learns per-worker precision — the numeric analogue of the
 //! categorical EM family.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 use crowdkit_core::answer::Answer;
 use crowdkit_core::error::{CrowdError, Result};
@@ -70,7 +70,7 @@ impl NumericResponses {
 }
 
 /// Per-task estimates produced by a numeric aggregator.
-pub type NumericEstimates = HashMap<TaskId, f64>;
+pub type NumericEstimates = BTreeMap<TaskId, f64>;
 
 /// Mean of each task's values.
 pub fn mean_estimates(r: &NumericResponses) -> Result<NumericEstimates> {
@@ -89,7 +89,7 @@ pub fn median_estimates(r: &NumericResponses) -> Result<NumericEstimates> {
     Ok(r.iter()
         .map(|(t, obs)| {
             let mut vals: Vec<f64> = obs.iter().map(|(_, v)| *v).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN numeric answer"));
+            vals.sort_by(|a, b| a.total_cmp(b));
             let n = vals.len();
             let m = if n % 2 == 1 {
                 vals[n / 2]
@@ -112,7 +112,7 @@ pub fn trimmed_mean_estimates(r: &NumericResponses, trim: f64) -> Result<Numeric
     Ok(r.iter()
         .map(|(t, obs)| {
             let mut vals: Vec<f64> = obs.iter().map(|(_, v)| *v).collect();
-            vals.sort_by(|a, b| a.partial_cmp(b).expect("NaN numeric answer"));
+            vals.sort_by(|a, b| a.total_cmp(b));
             let drop = (vals.len() as f64 * trim).floor() as usize;
             let kept = &vals[drop..vals.len() - drop];
             // Guaranteed non-empty: drop < len/2 on both sides.
@@ -128,7 +128,7 @@ pub struct ReweightedResult {
     /// Per-task estimates.
     pub estimates: NumericEstimates,
     /// Learned per-worker weights (inverse variance, normalized to mean 1).
-    pub worker_weights: HashMap<WorkerId, f64>,
+    pub worker_weights: BTreeMap<WorkerId, f64>,
     /// Iterations run.
     pub iterations: usize,
 }

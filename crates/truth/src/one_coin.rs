@@ -70,13 +70,13 @@ impl TruthInferencer for OneCoinEm {
 
         let rec = obs::current();
         let obs_on = rec.enabled();
-        let run_start = std::time::Instant::now();
+        let run_start = obs::WallTimer::start();
 
         let mut iterations = 0;
         let mut converged = false;
         while iterations < cfg.max_iters {
             iterations += 1;
-            let t_m = obs_on.then(std::time::Instant::now);
+            let t_m = obs_on.then(obs::WallTimer::start);
 
             // M-step: p_w = (smoothed) expected fraction of correct
             // answers, sharded over worker ranges; each worker sums its
@@ -107,8 +107,8 @@ impl TruthInferencer for OneCoinEm {
                 log_wrong[w] = ((1.0 - p) * wrong_share).max(LN_FLOOR).ln();
             }
 
-            let m_ns = t_m.map_or(0, |t| t.elapsed().as_nanos() as u64);
-            let t_e = obs_on.then(std::time::Instant::now);
+            let m_ns = t_m.map_or(0, |t| t.elapsed_ns());
+            let t_e = obs_on.then(obs::WallTimer::start);
 
             // E-step over task ranges. Per observation the update is a
             // scalar: every label gets the worker's wrong-answer mass, the
@@ -137,7 +137,7 @@ impl TruthInferencer for OneCoinEm {
             let delta = max_abs_diff(&posteriors, &next);
             std::mem::swap(&mut posteriors, &mut next);
             if obs_on {
-                let e_ns = t_e.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "zc", iterations, delta, m_ns, e_ns);
             }
             if delta < cfg.tol {

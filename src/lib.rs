@@ -48,6 +48,8 @@
 //! harness that regenerates every table/figure listed in DESIGN.md.
 
 #![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
 
 pub use crowdkit_assign as assign;
 pub use crowdkit_core as core;

@@ -1,5 +1,11 @@
 #!/usr/bin/env bash
-# Local CI: build, test, lint. Run from the repository root.
+# Local CI: build, test, lint, trace, perf gate. Run from the repository
+# root. Kept artifacts (gitignored, archive from CI if wanted):
+#   RUNREPORT.json      per-experiment cost/latency/quality telemetry
+#   RUNLOG.jsonl        headered deterministic event stream of the suite
+#   LINT.json           workspace static-analysis findings
+#   BENCH_truth.json    current per-algorithm ns/iter snapshot
+#   BENCH_HISTORY.jsonl rolling bench history (regression-gate baseline)
 set -euo pipefail
 
 cargo build --release --workspace
@@ -13,9 +19,19 @@ cargo run --release -p crowdkit-lint -- --json LINT.json
 
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# Full experiment suite with telemetry: RUNREPORT.json + the headered
+# deterministic event log, then a replay smoke-check over that log.
+cargo run --release -p crowdkit-bench --bin experiments -- all --report --log RUNLOG.jsonl > /dev/null
+cargo run --release -p crowdkit-trace --bin crowdtrace -- replay RUNLOG.jsonl > /dev/null
+
 # Telemetry overhead gate: instrumented hot paths must stay within 5% of
 # the null-recorder baseline (asserted inside the bench binary).
 cargo bench -p crowdkit-bench --bench obs_overhead
 
-# Machine-readable truth-inference timings (per-algorithm ns/iter).
-cargo run --release -p crowdkit-bench --bin bench_truth -- BENCH_truth.json
+# Machine-readable truth-inference timings (per-algorithm ns/iter); each
+# run also appends one line to BENCH_HISTORY.jsonl.
+cargo run --release -p crowdkit-bench --bin bench_truth -- BENCH_truth.json BENCH_HISTORY.jsonl
+
+# Perf-regression gate: current ns/iter vs the rolling median of the last
+# 5 same-thread-count history entries; >25% slower on any algorithm fails.
+cargo run --release -p crowdkit-trace --bin crowdtrace -- regress --history BENCH_HISTORY.jsonl --current BENCH_truth.json

@@ -6,9 +6,13 @@
 //! `ns_per_iter` to `BENCH_truth.json` in the current directory, so CI
 //! can diff runs without scraping criterion's human-oriented output.
 //!
+//! Each run also appends one line to `BENCH_HISTORY.jsonl` (git rev,
+//! thread count, per-algorithm ns/iter) so `crowdtrace regress` can
+//! compare the current numbers against a rolling baseline.
+//!
 //! ```sh
 //! cargo run --release -p crowdkit-bench --bin bench_truth
-//! cargo run --release -p crowdkit-bench --bin bench_truth -- out.json
+//! cargo run --release -p crowdkit-bench --bin bench_truth -- out.json history.jsonl
 //! ```
 
 use crowdkit_core::par::default_threads;
@@ -17,6 +21,7 @@ use crowdkit_core::traits::TruthInferencer;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::mixes;
 use crowdkit_sim::SimulatedCrowd;
+use crowdkit_trace::history::{append_history, git_short_rev, BenchEntry};
 use crowdkit_truth::{pipeline::label_tasks, DawidSkene, Glad, Kos, MajorityVote, OneCoinEm};
 use std::time::Instant;
 
@@ -49,24 +54,13 @@ fn time_algo(algo: &dyn TruthInferencer, m: &ResponseMatrix) -> u64 {
     samples[samples.len() / 2]
 }
 
-/// The short git revision of the working tree, or `"unknown"` outside a
-/// checkout. Recorded so archived timing files say what they measured.
-fn git_rev() -> String {
-    std::process::Command::new("git")
-        .args(["rev-parse", "--short", "HEAD"])
-        .output()
-        .ok()
-        .filter(|o| o.status.success())
-        .and_then(|o| String::from_utf8(o.stdout).ok())
-        .map(|s| s.trim().to_string())
-        .filter(|s| !s.is_empty())
-        .unwrap_or_else(|| "unknown".to_string())
-}
-
 fn main() {
     let out_path = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "BENCH_truth.json".to_string());
+    let history_path = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "BENCH_HISTORY.jsonl".to_string());
     let m = workload();
     let algos: Vec<(&str, Box<dyn TruthInferencer>)> = vec![
         ("mv", Box::new(MajorityVote)),
@@ -84,7 +78,7 @@ fn main() {
         m.num_observations()
     ));
     json.push_str(&format!("  \"threads\": {},\n", default_threads()));
-    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_rev()));
+    json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_short_rev()));
     json.push_str("  \"algorithms\": {\n");
     let timings: Vec<(&str, u64)> = algos
         .iter()
@@ -99,4 +93,15 @@ fn main() {
 
     std::fs::write(&out_path, json).expect("write bench results");
     println!("wrote {out_path}");
+
+    let entry = BenchEntry {
+        git_rev: git_short_rev(),
+        threads: default_threads() as u64,
+        algorithms: timings
+            .iter()
+            .map(|(name, ns)| ((*name).to_string(), *ns))
+            .collect(),
+    };
+    append_history(&history_path, &entry).expect("append bench history");
+    println!("appended {} to {history_path}", entry.git_rev);
 }

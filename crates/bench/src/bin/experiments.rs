@@ -75,7 +75,7 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
             let lines = suite.events.iter().filter(|&&b| b == b'\n').count();
-            eprintln!("{path}: {lines} events");
+            eprintln!("{path}: {} events (+ stream header)", lines.saturating_sub(1));
         }
         return ExitCode::SUCCESS;
     }

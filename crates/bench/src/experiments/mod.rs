@@ -173,9 +173,12 @@ pub struct SuiteRun {
 ///
 /// With `capture_events` the full event streams are also captured, one
 /// [`obs::ShardBuffers`] shard per experiment, and merged in registry order
-/// into one JSONL log. Wall-clock data is omitted from the log, so its
-/// bytes are a pure function of the experiments' seeds — identical at any
-/// thread count and across repeat runs.
+/// into one JSONL log. The first line is a versioned [`obs::StreamHeader`]
+/// carrying run metadata (git rev, thread count, workload id); every line
+/// after it omits wall-clock data, so the event bytes are a pure function
+/// of the experiments' seeds — identical at any thread count and across
+/// repeat runs. `crowdtrace diff` compares exactly that deterministic
+/// portion.
 pub fn run_all_with_report(capture_events: bool) -> SuiteRun {
     let shards = obs::ShardBuffers::new(EXPERIMENTS.len(), capture_events);
     let mut rendered = String::new();
@@ -217,6 +220,15 @@ pub fn run_all_with_report(capture_events: bool) -> SuiteRun {
     });
     let events = if capture_events {
         let sink = obs::JsonlRecorder::in_memory().with_wall(false);
+        // Header first: schema version, provenance (git rev, thread
+        // count), and the workload id. Thread count is metadata — the
+        // event bytes below it are identical at any parallelism.
+        sink.write_header(&obs::StreamHeader::new(
+            crowdkit_trace::history::git_short_rev(),
+            0,
+            crowdkit_core::par::default_threads() as u32,
+            "experiments:all",
+        ));
         shards.flush_to(&sink);
         sink.take_bytes()
     } else {

@@ -2,3 +2,18 @@ pub fn timed() -> u64 {
     let t = crowdkit_obs::WallTimer::start();
     t.elapsed_ns()
 }
+
+// Reading recorded wall *fields* out of a trace is analysis, not clock
+// access: `wall_ns` / `*_ns` names in data never touch the host clock.
+pub fn wall_time_from_trace(fields: &[(String, u64)]) -> u64 {
+    fields
+        .iter()
+        .filter(|(name, _)| name == "wall_ns" || name.ends_with("_ns"))
+        .map(|(_, ns)| ns)
+        .sum()
+}
+
+pub fn attribute_span(plan_ns: u64, exec_ns: u64) -> (u64, u64) {
+    let total_ns = plan_ns + exec_ns;
+    (total_ns, total_ns.saturating_sub(plan_ns))
+}

@@ -147,7 +147,70 @@ mod tests {
 
     #[test]
     fn empty_histogram_quantile_is_zero() {
-        assert_eq!(LogHistogram::new().quantile(0.5), 0.0);
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+        // Every quantile of an empty histogram is the 0 sentinel, including
+        // the extremes.
+        for q in [0.0, 0.25, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0.0);
+        }
+    }
+
+    #[test]
+    fn single_sample_dominates_every_quantile() {
+        let h = LogHistogram::new();
+        h.record(3.0);
+        assert_eq!(h.count(), 1);
+        let floor = h.quantile(0.5);
+        // One sample: p0 through p100 all land in its bucket.
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), floor, "q = {q}");
+        }
+        // The bucket floor brackets the sample with bounded relative error.
+        assert!(floor > 0.0 && floor <= 3.0, "floor = {floor}");
+        assert!(3.0 <= floor * 2.0, "sample above its bucket ceiling");
+    }
+
+    #[test]
+    fn p0_and_p100_bracket_a_spread_distribution() {
+        let h = LogHistogram::new();
+        h.record(0.001);
+        h.record(1.0);
+        h.record(4000.0);
+        // p0 clamps to the first sample's bucket, p100 to the last's; out of
+        // range q values clamp rather than panic.
+        let p0 = h.quantile(0.0);
+        let p100 = h.quantile(1.0);
+        assert!(p0 <= 0.001, "p0 = {p0}");
+        assert!((2000.0..=4000.0).contains(&p100), "p100 = {p100}");
+        assert_eq!(h.quantile(-1.0), p0);
+        assert_eq!(h.quantile(2.0), p100);
+    }
+
+    #[test]
+    fn merge_of_disjoint_ranges_preserves_both_tails() {
+        let lo = LogHistogram::new();
+        let hi = LogHistogram::new();
+        for _ in 0..10 {
+            lo.record(0.01);
+        }
+        for _ in 0..10 {
+            hi.record(10_000.0);
+        }
+        // Ranges are disjoint: no bucket overlap between the two.
+        let lo_buckets: Vec<f64> = lo.nonzero_buckets().iter().map(|(f, _)| *f).collect();
+        let hi_buckets: Vec<f64> = hi.nonzero_buckets().iter().map(|(f, _)| *f).collect();
+        assert!(lo_buckets.iter().all(|f| !hi_buckets.contains(f)));
+        lo.merge(&hi);
+        assert_eq!(lo.count(), 20);
+        assert_eq!(lo.nonzero_buckets().len(), 2);
+        // The merged histogram keeps both tails: median from the low range,
+        // p95 from the high range.
+        assert!(lo.quantile(0.5) <= 0.01);
+        assert!(lo.quantile(0.95) >= 2500.0);
+        // The donor histogram is unchanged by merge.
+        assert_eq!(hi.count(), 10);
     }
 
     #[test]

@@ -39,11 +39,13 @@
 #![forbid(unsafe_code)]
 
 pub mod event;
+pub mod header;
 pub mod histogram;
 pub mod recorder;
 pub mod report;
 
 pub use event::{wall_ns, Event, FieldValue, WallTimer};
+pub use header::{StreamHeader, STREAM_MAGIC, STREAM_SCHEMA_VERSION};
 pub use histogram::LogHistogram;
 pub use recorder::{
     FieldStats, JsonlRecorder, MemoryRecorder, NullRecorder, Recorder, ShardBuffers,

@@ -342,6 +342,22 @@ impl JsonlRecorder {
         self
     }
 
+    /// Writes the versioned stream header as one line. Call before any
+    /// event lands so the header stays the first line of the stream —
+    /// loaders ([`crowdkit-trace`]) validate it there.
+    ///
+    /// [`crowdkit-trace`]: https://docs.rs/crowdkit-trace
+    pub fn write_header(&self, header: &crate::header::StreamHeader) {
+        let mut line = header.to_json();
+        line.push('\n');
+        match &self.sink {
+            Sink::Memory(buf) => buf.lock().extend_from_slice(line.as_bytes()),
+            Sink::File(w) => {
+                let _ = w.lock().write_all(line.as_bytes());
+            }
+        }
+    }
+
     /// Drains and returns the buffered bytes (in-memory sink only; empty
     /// for file sinks). Flushes file sinks as a side effect.
     pub fn take_bytes(&self) -> Vec<u8> {
@@ -542,6 +558,19 @@ mod tests {
         let text = String::from_utf8(r.take_bytes()).unwrap();
         assert_eq!(text, "{\"key\":\"k\",\"sim\":1,\"n\":2}\n{\"key\":\"k2\"}\n");
         assert!(r.take_bytes().is_empty());
+    }
+
+    #[test]
+    fn jsonl_header_is_the_first_line() {
+        let r = JsonlRecorder::in_memory().with_wall(false);
+        r.write_header(&crate::header::StreamHeader::new("deadbee", 42, 4, "unit"));
+        r.record(Event::new("k"));
+        let text = String::from_utf8(r.take_bytes()).unwrap();
+        let mut lines = text.lines();
+        let header = lines.next().unwrap();
+        assert!(header.starts_with("{\"stream\":\"crowdkit-obs\",\"schema\":1,"));
+        assert!(header.contains("\"seed\":42"));
+        assert_eq!(lines.next(), Some("{\"key\":\"k\"}"));
     }
 
     #[test]

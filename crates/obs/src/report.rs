@@ -26,6 +26,7 @@ fn json_f64(out: &mut String, value: f64) {
 
 /// Crowd-cost figures for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[must_use = "a distilled report is pure data; dropping it discards the run's telemetry"]
 pub struct CostReport {
     /// Crowd answers delivered across all platform batches.
     pub questions: u64,
@@ -37,6 +38,7 @@ pub struct CostReport {
 
 /// Latency figures for one run, in simulated seconds.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[must_use = "a distilled report is pure data; dropping it discards the run's telemetry"]
 pub struct LatencyReport {
     /// Total simulated clock advance across batches (sum of makespans).
     pub sim_makespan: f64,
@@ -53,6 +55,7 @@ pub struct LatencyReport {
 
 /// Truth-inference effort figures for one run.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[must_use = "a distilled report is pure data; dropping it discards the run's telemetry"]
 pub struct InferenceReport {
     /// Inference runs executed.
     pub runs: u64,
@@ -64,6 +67,7 @@ pub struct InferenceReport {
 
 /// The distilled telemetry of one experiment run.
 #[derive(Debug, Clone, Default, PartialEq)]
+#[must_use = "a distilled report is pure data; dropping it discards the run's telemetry"]
 pub struct ExperimentReport {
     /// Experiment id (e.g. `"e01_truth_accuracy"`).
     pub id: String,
@@ -141,6 +145,7 @@ impl ExperimentReport {
     }
 
     /// Renders the report as one JSON object.
+    #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(512);
         out.push('{');
@@ -195,6 +200,7 @@ impl ExperimentReport {
 /// A suite-level report: one [`ExperimentReport`] per experiment plus
 /// totals.
 #[derive(Debug, Clone, Default, PartialEq)]
+#[must_use = "a distilled report is pure data; dropping it discards the run's telemetry"]
 pub struct RunReport {
     /// Per-experiment reports, in registry order.
     pub experiments: Vec<ExperimentReport>,
@@ -207,22 +213,26 @@ impl RunReport {
     }
 
     /// Total crowd questions across all experiments.
+    #[must_use]
     pub fn total_questions(&self) -> u64 {
         self.experiments.iter().map(|e| e.cost.questions).sum()
     }
 
     /// Total crowd spend across all experiments.
+    #[must_use]
     pub fn total_spend(&self) -> f64 {
         self.experiments.iter().map(|e| e.cost.spend).sum()
     }
 
     /// Total wall-clock milliseconds across all experiments.
+    #[must_use]
     pub fn total_wall_ms(&self) -> u64 {
         self.experiments.iter().map(|e| e.wall_ms).sum()
     }
 
     /// Renders the full report as pretty-enough JSON (one experiment per
     /// line) — the `RUNREPORT.json` format.
+    #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(1024);
         let _ = write!(

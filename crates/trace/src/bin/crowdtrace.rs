@@ -1,0 +1,254 @@
+//! `crowdtrace` — inspect, compare, and gate crowdkit obs streams.
+//!
+//! ```text
+//! crowdtrace replay <stream.jsonl> [--folded <out.folded>]
+//! crowdtrace diff <a.jsonl> <b.jsonl> [--quality-tol F] [--spend-tol F] [--latency-tol F]
+//! crowdtrace regress --history <BENCH_HISTORY.jsonl> --current <BENCH_truth.json>
+//!                    [--window N] [--threshold F]
+//! crowdtrace history <BENCH_truth.json> --history <BENCH_HISTORY.jsonl>
+//! ```
+//!
+//! Exit codes: `diff` exits 0 when the deterministic event bodies are
+//! identical, 1 on divergence, 2 on a metric-threshold breach; `regress`
+//! exits 1 on a perf regression; usage errors exit 64 and unreadable or
+//! malformed inputs exit 65 (the BSD sysexits conventions).
+
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+use std::process::ExitCode;
+
+use crowdkit_trace::diff::{first_divergence, metric_deltas, render_deltas, DeltaThresholds};
+use crowdkit_trace::history::{
+    append_history, parse_bench_snapshot, parse_history, regress, BenchEntry,
+};
+use crowdkit_trace::replay::replay;
+use crowdkit_trace::stream::{parse_stream, LoadedStream};
+
+const USAGE: &str = "crowdtrace — inspect, compare, and gate crowdkit obs streams
+
+USAGE:
+  crowdtrace replay <stream.jsonl> [--folded <out.folded>]
+      Rebuild per-experiment span trees from a stream and print a cost /
+      wall-time attribution report. --folded also writes a collapsed-stack
+      profile (one `frame;frame weight` line per stack) for flamegraph
+      tooling.
+
+  crowdtrace diff <a.jsonl> <b.jsonl> [--quality-tol F] [--spend-tol F] [--latency-tol F]
+      Compare the deterministic event bodies of two streams, report the
+      first divergent event (line numbers and keys), then report per-
+      experiment metric deltas. Exit 0 = identical, 1 = divergent,
+      2 = a configured relative threshold was breached.
+
+  crowdtrace regress --history <BENCH_HISTORY.jsonl> --current <BENCH_truth.json>
+                     [--window N] [--threshold F]
+      Compare current per-algorithm ns/iter against the rolling median of
+      the last N (default 5) same-thread-count history entries. Exit 1
+      when any algorithm is more than F (default 0.25 = +25%) slower.
+
+  crowdtrace history <BENCH_truth.json> --history <BENCH_HISTORY.jsonl>
+      Append the current bench snapshot to the history file.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => code,
+        Err(CliError::Usage(msg)) => {
+            eprintln!("crowdtrace: {msg}\n\n{USAGE}");
+            ExitCode::from(64)
+        }
+        Err(CliError::Data(msg)) => {
+            eprintln!("crowdtrace: {msg}");
+            ExitCode::from(65)
+        }
+    }
+}
+
+enum CliError {
+    /// Bad invocation: unknown subcommand, missing or malformed flags.
+    Usage(String),
+    /// Good invocation, bad world: unreadable files, malformed streams.
+    Data(String),
+}
+
+fn run(args: &[String]) -> Result<ExitCode, CliError> {
+    let Some(cmd) = args.first() else {
+        return Err(CliError::Usage("missing subcommand".into()));
+    };
+    match cmd.as_str() {
+        "replay" => cmd_replay(&args[1..]),
+        "diff" => cmd_diff(&args[1..]),
+        "regress" => cmd_regress(&args[1..]),
+        "history" => cmd_history(&args[1..]),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            Ok(ExitCode::SUCCESS)
+        }
+        other => Err(CliError::Usage(format!("unknown subcommand `{other}`"))),
+    }
+}
+
+/// `--flag value` pairs pulled out of an argument list.
+type Flags<'a> = Vec<(&'a str, &'a str)>;
+
+/// Splits `args` into positionals and `--flag value` pairs, rejecting
+/// flags outside `allowed`.
+fn parse_flags<'a>(
+    args: &'a [String],
+    allowed: &[&str],
+) -> Result<(Vec<&'a str>, Flags<'a>), CliError> {
+    let mut positional = Vec::new();
+    let mut flags = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let arg = args[i].as_str();
+        if let Some(name) = arg.strip_prefix("--") {
+            if !allowed.contains(&name) {
+                return Err(CliError::Usage(format!("unknown flag `--{name}`")));
+            }
+            let value = args
+                .get(i + 1)
+                .ok_or_else(|| CliError::Usage(format!("flag `--{name}` needs a value")))?;
+            flags.push((name, value.as_str()));
+            i += 2;
+        } else {
+            positional.push(arg);
+            i += 1;
+        }
+    }
+    Ok((positional, flags))
+}
+
+fn flag<'a>(flags: &[(&str, &'a str)], name: &str) -> Option<&'a str> {
+    flags.iter().find(|(n, _)| *n == name).map(|(_, v)| *v)
+}
+
+fn parse_f64_flag(flags: &[(&str, &str)], name: &str) -> Result<Option<f64>, CliError> {
+    flag(flags, name)
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| CliError::Usage(format!("flag `--{name}` wants a number, got `{v}`")))
+        })
+        .transpose()
+}
+
+fn read_file(path: &str) -> Result<String, CliError> {
+    std::fs::read_to_string(path).map_err(|e| CliError::Data(format!("cannot read `{path}`: {e}")))
+}
+
+fn load(path: &str) -> Result<LoadedStream, CliError> {
+    let text = read_file(path)?;
+    parse_stream(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+}
+
+fn cmd_replay(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["folded"])?;
+    let [path] = positional[..] else {
+        return Err(CliError::Usage("replay wants exactly one stream path".into()));
+    };
+    let stream = load(path)?;
+    let rep = replay(&stream);
+    print!("{}", rep.render());
+    if let Some(out) = flag(&flags, "folded") {
+        let folded = rep.folded();
+        std::fs::write(out, &folded)
+            .map_err(|e| CliError::Data(format!("cannot write `{out}`: {e}")))?;
+        println!(
+            "wrote {} collapsed stacks to {out}",
+            folded.lines().count()
+        );
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_diff(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["quality-tol", "spend-tol", "latency-tol"])?;
+    let [path_a, path_b] = positional[..] else {
+        return Err(CliError::Usage("diff wants exactly two stream paths".into()));
+    };
+    let a = load(path_a)?;
+    let b = load(path_b)?;
+    let thresholds = DeltaThresholds {
+        quality: parse_f64_flag(&flags, "quality-tol")?,
+        spend: parse_f64_flag(&flags, "spend-tol")?,
+        latency: parse_f64_flag(&flags, "latency-tol")?,
+    };
+    let divergence = first_divergence(&a, &b);
+    match &divergence {
+        None => println!(
+            "streams are identical on deterministic fields ({} events)",
+            a.events.len()
+        ),
+        Some(d) => print!("A = {path_a}\nB = {path_b}\n{}", d.render()),
+    }
+    let (deltas, breached) = metric_deltas(&a, &b, &thresholds);
+    print!("{}", render_deltas(&deltas));
+    Ok(if breached {
+        ExitCode::from(2)
+    } else if divergence.is_some() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_regress(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["history", "current", "window", "threshold"])?;
+    if !positional.is_empty() {
+        return Err(CliError::Usage("regress takes only flags".into()));
+    }
+    let history_path = flag(&flags, "history")
+        .ok_or_else(|| CliError::Usage("regress needs `--history <BENCH_HISTORY.jsonl>`".into()))?;
+    let current_path = flag(&flags, "current")
+        .ok_or_else(|| CliError::Usage("regress needs `--current <BENCH_truth.json>`".into()))?;
+    let window = match flag(&flags, "window") {
+        None => 5,
+        Some(v) => v.parse::<usize>().map_err(|_| {
+            CliError::Usage(format!("flag `--window` wants an integer, got `{v}`"))
+        })?,
+    };
+    let threshold = parse_f64_flag(&flags, "threshold")?.unwrap_or(0.25);
+    let current = load_snapshot(current_path)?;
+    let history = match std::fs::read_to_string(history_path) {
+        Ok(text) => parse_history(&text)
+            .map_err(|e| CliError::Data(format!("{history_path}: {e}")))?,
+        // A missing history file is an empty baseline, not an error —
+        // the first CI run has nothing to regress from.
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => return Err(CliError::Data(format!("cannot read `{history_path}`: {e}"))),
+    };
+    let report = regress(&history, &current, window, threshold);
+    print!("{}", report.render(threshold));
+    Ok(if report.breached {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    })
+}
+
+fn cmd_history(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["history"])?;
+    let [current_path] = positional[..] else {
+        return Err(CliError::Usage(
+            "history wants exactly one snapshot path".into(),
+        ));
+    };
+    let history_path = flag(&flags, "history")
+        .ok_or_else(|| CliError::Usage("history needs `--history <BENCH_HISTORY.jsonl>`".into()))?;
+    let entry = load_snapshot(current_path)?;
+    append_history(history_path, &entry)
+        .map_err(|e| CliError::Data(format!("cannot append to `{history_path}`: {e}")))?;
+    println!(
+        "appended {} ({} algorithms, {} threads) to {history_path}",
+        entry.git_rev,
+        entry.algorithms.len(),
+        entry.threads
+    );
+    Ok(ExitCode::SUCCESS)
+}
+
+fn load_snapshot(path: &str) -> Result<BenchEntry, CliError> {
+    let text = read_file(path)?;
+    parse_bench_snapshot(&text).map_err(|e| CliError::Data(format!("{path}: {e}")))
+}

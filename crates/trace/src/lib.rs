@@ -1,0 +1,35 @@
+//! `crowdkit-trace` — replay, diff, and perf-regression tooling over
+//! the `crowdkit-obs` event stream.
+//!
+//! The obs layer records what a run *did* as a JSONL stream whose
+//! deterministic fields are a pure function of `(seed, inputs)`. This
+//! crate is the read side of that contract:
+//!
+//! - [`stream`] loads a stream, validates its versioned header, and
+//!   reports malformed lines with line numbers;
+//! - [`mod@replay`] rebuilds per-experiment span trees attributing simulated
+//!   cost and wall time, and emits collapsed-stack (`folded`) profiles;
+//! - [`diff`] localizes the first divergent event between two runs and
+//!   gates metric deltas against configurable thresholds;
+//! - [`history`] appends bench results to `BENCH_HISTORY.jsonl` and
+//!   compares the current run against a rolling median baseline.
+//!
+//! The `crowdtrace` binary fronts all four as subcommands.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod diff;
+pub mod history;
+pub mod json;
+pub mod replay;
+pub mod stream;
+
+pub use diff::{first_divergence, metric_deltas, render_deltas, DeltaThresholds, Divergence};
+pub use history::{
+    append_history, git_short_rev, parse_bench_snapshot, parse_history, regress, BenchEntry,
+    RegressReport,
+};
+pub use replay::{replay, Replay};
+pub use stream::{parse_stream, LoadedStream, OwnedEvent, StreamError};

@@ -19,6 +19,20 @@ cargo run --release -p crowdkit-lint -- --json LINT.json
 
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 
+# Optimizer ablation gate: run E10 instrumented and assert the optimized
+# plans' actual crowd spend beats the naive plans' by a fixed margin
+# (mean over the fixture queries, optimized × 1.2 ≤ naive).
+cargo run --release -p crowdkit-bench --bin experiments -- e10 --report > /dev/null
+python3 - <<'EOF'
+import json
+r = json.load(open("RUNREPORT.json"))
+q = next(x for x in r["runs"] if x["id"] == "e10")["quality"]
+naive, opt = q["spend_actual_naive"], q["spend_actual_opt"]
+assert opt * 1.2 <= naive, f"optimizer margin gate: optimized {opt} * 1.2 > naive {naive}"
+assert q["spend_pred_naive"] > 0 and q["spend_pred_opt"] > 0, "predictions missing from RUNREPORT"
+print(f"e10 optimizer gate: optimized {opt:.0f} vs naive {naive:.0f} actual spend — ok")
+EOF
+
 # Full experiment suite with telemetry: RUNREPORT.json + the headered
 # deterministic event log, then a replay smoke-check over that log.
 cargo run --release -p crowdkit-bench --bin experiments -- all --report --log RUNLOG.jsonl > /dev/null

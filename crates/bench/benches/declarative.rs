@@ -47,7 +47,7 @@ fn bench_datalog(c: &mut Criterion) {
 
 fn bench_sql(c: &mut Criterion) {
     let mut group = c.benchmark_group("crowdsql");
-    let mut session = Session::new();
+    let session = Session::new();
     session
         .execute_ddl("CREATE TABLE items (id INT, name TEXT, category CROWD TEXT)")
         .unwrap();
@@ -67,7 +67,7 @@ fn bench_sql(c: &mut Criterion) {
 
     // Equi-join: optimizer's hash join vs the naive cross product. Built
     // small enough that the quadratic plan still terminates quickly.
-    let mut join_session = Session::new();
+    let join_session = Session::new();
     join_session.execute_ddl("CREATE TABLE a (k INT)").unwrap();
     join_session.execute_ddl("CREATE TABLE b (k INT)").unwrap();
     for i in 0..300 {

@@ -4,23 +4,24 @@
 //! experiments all                           # every experiment, in order
 //! experiments all --report                  # also writes RUNREPORT.json
 //! experiments all --report --log run.jsonl  # plus the merged event log
+//! experiments e10 --report                  # subset, with telemetry
 //! experiments e1 e3 e10                     # selected experiments
 //! experiments list                          # id + description
 //! ```
 //!
-//! `--report` runs the suite instrumented: every experiment executes under
-//! its own in-memory recorder and the distilled cost/latency/quality
+//! `--report` runs the selection instrumented: every experiment executes
+//! under its own in-memory recorder and the distilled cost/latency/quality
 //! triangle lands in `RUNREPORT.json`. `--log <path>` additionally captures
 //! the full deterministic event stream (wall-clock data omitted) as JSONL.
 
 use std::process::ExitCode;
 
-use crowdkit_bench::{run_all_with_report, run_by_name, EXPERIMENTS};
+use crowdkit_bench::{run_by_name, run_with_report, EXPERIMENTS};
 
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "help" || args[0] == "--help" {
-        eprintln!("usage: experiments <all [--report] [--log <path>] | list | e1 [e2 …]>");
+        eprintln!("usage: experiments <all | e1 [e2 …]> [--report] [--log <path>] | list");
         return ExitCode::from(2);
     }
     if args[0] == "list" {
@@ -50,14 +51,22 @@ fn main() -> ExitCode {
             _ => i += 1,
         }
     }
-    let log_requested = log_path.is_some();
-    if (report || log_requested) && args.first().map(String::as_str) != Some("all") {
-        eprintln!("--report/--log apply to `all` only");
+    if args.is_empty() {
+        eprintln!("no experiments selected (try `experiments list`)");
         return ExitCode::from(2);
     }
+    let ids: Vec<&str> = if args[0] == "all" {
+        EXPERIMENTS.iter().map(|e| e.id).collect()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
 
-    if args.first().map(String::as_str) == Some("all") && (report || log_requested) {
-        let suite = run_all_with_report(log_requested);
+    let log_requested = log_path.is_some();
+    if report || log_requested {
+        let Some(suite) = run_with_report(&ids, log_requested) else {
+            eprintln!("unknown experiment id in {ids:?} (try `experiments list`)");
+            return ExitCode::FAILURE;
+        };
         print!("{}", suite.rendered);
         if let Err(e) = std::fs::write("RUNREPORT.json", suite.report.to_json()) {
             eprintln!("failed to write RUNREPORT.json: {e}");
@@ -80,11 +89,6 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
-    let ids: Vec<&str> = if args[0] == "all" {
-        EXPERIMENTS.iter().map(|e| e.id).collect()
-    } else {
-        args.iter().map(String::as_str).collect()
-    };
     for id in ids {
         match run_by_name(id) {
             Some(output) => print!("{output}"),

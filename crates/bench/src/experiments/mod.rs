@@ -85,7 +85,7 @@ pub const EXPERIMENTS: &[Experiment] = &[
     },
     Experiment {
         id: "e10",
-        description: "CrowdSQL optimizer: naive vs optimized crowd questions",
+        description: "CrowdSQL optimizer: predicted vs actual spend, naive vs optimized",
         run: e10_sql_optimizer::run,
     },
     Experiment {
@@ -180,11 +180,23 @@ pub struct SuiteRun {
 /// repeat runs. `crowdtrace diff` compares exactly that deterministic
 /// portion.
 pub fn run_all_with_report(capture_events: bool) -> SuiteRun {
-    let shards = obs::ShardBuffers::new(EXPERIMENTS.len(), capture_events);
+    run_with_report(&EXPERIMENTS.iter().map(|e| e.id).collect::<Vec<_>>(), capture_events)
+        .expect("registry ids are valid")
+}
+
+/// Runs a subset of experiments instrumented, like [`run_all_with_report`]
+/// but only for the given ids (in the given order). Returns `None` if any
+/// id is unknown.
+pub fn run_with_report(ids: &[&str], capture_events: bool) -> Option<SuiteRun> {
+    let selected: Vec<&Experiment> = ids
+        .iter()
+        .map(|id| EXPERIMENTS.iter().find(|e| e.id == *id))
+        .collect::<Option<Vec<_>>>()?;
+    let shards = obs::ShardBuffers::new(selected.len(), capture_events);
     let mut rendered = String::new();
     let mut report = RunReport::new();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = EXPERIMENTS
+        let handles: Vec<_> = selected
             .iter()
             .enumerate()
             .map(|(i, e)| {
@@ -227,18 +239,22 @@ pub fn run_all_with_report(capture_events: bool) -> SuiteRun {
             crowdkit_trace::history::git_short_rev(),
             0,
             crowdkit_core::par::default_threads() as u32,
-            "experiments:all",
+            &if ids.len() == EXPERIMENTS.len() {
+                "experiments:all".to_owned()
+            } else {
+                format!("experiments:{}", ids.join(","))
+            },
         ));
         shards.flush_to(&sink);
         sink.take_bytes()
     } else {
         Vec::new()
     };
-    SuiteRun {
+    Some(SuiteRun {
         rendered,
         report,
         events,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -50,6 +50,17 @@ pub enum CrowdError {
     /// A declarative program was well-formed but semantically invalid
     /// (unknown relation, unbound variable, unstratifiable negation, …).
     Semantic(String),
+    /// Name/type resolution against the catalog failed (unknown column or
+    /// table, ambiguous reference, predicate type mismatch). Carries the
+    /// source position of the offending token so tools can point at it.
+    Bind {
+        /// Line number (1-based) of the offending reference.
+        line: usize,
+        /// Column number (1-based) of the offending reference.
+        column: usize,
+        /// Description of the problem.
+        message: String,
+    },
     /// Query/plan execution failed.
     Execution(String),
     /// The operation is not supported by this component.
@@ -81,6 +92,11 @@ impl fmt::Display for CrowdError {
                 message,
             } => write!(f, "parse error at {line}:{column}: {message}"),
             CrowdError::Semantic(msg) => write!(f, "semantic error: {msg}"),
+            CrowdError::Bind {
+                line,
+                column,
+                message,
+            } => write!(f, "bind error at {line}:{column}: {message}"),
             CrowdError::Execution(msg) => write!(f, "execution error: {msg}"),
             CrowdError::Unsupported(what) => write!(f, "unsupported operation: {what}"),
         }
@@ -93,6 +109,15 @@ impl CrowdError {
     /// Constructs a parse error.
     pub fn parse(line: usize, column: usize, message: impl Into<String>) -> Self {
         CrowdError::Parse {
+            line,
+            column,
+            message: message.into(),
+        }
+    }
+
+    /// Constructs a bind (name/type resolution) error.
+    pub fn bind(line: usize, column: usize, message: impl Into<String>) -> Self {
+        CrowdError::Bind {
             line,
             column,
             message: message.into(),
@@ -126,6 +151,10 @@ mod tests {
 
         let p = CrowdError::parse(3, 14, "unexpected token `FROM`");
         assert_eq!(p.to_string(), "parse error at 3:14: unexpected token `FROM`");
+
+        let b = CrowdError::bind(2, 8, "unknown column `price`");
+        assert_eq!(b.to_string(), "bind error at 2:8: unknown column `price`");
+        assert!(!b.is_resource_exhaustion());
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //! output is serialized, [DET002] wall-clock reads outside the obs
 //! boundary, [PANIC001] `unwrap`/`expect`/`panic!` in non-test library
 //! code, [SAFETY001] `unsafe` without `// SAFETY:`, [DOC001] missing
-//! crate-root lint headers. See [`rules`] for rationale and [`engine`]
+//! `//!` module docs and crate-root lint headers. See [`rules`] for rationale and [`engine`]
 //! for the suppression protocol.
 //!
 //! Run it as `cargo run --release -p crowdkit-lint` (add `--json

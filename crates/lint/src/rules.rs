@@ -12,7 +12,8 @@
 //!   boundary (`crowdkit-obs`' wall-clock-segregated event fields).
 //! * **PANIC001** — `unwrap`/`expect`/`panic!` in non-test library code.
 //! * **SAFETY001** — `unsafe` without an adjacent `// SAFETY:` comment.
-//! * **DOC001** — crate roots must carry the standard lint header.
+//! * **DOC001** — src modules must open with a `//!` module doc;
+//!   crate roots must additionally carry the standard lint header.
 
 use std::collections::BTreeSet;
 
@@ -452,6 +453,26 @@ on or directly above the unsafe block",
 // ---------------------------------------------------------------- DOC001
 
 fn doc001(ctx: &FileCtx<'_>, lexed: &Lexed, out: &mut Vec<Finding>) {
+    // Every source module (any `.rs` under a `src/` directory, crate
+    // roots included) must open with a `//!` module doc — before the
+    // first code token — saying what the module is for.
+    if ctx.rel_path.contains("src/") && ctx.rel_path.ends_with(".rs") {
+        let first_code_line = lexed.tokens.first().map_or(u32::MAX, |t| t.line);
+        let has_module_doc = lexed
+            .comments
+            .iter()
+            .any(|c| !c.trailing && c.text.starts_with('!') && c.line <= first_code_line);
+        if !has_module_doc {
+            out.push(Finding {
+                rule: "DOC001",
+                file: ctx.rel_path.to_owned(),
+                line: 1,
+                message: "source module missing a `//!` module doc header".to_owned(),
+                hint: "open every src module with a `//!` doc comment stating what the \
+module is and why it exists",
+            });
+        }
+    }
     if !ctx.is_crate_root {
         return;
     }

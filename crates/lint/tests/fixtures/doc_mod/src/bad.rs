@@ -1,0 +1,3 @@
+// A plain comment is not a module doc: this file must be flagged.
+
+pub fn undocumented() {}

@@ -1,0 +1,5 @@
+// crowdkit-lint fixture: a leading plain comment does not satisfy the
+// module-doc requirement on its own…
+//! …but this `//!` header does.
+
+pub fn documented() {}

@@ -89,6 +89,18 @@ fn doc001_requires_the_crate_root_header() {
 }
 
 #[test]
+fn doc001_requires_module_docs_on_src_modules() {
+    let (kept, _) = scan_fixture("doc_mod/src/bad.rs", "DOC001");
+    assert_eq!(rules_of(&kept), vec!["DOC001"]);
+    assert!(kept[0].message.contains("module doc"), "{kept:?}");
+    let (kept, _) = scan_fixture("doc_mod/src/good.rs", "DOC001");
+    assert!(kept.is_empty(), "unexpected: {kept:?}");
+    // Files outside src/ trees (tests, fixtures themselves) are exempt.
+    let (kept, _) = scan_fixture("det001_good.rs", "DOC001");
+    assert!(kept.is_empty(), "unexpected: {kept:?}");
+}
+
+#[test]
 fn suppressions_need_reasons_and_standalone_covers_the_block() {
     let (kept, suppressed) = scan_fixture("suppress.rs", "PANIC001");
     // Trailing allow (1) + standalone block allow (2 sites) are honoured.

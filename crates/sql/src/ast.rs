@@ -2,13 +2,50 @@
 
 use crate::value::Value;
 
+/// A 1-based source position attached to AST nodes for diagnostics.
+///
+/// `Span::default()` (0:0) marks synthesized nodes with no source text;
+/// the binder falls back to 1:1 when reporting against them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// 1-based line (0 = synthesized).
+    pub line: usize,
+    /// 1-based column (0 = synthesized).
+    pub col: usize,
+}
+
+impl Span {
+    /// A span at the given position.
+    pub fn at(line: usize, col: usize) -> Self {
+        Self { line, col }
+    }
+}
+
 /// A (possibly qualified) column reference.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// Equality and hashing ignore the span: two references to the same name
+/// are the same column no matter where they were written.
+#[derive(Debug, Clone, Eq)]
 pub struct ColumnRef {
     /// Table qualifier, if written (`t.c`).
     pub table: Option<String>,
     /// Column name.
     pub column: String,
+    /// Source position of the reference (for binder diagnostics).
+    pub span: Span,
+}
+
+impl PartialEq for ColumnRef {
+    fn eq(&self, other: &Self) -> bool {
+        self.table == other.table && self.column == other.column
+    }
+}
+
+impl std::hash::Hash for ColumnRef {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.table.hash(state);
+        self.column.hash(state);
+    }
 }
 
 impl ColumnRef {
@@ -17,6 +54,7 @@ impl ColumnRef {
         Self {
             table: None,
             column: column.into(),
+            span: Span::default(),
         }
     }
 
@@ -25,7 +63,14 @@ impl ColumnRef {
         Self {
             table: Some(table.into()),
             column: column.into(),
+            span: Span::default(),
         }
+    }
+
+    /// Attaches a source position.
+    pub fn with_span(mut self, span: Span) -> Self {
+        self.span = span;
+        self
     }
 }
 
@@ -45,6 +90,17 @@ pub enum Expr {
     Column(ColumnRef),
     /// Literal value.
     Literal(Value),
+}
+
+impl Expr {
+    /// The source position of the expression, if it is a column reference
+    /// with one attached.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            Expr::Column(c) if c.span != Span::default() => Some(c.span),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for Expr {
@@ -139,6 +195,9 @@ pub struct Select {
     pub count: bool,
     /// Tables in the FROM clause (1 = scan, 2 = cross join + predicates).
     pub from: Vec<String>,
+    /// Source positions of the FROM table names, parallel to `from`
+    /// (empty or `Span::default()` entries for synthesized selects).
+    pub from_spans: Vec<Span>,
     /// Conjunctive WHERE predicates.
     pub predicates: Vec<Predicate>,
     /// Optional ordering.
@@ -201,5 +260,15 @@ mod tests {
             right: Expr::Literal(Value::text("x")),
         };
         assert_eq!(q.to_string(), "CROWDEQUAL(a, 'x')");
+    }
+
+    #[test]
+    fn column_ref_equality_ignores_span() {
+        let a = ColumnRef::bare("c");
+        let b = ColumnRef::bare("c").with_span(Span::at(3, 9));
+        assert_eq!(a, b);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b), "hash must also ignore the span");
     }
 }

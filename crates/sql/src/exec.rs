@@ -1,39 +1,64 @@
-//! Plan execution against a crowd oracle.
+//! The CrowdSQL session: parse → bind → rewrite → cost → execute.
 //!
-//! The executor walks a [`PlanNode`] tree bottom-up. Machine operators are
-//! ordinary relational evaluation; crowd operators buy answers through the
-//! [`CrowdOracle`] using tasks rendered by a [`TaskFactory`]:
+//! [`Session`] is the public query surface. It owns the catalog and the
+//! optimizer's [`SelectivityMemory`] behind a lock, so every method takes
+//! `&self` — a session is a shared service like the platform it fronts,
+//! and concurrent readers may plan and run queries while write-back of
+//! purchased cells is serialized at the end of each query.
+//!
+//! A query runs through the full pipeline:
+//!
+//! 1. [`parse`](crate::parser) + [`bind`](crate::binder) — names and
+//!    types resolve against the catalog into the canonical logical
+//!    [`crate::ir::Plan`];
+//! 2. [`rewrite`](crate::rewrite) — rule-based transforms (lazy fill,
+//!    predicate pushdown, hash-join promotion, crowd-join formation and
+//!    reordering, top-k fusion, batching) produce candidate plans;
+//! 3. [`cost`](crate::cost) — candidates are scored on predicted spend,
+//!    round-latency and quality; the cheapest wins ([`QueryOpts`] carries
+//!    the weights);
+//! 4. `volcano` (crate-private) — the chosen plan executes as a pull
+//!    pipeline, metering actual spend and round-trips against the
+//!    prediction and feeding observed selectivities back into the memory.
+//!
+//! Crowd operators buy answers through the [`CrowdOracle`] using tasks
+//! rendered by a [`TaskFactory`]:
 //!
 //! * **CrowdFill** — `votes` open-text answers per NULL cell, reconciled
 //!   by normalized plurality; reconciled values are written back to the
 //!   base table so later queries reuse them (CrowdDB's behaviour).
-//! * **CrowdFilter** — `votes` binary judgements per `CROWDEQUAL`,
-//!   majority decides; verdicts are cached per value pair within a query.
+//! * **CrowdFilter / CrowdJoin** — `votes` binary judgements per
+//!   `CROWDEQUAL`, majority decides; verdicts are cached per value pair
+//!   within a query.
 //! * **CrowdSort** — full pairwise comparisons ranked by Copeland score,
-//!   or a top-k tournament when the optimizer pushed a LIMIT into it.
+//!   or a top-k tournament when the optimizer fused a LIMIT into it.
 
-use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::fmt::Write as _;
+
+use parking_lot::{RwLock, RwLockReadGuard};
 
 use crowdkit_core::answer::Preference;
-use crowdkit_core::ask::AskRequest;
+use crowdkit_core::budget::CostModel;
 use crowdkit_core::error::{CrowdError, Result};
-use crowdkit_core::ids::{IdGen, TaskId};
+use crowdkit_core::ids::TaskId;
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
 use crowdkit_obs::{self as obs, Event};
-use crowdkit_ops::sort::rankers::copeland;
-use crowdkit_ops::sort::tournament::crowd_top_k;
-use crowdkit_ops::sort::{collect_comparisons, order_by_scores, ComparisonGraph};
 
-use crate::ast::{ColumnRef, CompareOp, Expr, Predicate, Statement};
-use crate::catalog::{Catalog, ColumnType};
+use crate::ast::{Select, Statement};
+use crate::binder::bind;
+use crate::catalog::Catalog;
+use crate::cost::{CostVector, CostWeights, Estimator, NodeCost, PlanCost, SelectivityMemory};
+use crate::ir::Plan;
 use crate::parser::parse_statement;
-use crate::plan::{optimize, plan_query, PlanNode};
+use crate::rewrite::optimize as optimize_plan;
 use crate::value::Value;
+use crate::volcano::{execute, RoundOracle};
 
-/// Renders the crowd-facing tasks for the three crowd operators. In
-/// simulation, implementations attach the latent ground truth so simulated
-/// workers can answer; against a live platform they would render HTML.
+/// Renders the crowd-facing tasks for the crowd operators. In simulation,
+/// implementations attach the latent ground truth so simulated workers
+/// can answer; against a live platform they would render HTML.
 pub trait TaskFactory {
     /// Task asking for the value of `column` for the given row of `table`.
     fn fill_task(&mut self, id: TaskId, table: &str, row: &[Value], column: &str) -> Task;
@@ -47,8 +72,99 @@ pub trait TaskFactory {
     fn compare_task(&mut self, id: TaskId, left: &Value, right: &Value) -> Task;
 }
 
-/// Crowd spend of one query.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Per-query execution knobs, built fluently:
+///
+/// ```
+/// use crowdkit_sql::QueryOpts;
+/// let opts = QueryOpts::new().votes(5).batch(8);
+/// assert!(opts.optimize);
+/// let naive = QueryOpts::naive();
+/// assert!(!naive.optimize);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryOpts {
+    /// Redundant answers bought per crowd question (≥ 1).
+    pub votes: u32,
+    /// Run the rewriter + cost-based selection (false = canonical plan).
+    pub optimize: bool,
+    /// Crowd questions per platform round-trip (0 = one ask per
+    /// question, the latency-naive default).
+    pub batch: usize,
+    /// Scalarization weights for candidate selection.
+    pub weights: CostWeights,
+    /// Per-task-kind prices the cost model predicts spend with.
+    pub prices: CostModel,
+    /// Assumed per-worker accuracy for quality prediction.
+    pub accuracy: f64,
+}
+
+impl Default for QueryOpts {
+    fn default() -> Self {
+        Self {
+            votes: 3,
+            optimize: true,
+            batch: 0,
+            weights: CostWeights::default(),
+            prices: CostModel::unit(),
+            accuracy: 0.9,
+        }
+    }
+}
+
+impl QueryOpts {
+    /// Default options: 3 votes, optimizer on, no batching.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Options that run the canonical (naive) plan unrewritten.
+    pub fn naive() -> Self {
+        Self {
+            optimize: false,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the redundancy per crowd question.
+    pub fn votes(mut self, votes: u32) -> Self {
+        self.votes = votes;
+        self
+    }
+
+    /// Turns the optimizer on or off.
+    pub fn optimize(mut self, on: bool) -> Self {
+        self.optimize = on;
+        self
+    }
+
+    /// Sets the questions-per-round-trip batching knob.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the plan-selection weights.
+    pub fn weights(mut self, weights: CostWeights) -> Self {
+        self.weights = weights;
+        self
+    }
+
+    /// Sets the price table used for spend prediction.
+    pub fn prices(mut self, prices: CostModel) -> Self {
+        self.prices = prices;
+        self
+    }
+
+    /// Sets the assumed per-worker accuracy.
+    pub fn accuracy(mut self, accuracy: f64) -> Self {
+        self.accuracy = accuracy;
+        self
+    }
+}
+
+/// Crowd spend of one query: what was bought, and what the optimizer
+/// predicted it would cost.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct QueryStats {
     /// Total crowd answers purchased.
     pub questions: u64,
@@ -60,55 +176,127 @@ pub struct QueryStats {
     pub comparisons: u64,
     /// Rows returned.
     pub rows_out: usize,
+    /// Platform round-trips performed (latency proxy).
+    pub rounds: u64,
+    /// Actual money spent (sum of per-answer costs).
+    pub spend: f64,
+    /// Spend the cost model predicted for the executed plan.
+    pub predicted_spend: f64,
+    /// Round-trips the cost model predicted for the executed plan.
+    pub predicted_rounds: f64,
 }
 
-/// One column of an intermediate result.
-#[derive(Debug, Clone)]
-struct ColBinding {
-    table: String,
-    column: String,
-    base_index: usize,
-    ty: ColumnType,
+/// The structured result of `EXPLAIN`: both plan texts, the rewrite
+/// rules that fired, and the cost model's prediction.
+///
+/// `Display` renders the physical plan tree exactly as the pre-IR
+/// explain did; [`ExplainReport::detailed`] adds the cost columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExplainReport {
+    /// Whether the optimizer was enabled.
+    pub optimized: bool,
+    /// The canonical logical plan, rendered.
+    pub logical: String,
+    /// The chosen physical plan, rendered.
+    pub physical: String,
+    /// Names of the rewrite rules that fired (sorted, deduplicated).
+    pub rewrites: Vec<String>,
+    /// Predicted total cost of the physical plan.
+    pub predicted: CostVector,
+    /// Per-operator prediction, bottom-up.
+    pub per_node: Vec<NodeCost>,
 }
 
-/// An intermediate row: values plus base-table provenance for write-back.
-#[derive(Debug, Clone)]
-struct ExecRow {
-    values: Vec<Value>,
-    /// `(table, base row index)` per FROM table contributing to this row.
-    prov: Vec<(String, usize)>,
-}
-
-struct CrowdCtx<'a> {
-    oracle: &'a dyn CrowdOracle,
-    factory: &'a mut dyn TaskFactory,
-    votes: u32,
-    ids: IdGen,
-    stats: QueryStats,
-    equal_cache: HashMap<(String, String), bool>,
-    writebacks: Vec<(String, usize, usize, Value)>,
-}
-
-/// Emits the `sql.node` telemetry event for one crowd operator, charging it
-/// the crowd answers bought while it ran (`q_before` is the oracle's
-/// delivered count sampled before the operator, `None` when telemetry is
-/// off).
-fn obs_node(c: &CrowdCtx<'_>, node: &'static str, rows_in: usize, rows_out: usize, q_before: Option<u64>) {
-    if let Some(q) = q_before {
-        obs::record(
-            Event::new("sql.node")
-                .str("node", node)
-                .u64("rows_in", rows_in as u64)
-                .u64("rows_out", rows_out as u64)
-                .u64("questions", c.oracle.answers_delivered().saturating_sub(q)),
-        );
+impl fmt::Display for ExplainReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.physical)
     }
 }
 
-/// A CrowdSQL session: catalog plus statement execution.
+impl ExplainReport {
+    /// Multi-line rendering with predicted spend/rounds/quality per
+    /// operator.
+    pub fn detailed(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "logical plan:");
+        for line in self.logical.lines() {
+            let _ = writeln!(s, "  {line}");
+        }
+        let rules = if self.rewrites.is_empty() {
+            "no rewrites".to_owned()
+        } else {
+            self.rewrites.join(", ")
+        };
+        let _ = writeln!(s, "physical plan ({rules}):");
+        for line in self.physical.lines() {
+            let _ = writeln!(s, "  {line}");
+        }
+        let _ = writeln!(
+            s,
+            "predicted: spend={:.2} rounds={:.2} quality={:.4}",
+            self.predicted.spend, self.predicted.rounds, self.predicted.quality
+        );
+        let _ = writeln!(s, "per-operator (bottom-up):");
+        for n in &self.per_node {
+            let _ = writeln!(
+                s,
+                "  {:<44} rows={:>8.1} spend={:>9.2} rounds={:>9.2}",
+                n.node, n.rows_out, n.cost.spend, n.cost.rounds
+            );
+        }
+        s
+    }
+}
+
+#[derive(Debug, Default)]
+struct SessionState {
+    catalog: Catalog,
+    memory: SelectivityMemory,
+}
+
+/// A CrowdSQL session: catalog, optimizer memory, statement execution.
 #[derive(Debug, Default)]
 pub struct Session {
-    catalog: Catalog,
+    inner: RwLock<SessionState>,
+}
+
+/// Everything planning produced for one SELECT.
+struct Planned {
+    logical: Plan,
+    chosen: Plan,
+    rules: Vec<String>,
+    predicted: PlanCost,
+}
+
+fn plan_select(
+    state: &SessionState,
+    select: &Select,
+    opts: &QueryOpts,
+    optimized: bool,
+) -> Result<Planned> {
+    let bound = bind(select, &state.catalog, opts.votes.max(1))?;
+    let logical = bound.plan;
+    let est = Estimator::new(&state.catalog, &state.memory, &opts.prices, opts.accuracy);
+    let (chosen, rules) = if optimized {
+        let rw = optimize_plan(&logical, &est, &opts.weights, opts.batch);
+        (rw.plan, rw.rules.iter().map(|r| (*r).to_owned()).collect())
+    } else {
+        (logical.clone(), Vec::new())
+    };
+    let predicted = est.estimate(&chosen);
+    Ok(Planned {
+        logical,
+        chosen,
+        rules,
+        predicted,
+    })
+}
+
+fn expect_select(sql: &str) -> Result<Select> {
+    match parse_statement(sql)? {
+        Statement::Select(s) | Statement::Explain(s) => Ok(s),
+        _ => Err(CrowdError::Semantic("expected a SELECT".into())),
+    }
 }
 
 impl Session {
@@ -117,547 +305,170 @@ impl Session {
         Self::default()
     }
 
-    /// Read access to the catalog.
-    pub fn catalog(&self) -> &Catalog {
-        &self.catalog
+    /// Read access to the catalog (holds a read lock while borrowed).
+    pub fn catalog(&self) -> impl std::ops::Deref<Target = Catalog> + '_ {
+        struct Guard<'a>(RwLockReadGuard<'a, SessionState>);
+        impl std::ops::Deref for Guard<'_> {
+            type Target = Catalog;
+            fn deref(&self) -> &Catalog {
+                &self.0.catalog
+            }
+        }
+        Guard(self.inner.read())
     }
 
     /// Executes a CREATE TABLE or INSERT statement.
-    pub fn execute_ddl(&mut self, sql: &str) -> Result<()> {
-        match parse_statement(sql)? {
+    pub fn execute_ddl(&self, sql: &str) -> Result<()> {
+        let stmt = parse_statement(sql)?;
+        let mut state = self.inner.write();
+        match stmt {
             Statement::CreateTable {
                 name,
                 columns,
                 crowd,
-            } => self.catalog.create_table(&name, &columns, crowd),
-            Statement::Insert { table, rows } => self.catalog.insert(&table, rows),
+            } => state.catalog.create_table(&name, &columns, crowd),
+            Statement::Insert { table, rows } => state.catalog.insert(&table, rows),
             _ => Err(CrowdError::Semantic(
                 "expected CREATE TABLE or INSERT".into(),
             )),
         }
     }
 
-    /// Renders the plan of a SELECT (optimized or naive) without running
-    /// it.
-    pub fn explain(&self, sql: &str, optimized: bool) -> Result<String> {
-        let select = match parse_statement(sql)? {
-            Statement::Select(s) | Statement::Explain(s) => s,
-            _ => return Err(CrowdError::Semantic("expected a SELECT".into())),
-        };
-        let plan = if optimized {
-            optimize(&select, &self.catalog)?
-        } else {
-            plan_query(&select, &self.catalog)?
-        };
-        Ok(plan.to_string())
+    /// Plans a SELECT (optimized or naive) without running it, returning
+    /// the structured report. `report.to_string()` is the physical plan
+    /// tree; [`ExplainReport::detailed`] adds predicted cost columns.
+    pub fn explain(&self, sql: &str, optimized: bool) -> Result<ExplainReport> {
+        self.explain_with(sql, optimized, &QueryOpts::default())
+    }
+
+    /// [`Session::explain`] under explicit [`QueryOpts`] (vote count,
+    /// batching and prices change the predicted numbers).
+    pub fn explain_with(
+        &self,
+        sql: &str,
+        optimized: bool,
+        opts: &QueryOpts,
+    ) -> Result<ExplainReport> {
+        let select = expect_select(sql)?;
+        let state = self.inner.read();
+        let planned = plan_select(&state, &select, opts, optimized)?;
+        Ok(ExplainReport {
+            optimized,
+            logical: planned.logical.to_string(),
+            physical: planned.chosen.to_string(),
+            rewrites: planned.rules,
+            predicted: planned.predicted.total,
+            per_node: planned.predicted.nodes,
+        })
     }
 
     /// Runs a SELECT that must not require the crowd. Fails with
-    /// [`CrowdError::Unsupported`] if the plan contains a crowd operator.
-    pub fn query_machine(&mut self, sql: &str) -> Result<Vec<Vec<Value>>> {
+    /// [`CrowdError::Unsupported`] if the chosen plan contains a crowd
+    /// operator.
+    pub fn query_machine(&self, sql: &str) -> Result<Vec<Vec<Value>>> {
         let select = match parse_statement(sql)? {
             Statement::Select(s) => s,
             _ => return Err(CrowdError::Semantic("expected a SELECT".into())),
         };
-        let plan = optimize(&select, &self.catalog)?;
-        let (_, rows, _) = self.exec(&plan, None)?;
-        Ok(rows.into_iter().map(|r| r.values).collect())
+        struct NoTasks;
+        impl TaskFactory for NoTasks {
+            // The machine path never reaches a crowd operator (build
+            // fails first), so these are never called.
+            fn fill_task(&mut self, id: TaskId, _: &str, _: &[Value], column: &str) -> Task {
+                Task::new(
+                    id,
+                    crowdkit_core::task::TaskKind::Fill {
+                        attribute: column.to_owned(),
+                    },
+                    "unreachable",
+                )
+            }
+            fn equal_task(&mut self, id: TaskId, _: &Value, _: &Value) -> Task {
+                Task::binary(id, "unreachable")
+            }
+            fn compare_task(&mut self, id: TaskId, _: &Value, _: &Value) -> Task {
+                Task::binary(id, "unreachable")
+            }
+        }
+        let opts = QueryOpts::default();
+        let state = self.inner.read();
+        let planned = plan_select(&state, &select, &opts, true)?;
+        let mut factory = NoTasks;
+        let out = execute(&planned.chosen, &state.catalog, None, &mut factory)?;
+        Ok(out.rows.into_iter().map(|r| r.values).collect())
     }
 
     /// Runs a SELECT, buying crowd answers as the plan demands.
     ///
-    /// `optimized` selects between the optimized and the naive plan —
-    /// experiment E10 runs both and compares `QueryStats::questions`.
-    pub fn query_crowd<O, F>(
-        &mut self,
+    /// `opts.optimize` selects between the optimized and the naive plan —
+    /// experiment E10 runs both and compares actual spend against the
+    /// optimizer's prediction ([`QueryStats::predicted_spend`]).
+    pub fn query_crowd(
+        &self,
         sql: &str,
-        oracle: &O,
-        factory: &mut F,
-        votes: u32,
-        optimized: bool,
-    ) -> Result<(Vec<Vec<Value>>, QueryStats)>
-    where
-        O: CrowdOracle,
-        F: TaskFactory,
-    {
+        oracle: &dyn CrowdOracle,
+        factory: &mut dyn TaskFactory,
+        opts: &QueryOpts,
+    ) -> Result<(Vec<Vec<Value>>, QueryStats)> {
         let select = match parse_statement(sql)? {
             Statement::Select(s) => s,
             _ => return Err(CrowdError::Semantic("expected a SELECT".into())),
         };
-        let plan = if optimized {
-            optimize(&select, &self.catalog)?
-        } else {
-            plan_query(&select, &self.catalog)?
-        };
         let before = oracle.answers_delivered();
-        let ctx = CrowdCtx {
-            oracle,
-            factory,
-            votes: votes.max(1),
-            ids: IdGen::new(),
-            stats: QueryStats::default(),
-            equal_cache: HashMap::new(),
-            writebacks: Vec::new(),
+        let metered = RoundOracle::new(oracle);
+        let (out, predicted) = {
+            let state = self.inner.read();
+            let planned = plan_select(&state, &select, opts, opts.optimize)?;
+            let out = execute(&planned.chosen, &state.catalog, Some(&metered), factory)?;
+            (out, planned.predicted)
         };
-        let (_, rows, mut ctx) = self.exec(&plan, Some(ctx))?;
-        // Persist purchased cells so later queries reuse them.
-        let mut stats = QueryStats::default();
-        if let Some(c) = ctx.take() {
-            for (table, row, col, value) in c.writebacks {
-                self.catalog.write_cell(&table, row, col, value)?;
+        {
+            // Persist purchased cells so later queries reuse them, and
+            // feed observed pass-rates back into the cost model.
+            let mut state = self.inner.write();
+            for (table, row, col, value) in &out.writebacks {
+                state.catalog.write_cell(table, *row, *col, value.clone())?;
             }
-            stats = c.stats;
+            for (key, passed, total) in &out.observations {
+                state.memory.record(key, *passed, *total);
+            }
         }
-        stats.questions = oracle.answers_delivered() - before;
-        stats.rows_out = rows.len();
+        let stats = QueryStats {
+            questions: oracle.answers_delivered() - before,
+            cells_filled: out.cells_filled,
+            equal_checks: out.equal_checks,
+            comparisons: out.comparisons,
+            rows_out: out.rows.len(),
+            rounds: metered.rounds(),
+            spend: metered.spend(),
+            predicted_spend: predicted.total.spend,
+            predicted_rounds: predicted.total.rounds,
+        };
         if obs::enabled() {
+            for ns in &out.node_stats {
+                obs::record(
+                    Event::new("sql.node")
+                        .str("node", ns.node)
+                        .u64("rows_in", ns.rows_in)
+                        .u64("rows_out", ns.rows_out)
+                        .u64("questions", ns.questions),
+                );
+            }
             obs::record(
                 Event::new("sql.query")
-                    .u64("optimized", u64::from(optimized))
+                    .u64("optimized", u64::from(opts.optimize))
                     .u64("questions", stats.questions)
                     .u64("cells_filled", stats.cells_filled)
                     .u64("equal_checks", stats.equal_checks)
                     .u64("comparisons", stats.comparisons)
-                    .u64("rows_out", stats.rows_out as u64),
+                    .u64("rows_out", stats.rows_out as u64)
+                    .u64("rounds", stats.rounds)
+                    .f64("spend", stats.spend)
+                    .f64("predicted_spend", stats.predicted_spend)
+                    .f64("predicted_rounds", stats.predicted_rounds),
             );
         }
-        Ok((rows.into_iter().map(|r| r.values).collect(), stats))
-    }
-
-    /// Recursive plan execution. `ctx = None` means machine-only; hitting
-    /// a crowd operator then fails.
-    #[allow(clippy::type_complexity)]
-    fn exec<'a>(
-        &self,
-        plan: &PlanNode,
-        ctx: Option<CrowdCtx<'a>>,
-    ) -> Result<(Vec<ColBinding>, Vec<ExecRow>, Option<CrowdCtx<'a>>)> {
-        match plan {
-            PlanNode::Scan { table } => {
-                let def = self.catalog.table(table)?;
-                let schema: Vec<ColBinding> = def
-                    .columns
-                    .iter()
-                    .enumerate()
-                    .map(|(i, c)| ColBinding {
-                        table: table.clone(),
-                        column: c.name.clone(),
-                        base_index: i,
-                        ty: c.ty,
-                    })
-                    .collect();
-                let rows = self
-                    .catalog
-                    .rows(table)?
-                    .iter()
-                    .enumerate()
-                    .map(|(i, r)| ExecRow {
-                        values: r.clone(),
-                        prov: vec![(table.clone(), i)],
-                    })
-                    .collect();
-                Ok((schema, rows, ctx))
-            }
-            PlanNode::Join { left, right } => {
-                let (ls, lr, ctx) = self.exec(left, ctx)?;
-                let (rs, rr, ctx) = self.exec(right, ctx)?;
-                let mut schema = ls;
-                schema.extend(rs);
-                let mut rows = Vec::with_capacity(lr.len() * rr.len());
-                for a in &lr {
-                    for b in &rr {
-                        let mut values = a.values.clone();
-                        values.extend(b.values.iter().cloned());
-                        let mut prov = a.prov.clone();
-                        prov.extend(b.prov.iter().cloned());
-                        rows.push(ExecRow { values, prov });
-                    }
-                }
-                Ok((schema, rows, ctx))
-            }
-            PlanNode::HashJoin {
-                left,
-                right,
-                left_col,
-                right_col,
-            } => {
-                let (ls, lr, ctx) = self.exec(left, ctx)?;
-                let (rs, rr, ctx) = self.exec(right, ctx)?;
-                let li = resolve_in_schema(left_col, &ls)?;
-                let ri = resolve_in_schema(right_col, &rs)?;
-                // Build side: the right input, keyed by join value.
-                // Hash order is safe here: the build table is only probed
-                // by key, and output row order follows the probe side.
-                let mut table: HashMap<&Value, Vec<&ExecRow>> = HashMap::new();
-                for b in &rr {
-                    if !b.values[ri].is_null() {
-                        table.entry(&b.values[ri]).or_default().push(b);
-                    }
-                }
-                let mut schema = ls;
-                schema.extend(rs.iter().cloned());
-                let mut rows = Vec::new();
-                for a in &lr {
-                    if a.values[li].is_null() {
-                        continue; // NULL keys never match
-                    }
-                    if let Some(matches) = table.get(&a.values[li]) {
-                        for b in matches {
-                            let mut values = a.values.clone();
-                            values.extend(b.values.iter().cloned());
-                            let mut prov = a.prov.clone();
-                            prov.extend(b.prov.iter().cloned());
-                            rows.push(ExecRow { values, prov });
-                        }
-                    }
-                }
-                Ok((schema, rows, ctx))
-            }
-            PlanNode::MachineFilter { input, predicates } => {
-                let (schema, rows, ctx) = self.exec(input, ctx)?;
-                let mut kept = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let mut pass = true;
-                    for p in predicates {
-                        if !eval_machine_predicate(p, &schema, &row)? {
-                            pass = false;
-                            break;
-                        }
-                    }
-                    if pass {
-                        kept.push(row);
-                    }
-                }
-                Ok((schema, kept, ctx))
-            }
-            PlanNode::CrowdFill { input, columns } => {
-                let (schema, mut rows, ctx) = self.exec(input, ctx)?;
-                let mut c = ctx.ok_or(CrowdError::Unsupported(
-                    "plan requires the crowd (CrowdFill) but no oracle was provided",
-                ))?;
-                let q_before = obs::enabled().then(|| c.oracle.answers_delivered());
-                for (table, column) in columns {
-                    let Some(idx) = schema.iter().position(|b| {
-                        &b.table == table && &b.column == column
-                    }) else {
-                        continue;
-                    };
-                    let ty = schema[idx].ty;
-                    let base_index = schema[idx].base_index;
-                    for row in &mut rows {
-                        if !row.values[idx].is_null() {
-                            continue;
-                        }
-                        let Some(&(_, base_row)) = row
-                            .prov
-                            .iter()
-                            .find(|(t, _)| t == table)
-                        else {
-                            continue;
-                        };
-                        let value =
-                            fill_cell(&mut c, table, &row.values, column, ty)?;
-                        if let Some(v) = value {
-                            row.values[idx] = v.clone();
-                            c.writebacks.push((table.clone(), base_row, base_index, v));
-                            c.stats.cells_filled += 1;
-                        }
-                    }
-                }
-                obs_node(&c, "CrowdFill", rows.len(), rows.len(), q_before);
-                Ok((schema, rows, Some(c)))
-            }
-            PlanNode::CrowdFilter { input, predicates } => {
-                let (schema, rows, ctx) = self.exec(input, ctx)?;
-                let mut c = ctx.ok_or(CrowdError::Unsupported(
-                    "plan requires the crowd (CrowdFilter) but no oracle was provided",
-                ))?;
-                let q_before = obs::enabled().then(|| c.oracle.answers_delivered());
-                let rows_in = rows.len();
-                let mut kept = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let mut pass = true;
-                    for p in predicates {
-                        let Predicate::CrowdEqual { left, right } = p else {
-                            return Err(CrowdError::Execution(
-                                "machine predicate in CrowdFilter".into(),
-                            ));
-                        };
-                        let lv = eval_expr(left, &schema, &row)?;
-                        let rv = eval_expr(right, &schema, &row)?;
-                        if lv.is_null() || rv.is_null() {
-                            pass = false;
-                            break;
-                        }
-                        if !crowd_equal(&mut c, &lv, &rv)? {
-                            pass = false;
-                            break;
-                        }
-                    }
-                    if pass {
-                        kept.push(row);
-                    }
-                }
-                obs_node(&c, "CrowdFilter", rows_in, kept.len(), q_before);
-                Ok((schema, kept, Some(c)))
-            }
-            PlanNode::MachineSort { input, column, asc } => {
-                let (schema, mut rows, ctx) = self.exec(input, ctx)?;
-                let idx = resolve_in_schema(column, &schema)?;
-                rows.sort_by(|a, b| {
-                    let ord = a.values[idx]
-                        .compare(&b.values[idx])
-                        .unwrap_or(std::cmp::Ordering::Greater); // NULLs last
-                    if *asc {
-                        ord
-                    } else {
-                        ord.reverse()
-                    }
-                });
-                Ok((schema, rows, ctx))
-            }
-            PlanNode::CrowdSort {
-                input,
-                column,
-                top_k,
-            } => {
-                let (schema, rows, ctx) = self.exec(input, ctx)?;
-                if rows.len() <= 1 {
-                    return Ok((schema, rows, ctx));
-                }
-                let mut c = ctx.ok_or(CrowdError::Unsupported(
-                    "plan requires the crowd (CrowdSort) but no oracle was provided",
-                ))?;
-                let q_before = obs::enabled().then(|| c.oracle.answers_delivered());
-                let idx = resolve_in_schema(column, &schema)?;
-                let values: Vec<Value> =
-                    rows.iter().map(|r| r.values[idx].clone()).collect();
-                let order = crowd_sort_order(&mut c, &values, *top_k)?;
-                let mut out = Vec::with_capacity(order.len());
-                for i in order {
-                    out.push(rows[i].clone());
-                }
-                obs_node(&c, "CrowdSort", rows.len(), out.len(), q_before);
-                Ok((schema, out, Some(c)))
-            }
-            PlanNode::Limit { input, n } => {
-                let (schema, mut rows, ctx) = self.exec(input, ctx)?;
-                rows.truncate(*n);
-                Ok((schema, rows, ctx))
-            }
-            PlanNode::CountStar { input } => {
-                let (_, rows, ctx) = self.exec(input, ctx)?;
-                let schema = vec![ColBinding {
-                    table: String::new(),
-                    column: "count".to_owned(),
-                    base_index: 0,
-                    ty: ColumnType::Int,
-                }];
-                let out = vec![ExecRow {
-                    values: vec![Value::Int(rows.len() as i64)],
-                    prov: Vec::new(),
-                }];
-                Ok((schema, out, ctx))
-            }
-            PlanNode::Project { input, columns } => {
-                let (schema, rows, ctx) = self.exec(input, ctx)?;
-                if columns.is_empty() {
-                    return Ok((schema, rows, ctx));
-                }
-                let indices: Vec<usize> = columns
-                    .iter()
-                    .map(|c| resolve_in_schema(c, &schema))
-                    .collect::<Result<_>>()?;
-                let out_schema: Vec<ColBinding> =
-                    indices.iter().map(|&i| schema[i].clone()).collect();
-                let out_rows = rows
-                    .into_iter()
-                    .map(|r| ExecRow {
-                        values: indices.iter().map(|&i| r.values[i].clone()).collect(),
-                        prov: r.prov,
-                    })
-                    .collect();
-                Ok((out_schema, out_rows, ctx))
-            }
-        }
-    }
-}
-
-/// Resolves a column reference within an executor schema.
-fn resolve_in_schema(c: &ColumnRef, schema: &[ColBinding]) -> Result<usize> {
-    let matches: Vec<usize> = schema
-        .iter()
-        .enumerate()
-        .filter(|(_, b)| {
-            b.column == c.column && c.table.as_ref().map(|t| t == &b.table).unwrap_or(true)
-        })
-        .map(|(i, _)| i)
-        .collect();
-    match matches.as_slice() {
-        [] => Err(CrowdError::Semantic(format!("unknown column '{c}'"))),
-        [one] => Ok(*one),
-        _ => Err(CrowdError::Semantic(format!("ambiguous column '{c}'"))),
-    }
-}
-
-fn eval_expr(e: &Expr, schema: &[ColBinding], row: &ExecRow) -> Result<Value> {
-    match e {
-        Expr::Literal(v) => Ok(v.clone()),
-        Expr::Column(c) => Ok(row.values[resolve_in_schema(c, schema)?].clone()),
-    }
-}
-
-/// SQL WHERE semantics: NULL comparisons drop the row.
-fn eval_machine_predicate(p: &Predicate, schema: &[ColBinding], row: &ExecRow) -> Result<bool> {
-    let Predicate::Compare { left, op, right } = p else {
-        return Err(CrowdError::Execution(
-            "crowd predicate in MachineFilter".into(),
-        ));
-    };
-    let lv = eval_expr(left, schema, row)?;
-    let rv = eval_expr(right, schema, row)?;
-    Ok(match op {
-        CompareOp::Eq => lv.sql_eq(&rv).unwrap_or(false),
-        CompareOp::Ne => lv.sql_eq(&rv).map(|b| !b).unwrap_or(false),
-        CompareOp::Lt | CompareOp::Le | CompareOp::Gt | CompareOp::Ge => {
-            match lv.compare(&rv) {
-                None => false,
-                Some(ord) => match op {
-                    CompareOp::Lt => ord.is_lt(),
-                    CompareOp::Le => ord.is_le(),
-                    CompareOp::Gt => ord.is_gt(),
-                    CompareOp::Ge => ord.is_ge(),
-                    _ => unreachable!(),
-                },
-            }
-        }
-    })
-}
-
-/// Buys and reconciles one fill. Returns `None` on tie/no-answer (the cell
-/// stays NULL).
-fn fill_cell(
-    c: &mut CrowdCtx<'_>,
-    table: &str,
-    row_values: &[Value],
-    column: &str,
-    ty: ColumnType,
-) -> Result<Option<Value>> {
-    let task = c.factory.fill_task(c.ids.next_task(), table, row_values, column);
-    // Key-ordered maps: the plurality fold below iterates them, and
-    // iteration order must never depend on hashing (determinism contract).
-    let mut counts: BTreeMap<String, u32> = BTreeMap::new();
-    let mut surface: BTreeMap<String, String> = BTreeMap::new();
-    let out = c
-        .oracle
-        .ask(&AskRequest::new(&task).with_redundancy(c.votes as usize))?;
-    if let Some(e) = &out.shortfall {
-        if !e.is_resource_exhaustion() {
-            return Err(e.clone());
-        }
-    }
-    for a in &out.answers {
-        if let Some(text) = a.value.as_text() {
-            let norm = text.trim().to_lowercase();
-            if norm.is_empty() {
-                continue;
-            }
-            surface
-                .entry(norm.clone())
-                .or_insert_with(|| text.trim().to_owned());
-            *counts.entry(norm).or_insert(0) += 1;
-        }
-    }
-    let mut tallies: Vec<(String, u32)> = counts.into_iter().collect();
-    tallies.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
-    let winner = match tallies.as_slice() {
-        [] => return Ok(None),
-        [(_, c1), (_, c2), ..] if c1 == c2 => return Ok(None),
-        [(top, _), ..] => surface[top].clone(),
-    };
-    Ok(Some(match ty {
-        ColumnType::Int => match winner.parse::<i64>() {
-            Ok(i) => Value::Int(i),
-            Err(_) => return Ok(None),
-        },
-        ColumnType::Text => Value::Text(winner),
-    }))
-}
-
-/// Buys (or reuses) one CROWDEQUAL verdict.
-fn crowd_equal(c: &mut CrowdCtx<'_>, left: &Value, right: &Value) -> Result<bool> {
-    let mut key = (left.display_raw(), right.display_raw());
-    if key.0 > key.1 {
-        std::mem::swap(&mut key.0, &mut key.1);
-    }
-    if let Some(&v) = c.equal_cache.get(&key) {
-        return Ok(v);
-    }
-    let task = c.factory.equal_task(c.ids.next_task(), left, right);
-    let mut yes = 0u32;
-    let mut no = 0u32;
-    let out = c
-        .oracle
-        .ask(&AskRequest::new(&task).with_redundancy(c.votes as usize))?;
-    if let Some(e) = &out.shortfall {
-        if !e.is_resource_exhaustion() {
-            return Err(e.clone());
-        }
-    }
-    for a in &out.answers {
-        match a.value.as_choice() {
-            Some(1) => yes += 1,
-            _ => no += 1,
-        }
-    }
-    let verdict = yes > no;
-    c.equal_cache.insert(key, verdict);
-    c.stats.equal_checks += 1;
-    Ok(verdict)
-}
-
-/// Produces the best-first row ordering for a crowd sort.
-fn crowd_sort_order(
-    c: &mut CrowdCtx<'_>,
-    values: &[Value],
-    top_k: Option<usize>,
-) -> Result<Vec<usize>> {
-    let n = values.len();
-    let votes = c.votes;
-    match top_k {
-        Some(k) if k < n => {
-            let k = k.max(1);
-            let CrowdCtx {
-                oracle,
-                factory,
-                stats,
-                ..
-            } = c;
-            let out = crowd_top_k(*oracle, n, k, votes, |id, a, b| {
-                factory.compare_task(id, &values[a], &values[b])
-            })?;
-            stats.comparisons += out.matches as u64;
-            Ok(out.winners)
-        }
-        _ => {
-            // Full pairwise comparison graph ranked by Copeland score.
-            let pairs: Vec<(usize, usize)> = (0..n)
-                .flat_map(|a| ((a + 1)..n).map(move |b| (a, b)))
-                .collect();
-            let CrowdCtx {
-                oracle,
-                factory,
-                ids: _,
-                stats,
-                ..
-            } = c;
-            let graph: ComparisonGraph =
-                collect_comparisons(*oracle, n, &pairs, votes, |id, a, b| {
-                    factory.compare_task(id, &values[a], &values[b])
-                })?;
-            stats.comparisons += pairs.len() as u64;
-            Ok(order_by_scores(&copeland(&graph)))
-        }
+        Ok((out.rows.into_iter().map(|r| r.values).collect(), stats))
     }
 }
 
@@ -745,7 +556,11 @@ where
         let same = (self.equal_truth)(left, right);
         Task::binary(
             id,
-            format!("is '{}' the same as '{}'?", left.display_raw(), right.display_raw()),
+            format!(
+                "is '{}' the same as '{}'?",
+                left.display_raw(),
+                right.display_raw()
+            ),
         )
         .with_truth(AnswerValue::Choice(same as u32))
     }
@@ -754,12 +569,13 @@ where
         use crowdkit_core::answer::AnswerValue;
         use crowdkit_core::ids::ItemId;
         let left_wins = (self.left_wins_truth)(left, right);
-        Task::pairwise(id, ItemId::new(0), ItemId::new(1))
-            .with_truth(AnswerValue::Prefer(if left_wins {
+        Task::pairwise(id, ItemId::new(0), ItemId::new(1)).with_truth(AnswerValue::Prefer(
+            if left_wins {
                 Preference::Left
             } else {
                 Preference::Right
-            }))
+            },
+        ))
     }
 }
 
@@ -821,7 +637,7 @@ mod tests {
     }
 
     fn session_with_products(n: i64) -> Session {
-        let mut s = Session::new();
+        let s = Session::new();
         s.execute_ddl("CREATE TABLE products (id INT, name TEXT, category CROWD TEXT)")
             .unwrap();
         for i in 0..n {
@@ -835,7 +651,7 @@ mod tests {
 
     #[test]
     fn machine_query_end_to_end() {
-        let mut s = session_with_products(5);
+        let s = session_with_products(5);
         let rows = s
             .query_machine("SELECT name FROM products WHERE id >= 3 ORDER BY id DESC")
             .unwrap();
@@ -847,7 +663,7 @@ mod tests {
 
     #[test]
     fn machine_query_rejects_crowd_plans() {
-        let mut s = session_with_products(2);
+        let s = session_with_products(2);
         let err = s
             .query_machine("SELECT * FROM products WHERE category = 'phone'")
             .unwrap_err();
@@ -856,7 +672,7 @@ mod tests {
 
     #[test]
     fn crowd_fill_answers_and_writes_back() {
-        let mut s = session_with_products(4);
+        let s = session_with_products(4);
         let oracle = TruthfulOracle::new(1e9);
         let mut f = factory();
         let (rows, stats) = s
@@ -864,8 +680,7 @@ mod tests {
                 "SELECT name FROM products WHERE category = 'phone'",
                 &oracle,
                 &mut f,
-                3,
-                true,
+                &QueryOpts::new().votes(3),
             )
             .unwrap();
         // Even ids are phones: 0, 2.
@@ -875,14 +690,14 @@ mod tests {
         );
         assert_eq!(stats.cells_filled, 4);
         assert_eq!(stats.questions, 12, "4 cells × 3 votes");
+        assert_eq!(stats.rounds, 4, "one round-trip per cell without batching");
         // Write-back: rerunning the query costs nothing.
         let (_, stats2) = s
             .query_crowd(
                 "SELECT name FROM products WHERE category = 'phone'",
                 &oracle,
                 &mut f,
-                3,
-                true,
+                &QueryOpts::new().votes(3),
             )
             .unwrap();
         assert_eq!(stats2.questions, 0, "cells persisted in the catalog");
@@ -891,8 +706,8 @@ mod tests {
     #[test]
     fn optimized_plan_cheaper_than_naive() {
         // Machine predicate keeps 2 of 8 rows; naive fills all 8.
-        let run = |optimized: bool| -> QueryStats {
-            let mut s = session_with_products(8);
+        let run = |opts: QueryOpts| -> QueryStats {
+            let s = session_with_products(8);
             let oracle = TruthfulOracle::new(1e9);
             let mut f = factory();
             let (_, stats) = s
@@ -900,22 +715,25 @@ mod tests {
                     "SELECT category FROM products WHERE id >= 6",
                     &oracle,
                     &mut f,
-                    3,
-                    optimized,
+                    &opts,
                 )
                 .unwrap();
             stats
         };
-        let opt = run(true);
-        let naive = run(false);
+        let opt = run(QueryOpts::new().votes(3));
+        let naive = run(QueryOpts::naive().votes(3));
         assert_eq!(opt.cells_filled, 2);
         assert_eq!(naive.cells_filled, 8);
         assert!(opt.questions < naive.questions);
+        assert!(
+            opt.predicted_spend <= naive.predicted_spend,
+            "the optimizer never predicts the rewritten plan to cost more"
+        );
     }
 
     #[test]
     fn crowdequal_join_finds_semantic_matches() {
-        let mut s = Session::new();
+        let s = Session::new();
         s.execute_ddl("CREATE TABLE a (name TEXT)").unwrap();
         s.execute_ddl("CREATE TABLE b (alias TEXT)").unwrap();
         s.execute_ddl("INSERT INTO a VALUES ('IPhone'), ('Galaxy')")
@@ -929,17 +747,28 @@ mod tests {
                 "SELECT a.name, b.alias FROM a, b WHERE CROWDEQUAL(a.name, b.alias)",
                 &oracle,
                 &mut f,
-                3,
+                &QueryOpts::new().votes(3),
+            )
+            .unwrap();
+        assert_eq!(
+            rows,
+            vec![vec![Value::text("IPhone"), Value::text("iphone")]]
+        );
+        assert_eq!(stats.equal_checks, 4, "2×2 candidate pairs");
+        // The optimizer forms a CrowdJoin operator for the cross-table
+        // CROWDEQUAL.
+        let plan = s
+            .explain(
+                "SELECT a.name, b.alias FROM a, b WHERE CROWDEQUAL(a.name, b.alias)",
                 true,
             )
             .unwrap();
-        assert_eq!(rows, vec![vec![Value::text("IPhone"), Value::text("iphone")]]);
-        assert_eq!(stats.equal_checks, 4, "2×2 candidate pairs");
+        assert!(plan.to_string().contains("CrowdJoin"), "{plan}");
     }
 
     #[test]
     fn crowd_sort_full_and_topk() {
-        let mut s = Session::new();
+        let s = Session::new();
         s.execute_ddl("CREATE TABLE t (name TEXT)").unwrap();
         s.execute_ddl("INSERT INTO t VALUES ('a'), ('d'), ('b'), ('c')")
             .unwrap();
@@ -951,8 +780,7 @@ mod tests {
                 "SELECT name FROM t ORDER BY CROWDORDER(name)",
                 &oracle,
                 &mut f,
-                1,
-                true,
+                &QueryOpts::new().votes(1),
             )
             .unwrap();
         let names: Vec<String> = rows.iter().map(|r| r[0].display_raw()).collect();
@@ -966,8 +794,7 @@ mod tests {
                 "SELECT name FROM t ORDER BY CROWDORDER(name) LIMIT 1",
                 &oracle2,
                 &mut f,
-                1,
-                true,
+                &QueryOpts::new().votes(1),
             )
             .unwrap();
         assert_eq!(rows, vec![vec![Value::text("d")]]);
@@ -976,7 +803,7 @@ mod tests {
 
     #[test]
     fn budget_exhaustion_surfaces_partial_results() {
-        let mut s = session_with_products(4);
+        let s = session_with_products(4);
         let oracle = TruthfulOracle::new(5.0);
         let mut f = factory();
         let (_, stats) = s
@@ -984,8 +811,7 @@ mod tests {
                 "SELECT category FROM products",
                 &oracle,
                 &mut f,
-                3,
-                true,
+                &QueryOpts::new().votes(3),
             )
             .unwrap();
         assert_eq!(stats.questions, 5, "spent exactly the budget");
@@ -1003,20 +829,30 @@ mod tests {
         let naive = s
             .explain("SELECT name FROM products WHERE id > 0", false)
             .unwrap();
-        assert!(!opt.contains("CrowdFill"));
-        assert!(naive.contains("CrowdFill"));
+        assert!(!opt.to_string().contains("CrowdFill"));
+        assert!(naive.to_string().contains("CrowdFill"));
+        assert!(naive.rewrites.is_empty());
+        assert!(opt.rewrites.iter().any(|r| r == "lazy-fill"), "{opt:?}");
+        // The naive plan predicts a strictly positive spend (it fills),
+        // the optimized plan predicts zero.
+        assert!(naive.predicted.spend > 0.0);
+        assert!(opt.predicted.spend == 0.0);
+        // The detailed rendering carries both plans and the cost table.
+        let detail = opt.detailed();
+        assert!(detail.contains("logical plan:"), "{detail}");
+        assert!(detail.contains("predicted:"), "{detail}");
     }
 
     #[test]
     fn ddl_errors_are_reported() {
-        let mut s = Session::new();
+        let s = Session::new();
         assert!(s.execute_ddl("SELECT 1 FROM t").is_err());
         assert!(s.execute_ddl("INSERT INTO missing VALUES (1)").is_err());
     }
 
     #[test]
     fn fill_parses_ints_for_int_columns() {
-        let mut s = Session::new();
+        let s = Session::new();
         s.execute_ddl("CREATE TABLE t (name TEXT, stars CROWD INT)")
             .unwrap();
         s.execute_ddl("INSERT INTO t VALUES ('x', NULL)").unwrap();
@@ -1027,9 +863,53 @@ mod tests {
             left_wins_truth: |_: &Value, _: &Value| false,
         };
         let (rows, _) = s
-            .query_crowd("SELECT stars FROM t", &oracle, &mut f, 3, true)
+            .query_crowd("SELECT stars FROM t", &oracle, &mut f, &QueryOpts::new())
             .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(4)]]);
+    }
+
+    #[test]
+    fn batching_reduces_round_trips_not_results() {
+        let run = |batch: usize| {
+            let s = session_with_products(6);
+            let oracle = TruthfulOracle::new(1e9);
+            let mut f = factory();
+            s.query_crowd(
+                "SELECT name FROM products WHERE category = 'phone'",
+                &oracle,
+                &mut f,
+                &QueryOpts::new().votes(3).batch(batch),
+            )
+            .unwrap()
+        };
+        let (rows_seq, stats_seq) = run(0);
+        let (rows_batched, stats_batched) = run(3);
+        assert_eq!(rows_seq, rows_batched, "batching never changes results");
+        assert_eq!(stats_seq.questions, stats_batched.questions);
+        assert_eq!(stats_seq.rounds, 6, "one round per cell");
+        assert_eq!(stats_batched.rounds, 2, "6 cells / batch of 3");
+    }
+
+    #[test]
+    fn selectivity_memory_improves_estimates_across_runs() {
+        let s = session_with_products(8);
+        let oracle = TruthfulOracle::new(1e9);
+        let mut f = factory();
+        // First run: the estimator only has default selectivities.
+        let sql = "SELECT category FROM products WHERE id >= 6";
+        let (_, first) = s
+            .query_crowd(sql, &oracle, &mut f, &QueryOpts::new().votes(3))
+            .unwrap();
+        // Second run: the observed pass-rate (2/8) feeds the prediction.
+        // Cells are already written back, so actual spend is zero, but
+        // the *prediction* must now reflect the learned selectivity.
+        let report = s.explain(sql, true).unwrap();
+        assert!(
+            (report.predicted.spend - first.predicted_spend).abs() > 1e-9,
+            "selectivity feedback changes the prediction: {} vs {}",
+            report.predicted.spend,
+            first.predicted_spend
+        );
     }
 }
 
@@ -1060,18 +940,22 @@ mod count_tests {
     }
 
     fn session() -> Session {
-        let mut s = Session::new();
-        s.execute_ddl("CREATE TABLE t (id INT, tag CROWD TEXT)").unwrap();
+        let s = Session::new();
+        s.execute_ddl("CREATE TABLE t (id INT, tag CROWD TEXT)")
+            .unwrap();
         for i in 0..10 {
-            s.execute_ddl(&format!("INSERT INTO t VALUES ({i}, NULL)")).unwrap();
+            s.execute_ddl(&format!("INSERT INTO t VALUES ({i}, NULL)"))
+                .unwrap();
         }
         s
     }
 
     #[test]
     fn count_star_machine_only() {
-        let mut s = session();
-        let rows = s.query_machine("SELECT COUNT(*) FROM t WHERE id >= 4").unwrap();
+        let s = session();
+        let rows = s
+            .query_machine("SELECT COUNT(*) FROM t WHERE id >= 4")
+            .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(6)]]);
         let all = s.query_machine("SELECT COUNT(*) FROM t").unwrap();
         assert_eq!(all, vec![vec![Value::Int(10)]]);
@@ -1080,15 +964,20 @@ mod count_tests {
     #[test]
     fn count_star_does_not_fill_crowd_columns_it_does_not_read() {
         let s = session();
-        let plan = s.explain("SELECT COUNT(*) FROM t WHERE id > 2", true).unwrap();
+        let plan = s
+            .explain("SELECT COUNT(*) FROM t WHERE id > 2", true)
+            .unwrap()
+            .to_string();
         assert!(!plan.contains("CrowdFill"), "{plan}");
         assert!(plan.contains("CountStar"), "{plan}");
     }
 
     #[test]
     fn count_star_over_crowd_predicate() {
-        let mut s = session();
-        let oracle = TruthfulOracle { n: std::cell::Cell::new(0) };
+        let s = session();
+        let oracle = TruthfulOracle {
+            n: std::cell::Cell::new(0),
+        };
         let mut f = SimTaskFactory {
             fill_truth: |_: &str, row: &[Value], _: &str| match row[0] {
                 Value::Int(i) if i < 3 => "keep".to_owned(),
@@ -1102,8 +991,7 @@ mod count_tests {
                 "SELECT COUNT(*) FROM t WHERE tag = 'keep'",
                 &oracle,
                 &mut f,
-                3,
-                true,
+                &QueryOpts::new().votes(3),
             )
             .unwrap();
         assert_eq!(rows, vec![vec![Value::Int(3)]]);
@@ -1121,17 +1009,15 @@ mod count_tests {
 #[cfg(test)]
 mod hash_join_tests {
     use super::*;
-    
-    
 
     fn session() -> Session {
-        let mut s = Session::new();
-        s.execute_ddl("CREATE TABLE orders (oid INT, cust TEXT)").unwrap();
-        s.execute_ddl("CREATE TABLE custs (cname TEXT, city TEXT)").unwrap();
-        s.execute_ddl(
-            "INSERT INTO orders VALUES (1, 'ada'), (2, 'bob'), (3, 'ada'), (4, NULL)",
-        )
-        .unwrap();
+        let s = Session::new();
+        s.execute_ddl("CREATE TABLE orders (oid INT, cust TEXT)")
+            .unwrap();
+        s.execute_ddl("CREATE TABLE custs (cname TEXT, city TEXT)")
+            .unwrap();
+        s.execute_ddl("INSERT INTO orders VALUES (1, 'ada'), (2, 'bob'), (3, 'ada'), (4, NULL)")
+            .unwrap();
         s.execute_ddl(
             "INSERT INTO custs VALUES ('ada', 'paris'), ('bob', 'berlin'), ('cyd', 'rome')",
         )
@@ -1143,19 +1029,19 @@ mod hash_join_tests {
     fn optimizer_promotes_equality_to_hash_join() {
         let s = session();
         let sql = "SELECT oid, city FROM orders, custs WHERE cust = cname AND oid >= 2";
-        let opt = s.explain(sql, true).unwrap();
+        let opt = s.explain(sql, true).unwrap().to_string();
         assert!(opt.contains("HashJoin [cust = cname]"), "{opt}");
         assert!(!opt.contains("Join (cross)"), "{opt}");
-        // The remaining machine predicate still filters above the join.
+        // The remaining machine predicate still filters the plan.
         assert!(opt.contains("MachineFilter [oid >= 2]"), "{opt}");
         // The naive plan keeps the cross product.
-        let naive = s.explain(sql, false).unwrap();
+        let naive = s.explain(sql, false).unwrap().to_string();
         assert!(naive.contains("Join (cross)"), "{naive}");
     }
 
     #[test]
     fn hash_join_matches_cross_product_semantics() {
-        let mut s = session();
+        let s = session();
         let sql = "SELECT oid, city FROM orders, custs WHERE cust = cname ORDER BY oid ASC";
         let rows = s.query_machine(sql).unwrap();
         assert_eq!(
@@ -1171,8 +1057,8 @@ mod hash_join_tests {
 
     #[test]
     fn hash_join_runs_without_any_crowd_context() {
-        let mut s = session();
-        // query_machine uses ctx = None; a crowd op would error out.
+        let s = session();
+        // query_machine runs without an oracle; a crowd op would error.
         let rows = s
             .query_machine("SELECT COUNT(*) FROM orders, custs WHERE cust = cname")
             .unwrap();
@@ -1181,7 +1067,7 @@ mod hash_join_tests {
 
     #[test]
     fn qualified_equi_join_columns_resolve() {
-        let mut s = session();
+        let s = session();
         let rows = s
             .query_machine(
                 "SELECT orders.oid FROM orders, custs \
@@ -1195,11 +1081,9 @@ mod hash_join_tests {
     fn same_table_equality_is_not_a_join() {
         let s = session();
         let plan = s
-            .explain(
-                "SELECT oid FROM orders, custs WHERE cust = cust",
-                true,
-            )
-            .unwrap();
+            .explain("SELECT oid FROM orders, custs WHERE cust = cust", true)
+            .unwrap()
+            .to_string();
         assert!(!plan.contains("HashJoin"), "{plan}");
     }
 }

@@ -4,6 +4,11 @@
 //! integers, identifiers (optionally qualified as `table.column` — the dot
 //! is its own token), and the operator set of the CrowdSQL dialect.
 //! `--` begins a line comment.
+//!
+//! Every token carries its 1-based source position ([`SpannedToken`]) so
+//! the parser and binder can produce diagnostics that point at the
+//! offending text. [`lex`] strips the spans for callers that only need
+//! the token stream.
 
 use crowdkit_core::error::{CrowdError, Result};
 
@@ -43,6 +48,17 @@ pub enum Token {
     Ge,
     /// `;`
     Semi,
+}
+
+/// A token together with the 1-based line/column where it starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpannedToken {
+    /// The token itself.
+    pub tok: Token,
+    /// 1-based line of the token's first character.
+    pub line: usize,
+    /// 1-based column of the token's first character.
+    pub col: usize,
 }
 
 /// Recognized keywords.
@@ -103,13 +119,13 @@ impl Keyword {
     }
 }
 
-/// Tokenizes SQL text.
-pub fn lex(src: &str) -> Result<Vec<Token>> {
+/// Tokenizes SQL text, keeping each token's source position.
+pub fn lex_spanned(src: &str) -> Result<Vec<SpannedToken>> {
     let bytes = src.as_bytes();
     let mut pos = 0usize;
     let mut line = 1usize;
     let mut col = 1usize;
-    let mut out = Vec::new();
+    let mut out: Vec<SpannedToken> = Vec::new();
 
     macro_rules! bump {
         () => {{
@@ -127,6 +143,18 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
 
     while pos < bytes.len() {
         let c = bytes[pos];
+        // Position of the token that starts here (whitespace/comment arms
+        // never push, so recording unconditionally is harmless).
+        let (tline, tcol) = (line, col);
+        macro_rules! push {
+            ($tok:expr) => {
+                out.push(SpannedToken {
+                    tok: $tok,
+                    line: tline,
+                    col: tcol,
+                })
+            };
+        }
         match c {
             c if c.is_ascii_whitespace() => {
                 bump!();
@@ -138,37 +166,37 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
             }
             b'(' => {
                 bump!();
-                out.push(Token::LParen);
+                push!(Token::LParen);
             }
             b')' => {
                 bump!();
-                out.push(Token::RParen);
+                push!(Token::RParen);
             }
             b',' => {
                 bump!();
-                out.push(Token::Comma);
+                push!(Token::Comma);
             }
             b'.' => {
                 bump!();
-                out.push(Token::Dot);
+                push!(Token::Dot);
             }
             b'*' => {
                 bump!();
-                out.push(Token::Star);
+                push!(Token::Star);
             }
             b';' => {
                 bump!();
-                out.push(Token::Semi);
+                push!(Token::Semi);
             }
             b'=' => {
                 bump!();
-                out.push(Token::Eq);
+                push!(Token::Eq);
             }
             b'!' => {
                 bump!();
                 if pos < bytes.len() && bytes[pos] == b'=' {
                     bump!();
-                    out.push(Token::Ne);
+                    push!(Token::Ne);
                 } else {
                     return Err(CrowdError::parse(line, col, "expected '!='"));
                 }
@@ -178,22 +206,22 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 match bytes.get(pos) {
                     Some(b'=') => {
                         bump!();
-                        out.push(Token::Le);
+                        push!(Token::Le);
                     }
                     Some(b'>') => {
                         bump!();
-                        out.push(Token::Ne);
+                        push!(Token::Ne);
                     }
-                    _ => out.push(Token::Lt),
+                    _ => push!(Token::Lt),
                 }
             }
             b'>' => {
                 bump!();
                 if bytes.get(pos) == Some(&b'=') {
                     bump!();
-                    out.push(Token::Ge);
+                    push!(Token::Ge);
                 } else {
-                    out.push(Token::Gt);
+                    push!(Token::Gt);
                 }
             }
             b'\'' => {
@@ -215,7 +243,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                         s.push(ch as char);
                     }
                 }
-                out.push(Token::Str(s));
+                push!(Token::Str(s));
             }
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
@@ -225,7 +253,7 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                 let v: i64 = s
                     .parse()
                     .map_err(|_| CrowdError::parse(line, col, format!("integer overflow: {s}")))?;
-                out.push(Token::Int(v));
+                push!(Token::Int(v));
             }
             c if c.is_ascii_alphabetic() || c == b'_' => {
                 let mut s = String::new();
@@ -235,8 +263,8 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
                     s.push(bump!() as char);
                 }
                 match Keyword::from_str(&s) {
-                    Some(kw) => out.push(Token::Keyword(kw)),
-                    None => out.push(Token::Ident(s)),
+                    Some(kw) => push!(Token::Keyword(kw)),
+                    None => push!(Token::Ident(s)),
                 }
             }
             other => {
@@ -249,6 +277,11 @@ pub fn lex(src: &str) -> Result<Vec<Token>> {
         }
     }
     Ok(out)
+}
+
+/// Tokenizes SQL text, discarding source positions.
+pub fn lex(src: &str) -> Result<Vec<Token>> {
+    Ok(lex_spanned(src)?.into_iter().map(|s| s.tok).collect())
 }
 
 #[cfg(test)]
@@ -325,6 +358,15 @@ mod tests {
                 Token::Keyword(Keyword::Crowd),
             ]
         );
+    }
+
+    #[test]
+    fn spans_point_at_token_starts() {
+        let toks = lex_spanned("SELECT name\n  FROM t").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1), "SELECT");
+        assert_eq!((toks[1].line, toks[1].col), (1, 8), "name");
+        assert_eq!((toks[2].line, toks[2].col), (2, 3), "FROM");
+        assert_eq!((toks[3].line, toks[3].col), (2, 8), "t");
     }
 
     #[test]

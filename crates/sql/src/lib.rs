@@ -18,22 +18,37 @@
 //! ## Pipeline
 //!
 //! ```text
-//! SQL text ──lexer/parser──▶ AST ──planner──▶ logical plan
-//!          ──optimizer (machine-first, lazy fill, limit-aware sort)──▶ plan
-//!          ──executor──▶ rows  (crowd questions via CrowdOracle)
+//! SQL text ──lexer/parser──▶ AST
+//!          ──binder──▶ canonical logical Plan   (names/types resolved)
+//!          ──rewriter──▶ candidate plans        (rule-based transforms)
+//!          ──cost model──▶ chosen plan          (spend/rounds/quality)
+//!          ──Volcano executor──▶ rows           (crowd via CrowdOracle)
 //! ```
 //!
+//! * [`binder`] resolves names and types against the [`Catalog`] and
+//!   produces the canonical [`ir::Plan`] — eager fills, cross joins,
+//!   machine-shaped but crowd-complete. Errors carry line/column.
+//! * [`rewrite`] applies lazy fill, predicate pushdown, hash-join
+//!   promotion, crowd-join formation/reordering, top-k fusion and
+//!   batching, then picks the candidate the [`cost`] model scores
+//!   cheapest.
+//! * [`cost`] prices plans in a [`cost::CostVector`] (spend, platform
+//!   round-trips, predicted quality) using per-predicate selectivities
+//!   learned from previous queries ([`cost::SelectivityMemory`]).
+//! * The executor is a pull-based (Volcano) operator tree; each operator
+//!   reports per-node row and question counts through `crowdkit-obs`.
+//!
 //! The optimizer is where the money is: experiment E10 compares the
-//! naive plan (fill every crowd cell eagerly, full sort) against the
-//! optimized plan (machine predicates first, fill only surviving rows,
-//! tournament top-k) and counts crowd questions.
+//! naive canonical plan against the optimized one and checks that the
+//! *actual* spend tracks the *predicted* spend reported in
+//! [`QueryStats`].
 //!
 //! ## Example
 //!
 //! ```
-//! use crowdkit_sql::{Session, TaskFactory};
+//! use crowdkit_sql::{QueryOpts, Session};
 //!
-//! let mut session = Session::new();
+//! let session = Session::new();
 //! session.execute_ddl("CREATE TABLE items (id INT, name TEXT)").unwrap();
 //! session
 //!     .execute_ddl("INSERT INTO items VALUES (1, 'apple'), (2, 'pear')")
@@ -43,6 +58,12 @@
 //!     .query_machine("SELECT name FROM items WHERE id >= 2")
 //!     .unwrap();
 //! assert_eq!(rows.len(), 1);
+//! // EXPLAIN returns the chosen physical plan plus predicted cost.
+//! let report = session
+//!     .explain("SELECT name FROM items WHERE id >= 2", true)
+//!     .unwrap();
+//! assert!(report.predicted.spend == 0.0, "{report}");
+//! let _ = QueryOpts::new().votes(5); // knobs for crowd queries
 //! ```
 
 #![warn(missing_docs)]
@@ -50,14 +71,23 @@
 #![forbid(unsafe_code)]
 
 pub mod ast;
+pub mod binder;
 pub mod catalog;
+pub mod cost;
 pub mod exec;
+pub mod ir;
 pub mod lexer;
 pub mod parser;
-pub mod plan;
+pub mod rewrite;
 pub mod value;
+mod volcano;
 
+pub use binder::{bind, BoundCol, BoundQuery};
 pub use catalog::{Catalog, ColumnDef, ColumnType, TableDef};
-pub use exec::{QueryStats, Session, TaskFactory};
-pub use plan::{optimize, plan_query, PlanNode, PlannerConfig};
+pub use cost::{CostVector, CostWeights, Estimator, NodeCost, PlanCost, SelectivityMemory};
+pub use exec::{
+    ExplainReport, FnTaskFactory, QueryOpts, QueryStats, Session, SimTaskFactory, TaskFactory,
+};
+pub use ir::Plan;
+pub use rewrite::{optimize, Rewritten};
 pub use value::Value;

@@ -20,27 +20,40 @@
 use crowdkit_core::error::{CrowdError, Result};
 
 use crate::ast::{
-    ColumnDecl, ColumnRef, CompareOp, Expr, OrderBy, Predicate, Select, Statement,
+    ColumnDecl, ColumnRef, CompareOp, Expr, OrderBy, Predicate, Select, Span, Statement,
 };
-use crate::lexer::{lex, Keyword, Token};
+use crate::lexer::{lex_spanned, Keyword, SpannedToken, Token};
 use crate::value::Value;
 
 struct Parser {
-    toks: Vec<Token>,
+    toks: Vec<SpannedToken>,
     pos: usize,
 }
 
 impl Parser {
+    /// Source position of the token at `pos`, or just past the last token
+    /// when the stream is exhausted.
+    fn span_here(&self) -> Span {
+        match self.toks.get(self.pos) {
+            Some(t) => Span::at(t.line, t.col),
+            None => match self.toks.last() {
+                Some(t) => Span::at(t.line, t.col + 1),
+                None => Span::at(1, 1),
+            },
+        }
+    }
+
     fn err(&self, msg: impl Into<String>) -> CrowdError {
-        CrowdError::parse(1, self.pos + 1, format!("{} (near token #{})", msg.into(), self.pos))
+        let span = self.span_here();
+        CrowdError::parse(span.line, span.col, msg)
     }
 
     fn peek(&self) -> Option<&Token> {
-        self.toks.get(self.pos)
+        self.toks.get(self.pos).map(|t| &t.tok)
     }
 
     fn bump(&mut self) -> Option<Token> {
-        let t = self.toks.get(self.pos).cloned();
+        let t = self.toks.get(self.pos).map(|t| t.tok.clone());
         if t.is_some() {
             self.pos += 1;
         }
@@ -73,9 +86,18 @@ impl Parser {
     }
 
     fn ident(&mut self, what: &str) -> Result<String> {
+        Ok(self.ident_spanned(what)?.0)
+    }
+
+    fn ident_spanned(&mut self, what: &str) -> Result<(String, Span)> {
+        let span = self.span_here();
         match self.bump() {
-            Some(Token::Ident(s)) => Ok(s),
-            _ => Err(self.err(format!("expected {what}"))),
+            Some(Token::Ident(s)) => Ok((s, span)),
+            _ => Err(CrowdError::parse(
+                span.line,
+                span.col,
+                format!("expected {what}"),
+            )),
         }
     }
 
@@ -178,9 +200,13 @@ impl Parser {
             cols
         };
         self.expect_kw(Keyword::From, "FROM")?;
-        let mut from = vec![self.ident("table name")?];
+        let (first_table, first_span) = self.ident_spanned("table name")?;
+        let mut from = vec![first_table];
+        let mut from_spans = vec![first_span];
         if self.eat(&Token::Comma) {
-            from.push(self.ident("table name")?);
+            let (second_table, second_span) = self.ident_spanned("table name")?;
+            from.push(second_table);
+            from_spans.push(second_span);
         }
 
         let mut predicates = Vec::new();
@@ -213,9 +239,16 @@ impl Parser {
 
         let mut limit = None;
         if self.eat_kw(Keyword::Limit) {
+            let span = self.span_here();
             match self.bump() {
                 Some(Token::Int(n)) if n >= 0 => limit = Some(n as usize),
-                _ => return Err(self.err("expected non-negative integer after LIMIT")),
+                _ => {
+                    return Err(CrowdError::parse(
+                        span.line,
+                        span.col,
+                        "expected non-negative integer after LIMIT",
+                    ))
+                }
             }
         }
 
@@ -226,6 +259,7 @@ impl Parser {
             projection,
             count,
             from,
+            from_spans,
             predicates,
             order_by,
             limit,
@@ -242,6 +276,7 @@ impl Parser {
             return Ok(Predicate::CrowdEqual { left, right });
         }
         let left = self.expr()?;
+        let op_span = self.span_here();
         let op = match self.bump() {
             Some(Token::Eq) => CompareOp::Eq,
             Some(Token::Ne) => CompareOp::Ne,
@@ -249,7 +284,13 @@ impl Parser {
             Some(Token::Le) => CompareOp::Le,
             Some(Token::Gt) => CompareOp::Gt,
             Some(Token::Ge) => CompareOp::Ge,
-            _ => return Err(self.err("expected comparison operator")),
+            _ => {
+                return Err(CrowdError::parse(
+                    op_span.line,
+                    op_span.col,
+                    "expected comparison operator",
+                ))
+            }
         };
         let right = self.expr()?;
         Ok(Predicate::Compare { left, op, right })
@@ -263,28 +304,33 @@ impl Parser {
     }
 
     fn column_ref(&mut self) -> Result<ColumnRef> {
-        let first = self.ident("column name")?;
+        let (first, span) = self.ident_spanned("column name")?;
         if self.eat(&Token::Dot) {
             let col = self.ident("column name after '.'")?;
-            Ok(ColumnRef::qualified(first, col))
+            Ok(ColumnRef::qualified(first, col).with_span(span))
         } else {
-            Ok(ColumnRef::bare(first))
+            Ok(ColumnRef::bare(first).with_span(span))
         }
     }
 
     fn literal(&mut self) -> Result<Value> {
+        let span = self.span_here();
         match self.bump() {
             Some(Token::Int(i)) => Ok(Value::Int(i)),
             Some(Token::Str(s)) => Ok(Value::Text(s)),
             Some(Token::Keyword(Keyword::Null)) => Ok(Value::Null),
-            _ => Err(self.err("expected a literal (integer, string, or NULL)")),
+            _ => Err(CrowdError::parse(
+                span.line,
+                span.col,
+                "expected a literal (integer, string, or NULL)",
+            )),
         }
     }
 }
 
 /// Parses a single CrowdSQL statement.
 pub fn parse_statement(src: &str) -> Result<Statement> {
-    let toks = lex(src)?;
+    let toks = lex_spanned(src)?;
     let mut p = Parser { toks, pos: 0 };
     p.statement()
 }
@@ -407,5 +453,45 @@ mod tests {
     fn three_way_join_rejected_for_now() {
         // The dialect supports at most two tables in FROM.
         assert!(parse_statement("SELECT * FROM a, b, c").is_err());
+    }
+
+    #[test]
+    fn parse_errors_carry_source_positions() {
+        // "WHERE" at the end of line 1 with nothing after it: the error
+        // points one past the last token.
+        let err = parse_statement("SELECT * FROM t WHERE").unwrap_err();
+        match err {
+            CrowdError::Parse { line, column, .. } => {
+                assert_eq!(line, 1);
+                assert_eq!(column, 18, "just past the last token");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        // A bad token on line 2 reports line 2 and its real column.
+        let err = parse_statement("SELECT * FROM t\nLIMIT 'x'").unwrap_err();
+        match err {
+            CrowdError::Parse { line, column, .. } => {
+                assert_eq!(line, 2);
+                assert_eq!(column, 7, "the string literal after LIMIT");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn column_refs_carry_spans() {
+        let s = parse_statement("SELECT name FROM t WHERE t.score >= 4").unwrap();
+        match s {
+            Statement::Select(sel) => {
+                assert_eq!(sel.projection[0].span, Span::at(1, 8));
+                match &sel.predicates[0] {
+                    Predicate::Compare { left, .. } => {
+                        assert_eq!(left.span(), Some(Span::at(1, 26)));
+                    }
+                    other => panic!("unexpected {other:?}"),
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
     }
 }

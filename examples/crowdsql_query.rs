@@ -8,11 +8,11 @@
 use crowdkit::sim::population::PopulationBuilder;
 use crowdkit::sim::SimulatedCrowd;
 use crowdkit::sql::exec::SimTaskFactory;
-use crowdkit::sql::{Session, Value};
+use crowdkit::sql::{QueryOpts, Session, Value};
 
 fn main() {
     let seed = 5;
-    let mut session = Session::new();
+    let session = Session::new();
     session
         .execute_ddl("CREATE TABLE products (id INT, name TEXT, category CROWD TEXT)")
         .unwrap();
@@ -25,8 +25,18 @@ fn main() {
     let sql = "SELECT name FROM products WHERE category = 'phone' AND id >= 6";
 
     println!("query:\n  {sql}\n");
-    println!("naive plan:\n{}", indent(&session.explain(sql, false).unwrap()));
-    println!("optimized plan:\n{}", indent(&session.explain(sql, true).unwrap()));
+    let naive_plan = session.explain(sql, false).unwrap();
+    let opt_plan = session.explain(sql, true).unwrap();
+    println!("naive plan:\n{}", indent(&naive_plan.to_string()));
+    println!(
+        "optimized plan (rewrites: {}):\n{}",
+        opt_plan.rewrites.join(", "),
+        indent(&opt_plan.to_string())
+    );
+    println!(
+        "predicted spend: naive {:.0}, optimized {:.0}\n",
+        naive_plan.predicted.spend, opt_plan.predicted.spend
+    );
 
     // Ground truth for the simulation: even ids are phones.
     let mut factory = SimTaskFactory {
@@ -40,7 +50,7 @@ fn main() {
 
     for (label, optimized) in [("naive", false), ("optimized", true)] {
         // Fresh session per run so write-back caching doesn't mask costs.
-        let mut s = Session::new();
+        let s = Session::new();
         s.execute_ddl("CREATE TABLE products (id INT, name TEXT, category CROWD TEXT)")
             .unwrap();
         for i in 0..12 {
@@ -49,14 +59,15 @@ fn main() {
         }
         let pop = PopulationBuilder::new().reliable(40, 0.9, 0.99).build(seed);
         let crowd = SimulatedCrowd::new(pop, seed);
-        let (rows, stats) = s
-            .query_crowd(sql, &crowd, &mut factory, 3, optimized)
-            .unwrap();
+        let opts = QueryOpts::new().votes(3).optimize(optimized);
+        let (rows, stats) = s.query_crowd(sql, &crowd, &mut factory, &opts).unwrap();
         println!(
-            "{label:>9}: {} rows, {} crowd questions ({} cells filled)",
+            "{label:>9}: {} rows, {} crowd questions ({} cells filled, {:.0} spent over {} rounds)",
             rows.len(),
             stats.questions,
-            stats.cells_filled
+            stats.cells_filled,
+            stats.spend,
+            stats.rounds
         );
         if optimized {
             let names: Vec<String> = rows.iter().map(|r| r[0].display_raw()).collect();

@@ -17,7 +17,7 @@ use crowdkit::sim::dataset::CollectionPool;
 use crowdkit::sim::population::PopulationBuilder;
 use crowdkit::sim::SimulatedCrowd;
 use crowdkit::sql::exec::SimTaskFactory;
-use crowdkit::sql::{Session, Value};
+use crowdkit::sql::{QueryOpts, Session, Value};
 
 fn main() {
     let seed = 29;
@@ -39,7 +39,7 @@ fn main() {
     );
 
     // Phase 2 — acquire into a crowd table and fill its crowd column.
-    let mut session = Session::new();
+    let session = Session::new();
     session
         .execute_ddl("CREATE TABLE restaurants (name TEXT, city CROWD TEXT)")
         .unwrap();
@@ -71,8 +71,7 @@ fn main() {
             "SELECT COUNT(*) FROM restaurants WHERE city = 'tokyo'",
             &crowd,
             &mut factory,
-            3,
-            true,
+            &QueryOpts::new().votes(3),
         )
         .unwrap();
     println!(
@@ -89,8 +88,7 @@ fn main() {
             "SELECT name FROM restaurants WHERE city = 'osaka' ORDER BY name ASC LIMIT 3",
             &crowd,
             &mut factory,
-            3,
-            true,
+            &QueryOpts::new().votes(3),
         )
         .unwrap();
     let osaka: Vec<String> = rows.iter().map(|r| r[0].display_raw()).collect();

@@ -7,10 +7,10 @@ use crowdkit::datalog::{parse_program, Const, Engine, OracleResolver};
 use crowdkit::sim::population::PopulationBuilder;
 use crowdkit::sim::SimulatedCrowd;
 use crowdkit::sql::exec::SimTaskFactory;
-use crowdkit::sql::{Session, Value};
+use crowdkit::sql::{QueryOpts, Session, Value};
 
 fn products_session(n: i64) -> Session {
-    let mut s = Session::new();
+    let s = Session::new();
     s.execute_ddl("CREATE TABLE products (id INT, name TEXT, category CROWD TEXT)")
         .unwrap();
     for i in 0..n {
@@ -33,7 +33,7 @@ fn factory() -> impl crowdkit::sql::TaskFactory {
 
 #[test]
 fn crowdsql_query_with_noisy_crowd_still_answers_correctly() {
-    let mut s = products_session(9);
+    let s = products_session(9);
     let pop = PopulationBuilder::new().reliable(60, 0.85, 0.95).build(31);
     let crowd = SimulatedCrowd::new(pop, 31);
     let mut f = factory();
@@ -42,8 +42,7 @@ fn crowdsql_query_with_noisy_crowd_still_answers_correctly() {
             "SELECT name FROM products WHERE category = 'phone'",
             &crowd,
             &mut f,
-            5,
-            true,
+            &QueryOpts::new().votes(5),
         )
         .unwrap();
     let names: Vec<String> = rows.iter().map(|r| r[0].display_raw()).collect();
@@ -55,11 +54,12 @@ fn crowdsql_query_with_noisy_crowd_still_answers_correctly() {
 fn crowdsql_optimizer_saves_questions_on_selective_queries() {
     let sql = "SELECT category FROM products WHERE id >= 8";
     let run = |optimized: bool| -> u64 {
-        let mut s = products_session(10);
+        let s = products_session(10);
         let pop = PopulationBuilder::new().reliable(60, 0.95, 1.0).build(7);
         let crowd = SimulatedCrowd::new(pop, 7);
         let mut f = factory();
-        let (_, stats) = s.query_crowd(sql, &crowd, &mut f, 3, optimized).unwrap();
+        let opts = QueryOpts::new().votes(3).optimize(optimized);
+        let (_, stats) = s.query_crowd(sql, &crowd, &mut f, &opts).unwrap();
         stats.questions
     };
     let opt = run(true);
@@ -72,7 +72,7 @@ fn crowdsql_optimizer_saves_questions_on_selective_queries() {
 
 #[test]
 fn crowdsql_crowdorder_limit_returns_the_best_row() {
-    let mut s = Session::new();
+    let s = Session::new();
     s.execute_ddl("CREATE TABLE t (name TEXT)").unwrap();
     for n in ["delta", "alpha", "omega", "kappa", "sigma"] {
         s.execute_ddl(&format!("INSERT INTO t VALUES ('{n}')")).unwrap();
@@ -85,8 +85,7 @@ fn crowdsql_crowdorder_limit_returns_the_best_row() {
             "SELECT name FROM t ORDER BY CROWDORDER(name) LIMIT 1",
             &crowd,
             &mut f,
-            3,
-            true,
+            &QueryOpts::new().votes(3),
         )
         .unwrap();
     assert_eq!(rows, vec![vec![Value::text("sigma")]], "lexicographic max");
@@ -137,7 +136,7 @@ fn datalog_and_sql_agree_on_the_same_crowd_facts() {
     let truth_category = |i: i64| if i % 2 == 0 { "phone" } else { "other" };
 
     // SQL side.
-    let mut s = Session::new();
+    let s = Session::new();
     s.execute_ddl("CREATE TABLE items (id INT, category CROWD TEXT)")
         .unwrap();
     for i in 0..6 {
@@ -159,8 +158,7 @@ fn datalog_and_sql_agree_on_the_same_crowd_facts() {
             "SELECT id FROM items WHERE category = 'phone'",
             &crowd,
             &mut f,
-            3,
-            true,
+            &QueryOpts::new().votes(3),
         )
         .unwrap();
     let sql_ids: Vec<i64> = rows

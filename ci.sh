@@ -5,6 +5,7 @@
 #   RUNLOG.jsonl        headered deterministic event stream of the suite
 #   LINT.json           workspace static-analysis findings
 #   BENCH_truth.json    current per-algorithm ns/iter snapshot
+#   BENCH_scale.json    macrobench snapshot (sparse vs dense EM, peak RSS)
 #   BENCH_HISTORY.jsonl rolling bench history (regression-gate baseline)
 set -euo pipefail
 
@@ -47,5 +48,13 @@ cargo bench -p crowdkit-bench --bench obs_overhead
 cargo run --release -p crowdkit-bench --bin bench_truth -- BENCH_truth.json BENCH_HISTORY.jsonl
 
 # Perf-regression gate: current ns/iter vs the rolling median of the last
-# 5 same-thread-count history entries; >25% slower on any algorithm fails.
+# 5 same-bench same-thread-count history entries; >25% slower on any
+# algorithm fails.
 cargo run --release -p crowdkit-trace --bin crowdtrace -- regress --history BENCH_HISTORY.jsonl --current BENCH_truth.json
+
+# Million-scale macrobench, smoke tier (10k tasks / 1k workers / 100k
+# responses): times the sparse incremental EM kernels against their dense
+# baselines (ds/zc/glad plus *_dense, kos) and records peak RSS; appends a
+# bench:"scale" history line, then gates it like the truth numbers.
+cargo run --release -p crowdkit-bench --bin bench_scale -- smoke
+cargo run --release -p crowdkit-trace --bin crowdtrace -- regress --history BENCH_HISTORY.jsonl --current BENCH_scale.json

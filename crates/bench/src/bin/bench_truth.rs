@@ -21,7 +21,7 @@ use crowdkit_core::traits::TruthInferencer;
 use crowdkit_sim::dataset::LabelingDataset;
 use crowdkit_sim::population::mixes;
 use crowdkit_sim::SimulatedCrowd;
-use crowdkit_trace::history::{append_history, git_short_rev, BenchEntry};
+use crowdkit_trace::history::{append_history, git_short_rev, AlgoTiming, BenchEntry};
 use crowdkit_truth::{pipeline::label_tasks, DawidSkene, Glad, Kos, MajorityVote, OneCoinEm};
 use std::time::Instant;
 
@@ -77,6 +77,7 @@ fn main() {
         "  \"workload\": {{\"n_tasks\": {N_TASKS}, \"redundancy\": {REDUNDANCY}, \"observations\": {}}},\n",
         m.num_observations()
     ));
+    json.push_str("  \"bench\": \"truth\",\n");
     json.push_str(&format!("  \"threads\": {},\n", default_threads()));
     json.push_str(&format!("  \"git_rev\": \"{}\",\n", git_short_rev()));
     json.push_str("  \"algorithms\": {\n");
@@ -97,9 +98,10 @@ fn main() {
     let entry = BenchEntry {
         git_rev: git_short_rev(),
         threads: default_threads() as u64,
+        bench: "truth".to_string(),
         algorithms: timings
             .iter()
-            .map(|(name, ns)| ((*name).to_string(), *ns))
+            .map(|(name, ns)| ((*name).to_string(), AlgoTiming::ns(*ns)))
             .collect(),
     };
     append_history(&history_path, &entry).expect("append bench history");

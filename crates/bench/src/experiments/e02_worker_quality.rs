@@ -33,13 +33,16 @@ fn estimation_error<I: TruthInferencer + ?Sized>(n_tasks: usize, seed: u64, algo
         .inference
         .worker_quality
         .expect("EM algorithms estimate worker quality");
-    // Align dense worker indices back to population order.
+    // Align dense worker indices back to population order. The simulated
+    // population hands out dense worker ids from zero, so the raw id IS
+    // the population index — `dense_index` checks that assumption instead
+    // of silently aliasing if a sparse-id platform ever feeds this path.
     let mut est_aligned = Vec::new();
     let mut true_aligned = Vec::new();
     for (w, &e) in est.iter().enumerate().take(out.matrix.num_workers()) {
         let wid = out.matrix.worker_id(w);
         est_aligned.push(e);
-        true_aligned.push(truth_q[wid.index()]);
+        true_aligned.push(truth_q[wid.dense_index(truth_q.len())]);
     }
     mae(&est_aligned, &true_aligned)
 }

@@ -28,11 +28,36 @@ macro_rules! define_id {
 
             /// Returns the id as a `usize`, for indexing into dense arrays.
             ///
-            /// Callers are responsible for having assigned ids densely
-            /// (0, 1, 2, …) if they use this for direct indexing; otherwise
-            /// use an index map.
+            /// **Footgun**: this casts the *raw* id. It is only safe when
+            /// the producer assigned ids densely from zero (e.g. an
+            /// [`IdGen`]); sparse real-platform ids silently alias or
+            /// overrun the array. Kernel-facing code should map ids
+            /// through a [`crate::intern::IdInterner`] (or a
+            /// [`crate::response::ResponseMatrix`], which embeds two)
+            /// instead, or use [`Self::dense_index`] which debug-asserts
+            /// the density assumption against the array length.
             #[inline]
             pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// [`Self::index`] with the density assumption checked: the
+            /// raw id must lie inside `0..len` (the dense array being
+            /// indexed). Debug builds panic on violation instead of
+            /// corrupting a CSR lookup; release builds defer to the
+            /// caller's own bounds check.
+            #[inline]
+            #[track_caller]
+            pub fn dense_index(self, len: usize) -> usize {
+                debug_assert!(
+                    (self.0 as usize) < len,
+                    concat!(
+                        "sparse ", stringify!($name), " {} used as a dense index into an \
+                         array of length {}; intern it through an IdInterner instead"
+                    ),
+                    self.0,
+                    len
+                );
                 self.0 as usize
             }
         }
@@ -143,6 +168,18 @@ mod tests {
         assert_eq!(TaskId::new(3).to_string(), "t3");
         assert_eq!(WorkerId::new(4).to_string(), "w4");
         assert_eq!(ItemId::new(5).to_string(), "i5");
+    }
+
+    #[test]
+    fn dense_index_passes_in_range() {
+        assert_eq!(TaskId::new(3).dense_index(4), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "dense index")]
+    #[cfg(debug_assertions)]
+    fn dense_index_rejects_sparse_ids_in_debug() {
+        let _ = WorkerId::new(10).dense_index(4);
     }
 
     #[test]

@@ -5,6 +5,8 @@
 //! This crate defines the vocabulary every other crate speaks:
 //!
 //! * [`ids`] — strongly-typed identifiers for tasks, workers and items.
+//! * [`intern`] — dense `u32` interning of sparse external ids (the
+//!   bridge from platform ids to flat-array kernel indices).
 //! * [`label`] — categorical label spaces for classification tasks.
 //! * [`task`] — the task model (`SingleChoice`, `Numeric`, `Pairwise`,
 //!   `OpenText`, `Collection`, `Fill`).
@@ -33,6 +35,7 @@ pub mod ask;
 pub mod budget;
 pub mod error;
 pub mod ids;
+pub mod intern;
 pub mod label;
 pub mod metrics;
 pub mod par;
@@ -45,6 +48,7 @@ pub use ask::{AskOutcome, AskRequest};
 pub use budget::{Budget, CostLedger, CostModel};
 pub use error::{CrowdError, Result};
 pub use ids::{ItemId, TaskId, WorkerId};
+pub use intern::IdInterner;
 pub use label::LabelSpace;
 pub use response::ResponseMatrix;
 pub use task::{Task, TaskKind};

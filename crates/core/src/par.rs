@@ -120,6 +120,56 @@ where
     .expect("parallel_items_mut scope panicked"); // crowdkit-lint: allow(PANIC001) — scope errors only report child panics, which must propagate
 }
 
+/// The active-set counterpart of [`parallel_items_mut`]: processes one
+/// item per entry of `active` (a worklist of entity indices), sharding the
+/// **worklist** — not the full entity range — into contiguous chunks.
+///
+/// `scratch` is a compact output buffer with one `item_len`-wide slot per
+/// active entry (extra trailing capacity is ignored, so a full-size arena
+/// can be reused as the worklist shrinks). `f(slot, entity, item)` fills
+/// slot `slot` — which corresponds to entity `active[slot]` — from shared
+/// read-only state. Because chunk boundaries depend only on
+/// `active.len()`, and each slot is written exactly once, the buffer is
+/// byte-identical at any thread count; callers scatter the compact slots
+/// back to their full tables in a sequential pass, preserving the
+/// deterministic-reduction rule.
+///
+/// This is the sharding primitive behind the sparse incremental E-steps:
+/// late EM iterations hand in a worklist holding only the unconverged
+/// frontier, so both the compute *and* the spawn fan-out scale with the
+/// active set instead of the full task count.
+///
+/// # Panics
+/// Panics if `item_len == 0` or `scratch` is shorter than
+/// `active.len() * item_len`.
+pub fn parallel_active_items_mut<T, F>(
+    scratch: &mut [T],
+    item_len: usize,
+    active: &[u32],
+    threads: usize,
+    f: F,
+) where
+    T: Send,
+    F: Fn(usize, usize, &mut [T]) + Sync,
+{
+    assert!(item_len > 0, "item_len must be positive");
+    let used = active
+        .len()
+        .checked_mul(item_len)
+        .expect("active worklist size overflow"); // crowdkit-lint: allow(PANIC001) — a worklist this size cannot be allocated anyway; overflow here is a caller bug
+    assert!(
+        scratch.len() >= used,
+        "scratch holds {} elements but the worklist needs {used}",
+        scratch.len()
+    );
+    parallel_items_mut(&mut scratch[..used], item_len, threads, |slot0, run| {
+        for (i, item) in run.chunks_mut(item_len).enumerate() {
+            let slot = slot0 + i;
+            f(slot, active[slot] as usize, item);
+        }
+    });
+}
+
 /// Default worker-pool width: the machine's available parallelism, capped
 /// to keep spawn overhead negligible for the workloads in this repo.
 pub fn default_threads() -> usize {
@@ -190,6 +240,44 @@ mod tests {
     fn items_mut_rejects_ragged_buffers() {
         let mut buf = vec![0u8; 7];
         parallel_items_mut(&mut buf, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn active_items_fill_only_worklist_slots_at_any_width() {
+        // Worklist picks every third entity out of 30; each slot must be
+        // stamped (slot, entity) with entity = active[slot], identically
+        // at every thread count, and trailing arena capacity untouched.
+        let active: Vec<u32> = (0..30).step_by(3).map(|e| e as u32).collect();
+        let expect: Vec<usize> = active
+            .iter()
+            .enumerate()
+            .flat_map(|(s, &e)| [s, e as usize])
+            .collect();
+        for threads in [1, 2, 5, 64] {
+            let mut scratch = vec![usize::MAX; 30 * 2]; // full-size arena
+            parallel_active_items_mut(&mut scratch, 2, &active, threads, |slot, entity, item| {
+                item[0] = slot;
+                item[1] = entity;
+            });
+            assert_eq!(&scratch[..expect.len()], &expect[..], "bad fill at {threads} threads");
+            assert!(scratch[expect.len()..].iter().all(|&x| x == usize::MAX));
+        }
+    }
+
+    #[test]
+    fn active_items_handle_an_empty_worklist() {
+        let mut scratch = vec![0u8; 8];
+        parallel_active_items_mut(&mut scratch, 4, &[], 8, |_, _, _| {
+            panic!("no active entities to visit")
+        });
+        assert_eq!(scratch, vec![0u8; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "scratch holds")]
+    fn active_items_reject_undersized_scratch() {
+        let mut scratch = vec![0u8; 3];
+        parallel_active_items_mut(&mut scratch, 2, &[0, 1], 1, |_, _, _| {});
     }
 
     #[test]

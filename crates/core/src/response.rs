@@ -2,8 +2,9 @@
 //!
 //! A [`ResponseMatrix`] packs a set of `(task, worker, label)` observations
 //! into dense indices so EM-style algorithms can run over flat vectors.
-//! It keeps bidirectional maps between external [`TaskId`]/[`WorkerId`]s and
-//! internal dense indices.
+//! It keeps bidirectional maps between external [`TaskId`]/[`WorkerId`]s
+//! and internal dense indices via two [`IdInterner`]s — the sanctioned
+//! route from sparse platform ids to flat-array slots.
 //!
 //! # Memory layout
 //!
@@ -17,13 +18,19 @@
 //!   cached until the next `push`. EM hot loops iterate these flat entry
 //!   slices with zero indirection instead of chasing
 //!   `Vec<Vec<usize>> → observations[i]`.
+//!
+//! Offsets and entries are `u32` end to end: at the million-scale workload
+//! (1M tasks / 10M observations) the CSR is the dominant resident
+//! structure, and `u32` halves it relative to `usize` on 64-bit hosts. A
+//! matrix therefore holds at most `u32::MAX` observations — beyond that
+//! the counting-sort offsets would wrap — and `push` enforces the cap.
 
-use std::collections::HashMap;
 use std::sync::OnceLock;
 
 use crate::answer::Answer;
 use crate::error::{CrowdError, Result};
 use crate::ids::{TaskId, WorkerId};
+use crate::intern::IdInterner;
 
 /// One categorical observation: worker `w` labelled task `t` as `label`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,15 +48,16 @@ pub struct Observation {
 /// `task_entries[task_offsets[t]..task_offsets[t + 1]]` holds task `t`'s
 /// `(worker, label)` pairs in insertion order; the worker side mirrors it
 /// with `(task, label)` pairs. Entries are `u32` pairs so a grouping row
-/// is one contiguous 8-byte-stride scan.
+/// is one contiguous 8-byte-stride scan, and offsets are `u32` so the
+/// index arrays stay half the width of a `usize` layout.
 #[derive(Debug, Clone, Default)]
 struct CsrIndex {
     /// `task_entries` offsets, one per task plus a trailing total.
-    task_offsets: Vec<usize>,
+    task_offsets: Vec<u32>,
     /// `(worker, label)` pairs grouped by task.
     task_entries: Vec<(u32, u32)>,
     /// `worker_entries` offsets, one per worker plus a trailing total.
-    worker_offsets: Vec<usize>,
+    worker_offsets: Vec<u32>,
     /// `(task, label)` pairs grouped by worker.
     worker_entries: Vec<(u32, u32)>,
 }
@@ -59,10 +67,8 @@ struct CsrIndex {
 pub struct ResponseMatrix {
     num_labels: usize,
     observations: Vec<Observation>,
-    task_ids: Vec<TaskId>,
-    worker_ids: Vec<WorkerId>,
-    task_index: HashMap<TaskId, usize>,
-    worker_index: HashMap<WorkerId, usize>,
+    tasks: IdInterner<TaskId>,
+    workers: IdInterner<WorkerId>,
     /// Lazily built CSR groupings; invalidated by `push`.
     csr: OnceLock<CsrIndex>,
 }
@@ -86,10 +92,8 @@ impl ResponseMatrix {
     pub fn with_capacity(num_labels: usize, observations: usize) -> Self {
         let mut m = Self::new(num_labels);
         m.observations.reserve(observations);
-        m.task_ids.reserve(observations.min(1024));
-        m.worker_ids.reserve(observations.min(1024));
-        m.task_index.reserve(observations.min(1024));
-        m.worker_index.reserve(observations.min(1024));
+        m.tasks.reserve(observations.min(1024));
+        m.workers.reserve(observations.min(1024));
         m
     }
 
@@ -113,6 +117,10 @@ impl ResponseMatrix {
     }
 
     /// Records that `worker` labelled `task` as `label`.
+    ///
+    /// # Panics
+    /// Panics when the matrix already holds `u32::MAX` observations — the
+    /// `u32` CSR offsets cannot index past that.
     pub fn push(&mut self, task: TaskId, worker: WorkerId, label: u32) -> Result<()> {
         if label as usize >= self.num_labels {
             return Err(CrowdError::LabelOutOfRange {
@@ -120,8 +128,12 @@ impl ResponseMatrix {
                 space: self.num_labels as u32,
             });
         }
-        let t = self.intern_task(task);
-        let w = self.intern_worker(worker);
+        assert!(
+            self.observations.len() < u32::MAX as usize,
+            "response matrix full: u32 CSR offsets cap observations at u32::MAX"
+        );
+        let t = self.tasks.intern(task) as usize;
+        let w = self.workers.intern(worker) as usize;
         self.observations.push(Observation {
             task: t,
             worker: w,
@@ -135,26 +147,6 @@ impl ResponseMatrix {
         Ok(())
     }
 
-    fn intern_task(&mut self, task: TaskId) -> usize {
-        if let Some(&i) = self.task_index.get(&task) {
-            return i;
-        }
-        let i = self.task_ids.len();
-        self.task_ids.push(task);
-        self.task_index.insert(task, i);
-        i
-    }
-
-    fn intern_worker(&mut self, worker: WorkerId) -> usize {
-        if let Some(&i) = self.worker_index.get(&worker) {
-            return i;
-        }
-        let i = self.worker_ids.len();
-        self.worker_ids.push(worker);
-        self.worker_index.insert(worker, i);
-        i
-    }
-
     /// The CSR groupings, building them on first access after a mutation.
     ///
     /// One counting-sort pass over the observation log: per-group order is
@@ -163,8 +155,8 @@ impl ResponseMatrix {
     fn csr(&self) -> &CsrIndex {
         self.csr.get_or_init(|| {
             let n_obs = self.observations.len();
-            let mut task_offsets = vec![0usize; self.task_ids.len() + 1];
-            let mut worker_offsets = vec![0usize; self.worker_ids.len() + 1];
+            let mut task_offsets = vec![0u32; self.tasks.len() + 1];
+            let mut worker_offsets = vec![0u32; self.workers.len() + 1];
             for o in &self.observations {
                 task_offsets[o.task + 1] += 1;
                 worker_offsets[o.worker + 1] += 1;
@@ -180,9 +172,9 @@ impl ResponseMatrix {
             let mut task_cursor = task_offsets.clone();
             let mut worker_cursor = worker_offsets.clone();
             for o in &self.observations {
-                task_entries[task_cursor[o.task]] = (o.worker as u32, o.label);
+                task_entries[task_cursor[o.task] as usize] = (o.worker as u32, o.label);
                 task_cursor[o.task] += 1;
-                worker_entries[worker_cursor[o.worker]] = (o.task as u32, o.label);
+                worker_entries[worker_cursor[o.worker] as usize] = (o.task as u32, o.label);
                 worker_cursor[o.worker] += 1;
             }
             CsrIndex {
@@ -203,13 +195,13 @@ impl ResponseMatrix {
     /// Number of distinct tasks seen.
     #[inline]
     pub fn num_tasks(&self) -> usize {
-        self.task_ids.len()
+        self.tasks.len()
     }
 
     /// Number of distinct workers seen.
     #[inline]
     pub fn num_workers(&self) -> usize {
-        self.worker_ids.len()
+        self.workers.len()
     }
 
     /// Total number of observations.
@@ -230,44 +222,56 @@ impl ResponseMatrix {
         &self.observations
     }
 
+    /// The task-id interner: dense index ↔ external [`TaskId`].
+    #[inline]
+    pub fn task_interner(&self) -> &IdInterner<TaskId> {
+        &self.tasks
+    }
+
+    /// The worker-id interner: dense index ↔ external [`WorkerId`].
+    #[inline]
+    pub fn worker_interner(&self) -> &IdInterner<WorkerId> {
+        &self.workers
+    }
+
     /// The external id of dense task index `t`.
     pub fn task_id(&self, t: usize) -> TaskId {
-        self.task_ids[t]
+        self.tasks.ids()[t]
     }
 
     /// The external id of dense worker index `w`.
     pub fn worker_id(&self, w: usize) -> WorkerId {
-        self.worker_ids[w]
+        self.workers.ids()[w]
     }
 
     /// The dense index of an external task id, if present.
     pub fn task_index(&self, task: TaskId) -> Option<usize> {
-        self.task_index.get(&task).copied()
+        self.tasks.dense(task).map(|d| d as usize)
     }
 
     /// The dense index of an external worker id, if present.
     pub fn worker_index(&self, worker: WorkerId) -> Option<usize> {
-        self.worker_index.get(&worker).copied()
+        self.workers.dense(worker).map(|d| d as usize)
     }
 
     /// The flat task grouping: `(offsets, entries)` where the slice
-    /// `entries[offsets[t]..offsets[t + 1]]` holds task `t`'s
-    /// `(worker, label)` pairs in insertion order.
+    /// `entries[offsets[t] as usize..offsets[t + 1] as usize]` holds task
+    /// `t`'s `(worker, label)` pairs in insertion order.
     ///
     /// This is the hot-path view: EM E-steps walk one contiguous entry
     /// slice per task. Prefer it over [`Self::observations_for_task`] in
     /// inner loops.
-    pub fn task_csr(&self) -> (&[usize], &[(u32, u32)]) {
+    pub fn task_csr(&self) -> (&[u32], &[(u32, u32)]) {
         let csr = self.csr();
         (&csr.task_offsets, &csr.task_entries)
     }
 
     /// The flat worker grouping: `(offsets, entries)` where the slice
-    /// `entries[offsets[w]..offsets[w + 1]]` holds worker `w`'s
-    /// `(task, label)` pairs in insertion order.
+    /// `entries[offsets[w] as usize..offsets[w + 1] as usize]` holds worker
+    /// `w`'s `(task, label)` pairs in insertion order.
     ///
     /// The hot-path view for M-step soft-count accumulation over workers.
-    pub fn worker_csr(&self) -> (&[usize], &[(u32, u32)]) {
+    pub fn worker_csr(&self) -> (&[u32], &[(u32, u32)]) {
         let csr = self.csr();
         (&csr.worker_offsets, &csr.worker_entries)
     }
@@ -275,13 +279,13 @@ impl ResponseMatrix {
     /// Task `t`'s `(worker, label)` pairs as one contiguous slice.
     pub fn task_entries(&self, t: usize) -> &[(u32, u32)] {
         let csr = self.csr();
-        &csr.task_entries[csr.task_offsets[t]..csr.task_offsets[t + 1]]
+        &csr.task_entries[csr.task_offsets[t] as usize..csr.task_offsets[t + 1] as usize]
     }
 
     /// Worker `w`'s `(task, label)` pairs as one contiguous slice.
     pub fn worker_entries(&self, w: usize) -> &[(u32, u32)] {
         let csr = self.csr();
-        &csr.worker_entries[csr.worker_offsets[w]..csr.worker_offsets[w + 1]]
+        &csr.worker_entries[csr.worker_offsets[w] as usize..csr.worker_offsets[w + 1] as usize]
     }
 
     /// Observations on dense task index `t`, in insertion order.
@@ -305,13 +309,13 @@ impl ResponseMatrix {
     /// Number of answers each worker gave, indexed densely.
     pub fn answers_per_worker(&self) -> Vec<usize> {
         let offsets = &self.csr().worker_offsets;
-        offsets.windows(2).map(|w| w[1] - w[0]).collect()
+        offsets.windows(2).map(|w| (w[1] - w[0]) as usize).collect()
     }
 
     /// Number of answers each task received, indexed densely.
     pub fn answers_per_task(&self) -> Vec<usize> {
         let offsets = &self.csr().task_offsets;
-        offsets.windows(2).map(|w| w[1] - w[0]).collect()
+        offsets.windows(2).map(|w| (w[1] - w[0]) as usize).collect()
     }
 
     /// Per-task vote counts: `counts[t][l]` = how many workers labelled
@@ -321,7 +325,7 @@ impl ResponseMatrix {
         (0..self.num_tasks())
             .map(|t| {
                 let mut row = vec![0u32; self.num_labels];
-                for &(_, l) in &entries[offsets[t]..offsets[t + 1]] {
+                for &(_, l) in &entries[offsets[t] as usize..offsets[t + 1] as usize] {
                     row[l as usize] += 1;
                 }
                 row
@@ -357,6 +361,15 @@ mod tests {
         assert_eq!(m.worker_index(wid(9)), Some(1));
         assert_eq!(m.worker_id(0), wid(7));
         assert_eq!(m.task_index(tid(999)), None);
+    }
+
+    #[test]
+    fn interners_expose_the_dense_maps() {
+        let mut m = ResponseMatrix::new(2);
+        m.push(tid(500), wid(42), 0).unwrap();
+        assert_eq!(m.task_interner().dense(tid(500)), Some(0));
+        assert_eq!(m.worker_interner().id(0), wid(42));
+        assert!(!m.task_interner().is_identity(), "sparse ids detected");
     }
 
     #[test]

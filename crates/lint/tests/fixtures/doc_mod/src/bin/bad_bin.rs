@@ -1,0 +1,3 @@
+// Bin targets live under src/ too: an undocumented main must be flagged.
+
+fn main() {}

@@ -1,0 +1,4 @@
+// crowdkit-lint: allow-file(PANIC001) — fixture: the suppression header the real bench binaries open with
+//! A documented bin target: the `//!` after an allow-file line counts.
+
+fn main() {}

@@ -101,6 +101,18 @@ fn doc001_requires_module_docs_on_src_modules() {
 }
 
 #[test]
+fn doc001_covers_bin_targets_under_src() {
+    // Bench binaries (`src/bin/*.rs`) are src modules like any other: an
+    // undocumented main is flagged, and a `//!` header still counts when it
+    // follows the `allow-file` suppression line the real binaries open with.
+    let (kept, _) = scan_fixture("doc_mod/src/bin/bad_bin.rs", "DOC001");
+    assert_eq!(rules_of(&kept), vec!["DOC001"]);
+    assert!(kept[0].message.contains("module doc"), "{kept:?}");
+    let (kept, _) = scan_fixture("doc_mod/src/bin/good_bin.rs", "DOC001");
+    assert!(kept.is_empty(), "unexpected: {kept:?}");
+}
+
+#[test]
 fn suppressions_need_reasons_and_standalone_covers_the_block() {
     let (kept, suppressed) = scan_fixture("suppress.rs", "PANIC001");
     // Trailing allow (1) + standalone block allow (2 sites) are honoured.

@@ -40,14 +40,17 @@ USAGE:
       experiment metric deltas. Exit 0 = identical, 1 = divergent,
       2 = a configured relative threshold was breached.
 
-  crowdtrace regress --history <BENCH_HISTORY.jsonl> --current <BENCH_truth.json>
+  crowdtrace regress --history <BENCH_HISTORY.jsonl> --current <BENCH_*.json>
                      [--window N] [--threshold F]
       Compare current per-algorithm ns/iter against the rolling median of
-      the last N (default 5) same-thread-count history entries. Exit 1
-      when any algorithm is more than F (default 0.25 = +25%) slower.
+      the last N (default 5) history entries with the same bench family
+      and thread count (truth microbench and scale macrobench numbers
+      never share a baseline). Exit 1 when any algorithm is more than F
+      (default 0.25 = +25%) slower.
 
-  crowdtrace history <BENCH_truth.json> --history <BENCH_HISTORY.jsonl>
-      Append the current bench snapshot to the history file.
+  crowdtrace history <BENCH_*.json> --history <BENCH_HISTORY.jsonl>
+      Append the current bench snapshot (truth or scale) to the history
+      file.
 ";
 
 fn main() -> ExitCode {

@@ -1,15 +1,19 @@
 //! Bench history and the perf-regression gate.
 //!
-//! `bench_truth` measures per-algorithm ns/iter and writes
-//! `BENCH_truth.json`; this module gives those snapshots a trajectory.
-//! [`append_history`] adds one line per run to `BENCH_HISTORY.jsonl`,
-//! keyed by git revision and thread count, and [`regress`] compares the
-//! current snapshot against a rolling baseline (the per-algorithm median
-//! of the last *N* comparable entries) so a perf regression fails CI the
-//! same way a lint finding does.
+//! `bench_truth` and `bench_scale` measure per-algorithm ns/iter and write
+//! `BENCH_truth.json` / `BENCH_scale.json`; this module gives those
+//! snapshots a trajectory. [`append_history`] adds one line per run to
+//! `BENCH_HISTORY.jsonl`, keyed by git revision, bench family, and thread
+//! count, and [`regress`] compares the current snapshot against a rolling
+//! baseline (the per-algorithm median of the last *N* comparable entries)
+//! so a perf regression fails CI the same way a lint finding does.
 //!
-//! Entries from different thread counts are never compared: a timing
-//! taken at 8 threads says nothing about a 1-thread baseline.
+//! Entries from different thread counts or bench families are never
+//! compared: a timing taken at 8 threads says nothing about a 1-thread
+//! baseline, and a `scale` macrobench number says nothing about a `truth`
+//! microbench baseline even for the same algorithm name. History lines
+//! written before the `bench` field existed parse as family `"truth"`,
+//! which is what they measured.
 
 use std::fmt::Write as _;
 use std::io::Write as _;
@@ -18,6 +22,30 @@ use std::path::Path;
 use crate::json::{self, write_json_string, Json};
 use crate::stream::StreamError;
 
+/// Bench family recorded when a history line predates the `bench` field —
+/// everything written back then came from `bench_truth`.
+pub const DEFAULT_BENCH: &str = "truth";
+
+/// One algorithm's measurement within a bench run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AlgoTiming {
+    /// Median wall nanoseconds per full `infer` call.
+    pub ns_per_iter: u64,
+    /// Process peak RSS in bytes observed after this algorithm ran
+    /// (`VmHWM`, so monotone across a run), when the bench records it.
+    pub peak_rss: Option<u64>,
+}
+
+impl AlgoTiming {
+    /// A timing with no memory measurement (the `bench_truth` shape).
+    pub const fn ns(ns_per_iter: u64) -> Self {
+        Self {
+            ns_per_iter,
+            peak_rss: None,
+        }
+    }
+}
+
 /// One bench run: where it came from and what it measured.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BenchEntry {
@@ -25,8 +53,11 @@ pub struct BenchEntry {
     pub git_rev: String,
     /// Worker-thread count the kernels ran with.
     pub threads: u64,
-    /// `(algorithm, ns per iteration)`, in algorithm order.
-    pub algorithms: Vec<(String, u64)>,
+    /// Bench family the numbers belong to (`"truth"`, `"scale"`, …).
+    /// Regression baselines never cross families.
+    pub bench: String,
+    /// Per-algorithm measurements, in algorithm order.
+    pub algorithms: Vec<(String, AlgoTiming)>,
 }
 
 impl BenchEntry {
@@ -35,29 +66,59 @@ impl BenchEntry {
         self.algorithms
             .iter()
             .find(|(a, _)| a == algo)
-            .map(|(_, ns)| *ns)
+            .map(|(_, t)| t.ns_per_iter)
     }
 
-    /// Renders the entry as one JSONL history line.
+    /// Renders the entry as one JSONL history line. Algorithms without a
+    /// memory measurement serialize as a bare integer — the exact shape
+    /// pre-`bench`-field lines used, so old and new lines interleave in
+    /// one file.
     pub fn to_jsonl_line(&self) -> String {
         let mut out = String::with_capacity(96);
         out.push_str("{\"git_rev\":");
         write_json_string(&self.git_rev, &mut out);
-        let _ = write!(out, ",\"threads\":{},\"algorithms\":{{", self.threads);
-        for (i, (algo, ns)) in self.algorithms.iter().enumerate() {
+        let _ = write!(out, ",\"threads\":{},\"bench\":", self.threads);
+        write_json_string(&self.bench, &mut out);
+        out.push_str(",\"algorithms\":{");
+        for (i, (algo, t)) in self.algorithms.iter().enumerate() {
             if i > 0 {
                 out.push(',');
             }
             write_json_string(algo, &mut out);
-            let _ = write!(out, ":{ns}");
+            match t.peak_rss {
+                None => {
+                    let _ = write!(out, ":{}", t.ns_per_iter);
+                }
+                Some(rss) => {
+                    let _ = write!(
+                        out,
+                        ":{{\"ns_per_iter\":{},\"peak_rss\":{rss}}}",
+                        t.ns_per_iter
+                    );
+                }
+            }
         }
         out.push_str("}}");
         out
     }
 }
 
-/// Parses `BENCH_truth.json` (the snapshot format `bench_truth` writes:
-/// `algorithms.{name}.ns_per_iter`, top-level `threads` and `git_rev`).
+/// Parses one algorithm value from a history line or snapshot: either a
+/// bare ns integer or a `{"ns_per_iter": N, "peak_rss": M}` object.
+fn parse_algo_timing(v: &Json) -> Option<AlgoTiming> {
+    if let Some(ns) = v.as_u64() {
+        return Some(AlgoTiming::ns(ns));
+    }
+    let ns = v.get("ns_per_iter").and_then(Json::as_u64)?;
+    Some(AlgoTiming {
+        ns_per_iter: ns,
+        peak_rss: v.get("peak_rss").and_then(Json::as_u64),
+    })
+}
+
+/// Parses a bench snapshot (`BENCH_truth.json` / `BENCH_scale.json`:
+/// `algorithms.{name}.ns_per_iter` with optional `peak_rss`, top-level
+/// `threads`, `git_rev`, and optional `bench` family).
 pub fn parse_bench_snapshot(text: &str) -> Result<BenchEntry, StreamError> {
     let err = |message: String| StreamError { line: 1, message };
     let v = json::parse(text).map_err(|e| err(format!("invalid BENCH json ({e})")))?;
@@ -67,17 +128,20 @@ pub fn parse_bench_snapshot(text: &str) -> Result<BenchEntry, StreamError> {
         .unwrap_or("unknown")
         .to_owned();
     let threads = v.get("threads").and_then(Json::as_u64).unwrap_or(0);
+    let bench = v
+        .get("bench")
+        .and_then(Json::as_str)
+        .unwrap_or(DEFAULT_BENCH)
+        .to_owned();
     let algos = match v.get("algorithms") {
         Some(Json::Object(members)) => members,
         _ => return Err(err("snapshot missing `algorithms` object".into())),
     };
     let mut algorithms = Vec::with_capacity(algos.len());
     for (name, entry) in algos {
-        let ns = entry
-            .get("ns_per_iter")
-            .and_then(Json::as_u64)
+        let timing = parse_algo_timing(entry)
             .ok_or_else(|| err(format!("algorithm `{name}` missing numeric `ns_per_iter`")))?;
-        algorithms.push((name.clone(), ns));
+        algorithms.push((name.clone(), timing));
     }
     if algorithms.is_empty() {
         return Err(err("snapshot has no algorithms".into()));
@@ -85,6 +149,7 @@ pub fn parse_bench_snapshot(text: &str) -> Result<BenchEntry, StreamError> {
     Ok(BenchEntry {
         git_rev,
         threads,
+        bench,
         algorithms,
     })
 }
@@ -109,14 +174,19 @@ pub fn parse_history(text: &str) -> Result<Vec<BenchEntry>, StreamError> {
             .get("threads")
             .and_then(Json::as_u64)
             .ok_or_else(|| err("history entry missing numeric `threads`".into()))?;
+        let bench = v
+            .get("bench")
+            .and_then(Json::as_str)
+            .unwrap_or(DEFAULT_BENCH)
+            .to_owned();
         let algorithms = match v.get("algorithms") {
             Some(Json::Object(members)) => {
                 let mut out = Vec::with_capacity(members.len());
-                for (name, ns) in members {
-                    let ns = ns.as_u64().ok_or_else(|| {
+                for (name, value) in members {
+                    let timing = parse_algo_timing(value).ok_or_else(|| {
                         err(format!("algorithm `{name}` has a non-integer timing"))
                     })?;
-                    out.push((name.clone(), ns));
+                    out.push((name.clone(), timing));
                 }
                 out
             }
@@ -125,6 +195,7 @@ pub fn parse_history(text: &str) -> Result<Vec<BenchEntry>, StreamError> {
         entries.push(BenchEntry {
             git_rev,
             threads,
+            bench,
             algorithms,
         });
     }
@@ -212,9 +283,10 @@ fn median(values: &mut [u64]) -> u64 {
 }
 
 /// Compares `current` against the rolling baseline built from the last
-/// `window` history entries with the same thread count. An algorithm
-/// breaches when `current > baseline * (1 + threshold)`; algorithms with
-/// no comparable history pass (there is nothing to regress from).
+/// `window` history entries with the same bench family and thread count.
+/// An algorithm breaches when `current > baseline * (1 + threshold)`;
+/// algorithms with no comparable history pass (there is nothing to
+/// regress from).
 pub fn regress(
     history: &[BenchEntry],
     current: &BenchEntry,
@@ -223,7 +295,7 @@ pub fn regress(
 ) -> RegressReport {
     let comparable: Vec<&BenchEntry> = history
         .iter()
-        .filter(|e| e.threads == current.threads)
+        .filter(|e| e.threads == current.threads && e.bench == current.bench)
         .collect();
     let tail: &[&BenchEntry] = if comparable.len() > window {
         &comparable[comparable.len() - window..]
@@ -232,7 +304,8 @@ pub fn regress(
     };
     let mut rows = Vec::with_capacity(current.algorithms.len());
     let mut breached = false;
-    for (algo, current_ns) in &current.algorithms {
+    for (algo, timing) in &current.algorithms {
+        let current_ns = timing.ns_per_iter;
         let mut samples: Vec<u64> = tail.iter().filter_map(|e| e.ns(algo)).collect();
         let (baseline_ns, ratio, breach) = if samples.is_empty() {
             (None, 1.0, false)
@@ -241,7 +314,7 @@ pub fn regress(
             let ratio = if baseline == 0 {
                 1.0
             } else {
-                *current_ns as f64 / baseline as f64
+                current_ns as f64 / baseline as f64
             };
             (
                 Some(baseline),
@@ -253,7 +326,7 @@ pub fn regress(
         rows.push(RegressRow {
             algo: algo.clone(),
             baseline_ns,
-            current_ns: *current_ns,
+            current_ns,
             ratio,
             breach,
         });
@@ -288,7 +361,11 @@ mod tests {
         BenchEntry {
             git_rev: rev.to_owned(),
             threads,
-            algorithms: ns.iter().map(|(a, n)| ((*a).to_owned(), *n)).collect(),
+            bench: DEFAULT_BENCH.to_owned(),
+            algorithms: ns
+                .iter()
+                .map(|(a, n)| ((*a).to_owned(), AlgoTiming::ns(*n)))
+                .collect(),
         }
     }
 
@@ -301,6 +378,7 @@ mod tests {
         let e = parse_bench_snapshot(text).unwrap();
         assert_eq!(e.git_rev, "abc1234");
         assert_eq!(e.threads, 8);
+        assert_eq!(e.bench, DEFAULT_BENCH, "missing `bench` defaults to truth");
         assert_eq!(e.ns("mv"), Some(1000));
         assert_eq!(e.ns("ds"), Some(2000));
         assert_eq!(e.ns("missing"), None);
@@ -312,10 +390,52 @@ mod tests {
         let line = e.to_jsonl_line();
         assert_eq!(
             line,
-            "{\"git_rev\":\"abc\",\"threads\":4,\"algorithms\":{\"mv\":123,\"ds\":456}}"
+            "{\"git_rev\":\"abc\",\"threads\":4,\"bench\":\"truth\",\
+\"algorithms\":{\"mv\":123,\"ds\":456}}"
         );
         let parsed = parse_history(&format!("{line}\n{line}\n")).unwrap();
         assert_eq!(parsed, vec![e.clone(), e]);
+    }
+
+    #[test]
+    fn history_lines_without_bench_field_parse_as_truth() {
+        let legacy = "{\"git_rev\":\"abc\",\"threads\":4,\"algorithms\":{\"mv\":123}}";
+        let parsed = parse_history(legacy).unwrap();
+        assert_eq!(parsed[0].bench, DEFAULT_BENCH);
+        assert_eq!(parsed[0].ns("mv"), Some(123));
+    }
+
+    #[test]
+    fn peak_rss_roundtrips_through_object_form() {
+        let mut e = entry("abc", 8, &[("ds", 10)]);
+        e.bench = "scale".to_owned();
+        e.algorithms.push((
+            "glad".to_owned(),
+            AlgoTiming {
+                ns_per_iter: 999,
+                peak_rss: Some(4096),
+            },
+        ));
+        let line = e.to_jsonl_line();
+        assert_eq!(
+            line,
+            "{\"git_rev\":\"abc\",\"threads\":8,\"bench\":\"scale\",\"algorithms\":\
+{\"ds\":10,\"glad\":{\"ns_per_iter\":999,\"peak_rss\":4096}}}"
+        );
+        let parsed = parse_history(&line).unwrap();
+        assert_eq!(parsed, vec![e]);
+    }
+
+    #[test]
+    fn regress_never_compares_across_bench_families() {
+        let mut scale = entry("old", 4, &[("ds", 10)]);
+        scale.bench = "scale".to_owned();
+        let history = vec![scale, entry("r0", 4, &[("ds", 1000)])];
+        // A truth-family current at 4 threads only sees the truth entry.
+        let rep = regress(&history, &entry("cur", 4, &[("ds", 1100)]), 5, 0.25);
+        assert_eq!(rep.window_used, 1);
+        assert_eq!(rep.rows[0].baseline_ns, Some(1000));
+        assert!(!rep.breached, "10ns scale entry must not poison the baseline");
     }
 
     #[test]

@@ -28,8 +28,8 @@ pub mod stream;
 
 pub use diff::{first_divergence, metric_deltas, render_deltas, DeltaThresholds, Divergence};
 pub use history::{
-    append_history, git_short_rev, parse_bench_snapshot, parse_history, regress, BenchEntry,
-    RegressReport,
+    append_history, git_short_rev, parse_bench_snapshot, parse_history, regress, AlgoTiming,
+    BenchEntry, RegressReport,
 };
 pub use replay::{replay, Replay};
 pub use stream::{parse_stream, LoadedStream, OwnedEvent, StreamError};

@@ -25,6 +25,12 @@
 //! the soft-count M-step over worker ranges via
 //! [`parallel_items_mut`]; both write disjoint item slots from shared
 //! read-only state, so posteriors are byte-identical at any thread count.
+//!
+//! With [`crate::freeze::FreezeConfig`] enabled (`config.freeze`), the
+//! E-step goes sparse: converged tasks freeze out of the worklist (their
+//! pinned posterior rows keep feeding the M-step), and workers whose tasks
+//! have all frozen skip their confusion-matrix recompute — a pure no-op,
+//! since recomputing from pinned inputs reproduces the same bits.
 
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::par::parallel_items_mut;
@@ -34,9 +40,10 @@ use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 use crowdkit_obs as obs;
 
 use crate::em::{
-    argmax_labels, log_normalize, max_abs_diff, normalize, obs_iter, obs_run, posterior_rows,
-    resolve_threads, update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
+    argmax_labels, log_normalize, normalize, obs_iter, obs_run, posterior_rows, resolve_threads,
+    update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
 };
+use crate::freeze::ActiveSet;
 
 /// The Dawid–Skene EM algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -68,7 +75,7 @@ impl DawidSkene {
 
         // Flat state, allocated once and reused every iteration.
         let mut posteriors = vote_fraction_posteriors(matrix);
-        let mut next = vec![0.0f64; n_tasks * k];
+        let mut aset = ActiveSet::new(cfg.freeze, n_tasks, k, w_off);
         let mut priors = vec![1.0 / k as f64; k];
         let mut log_priors = vec![0.0f64; k];
         // Confusion matrices: `confusion[w*k*k + t*k + l] = π_w[t][l]`.
@@ -96,11 +103,19 @@ impl DawidSkene {
                 *lp = p.max(LN_FLOOR).ln();
             }
             let post = &posteriors;
+            let aset_r = &aset;
             parallel_items_mut(&mut confusion, k * k, threads, |w0, run| {
                 for (i, cm) in run.chunks_mut(k * k).enumerate() {
                     let w = w0 + i;
+                    // Every input to this worker's soft counts is a pinned
+                    // posterior row: recomputing would reproduce the same
+                    // bits, so skip (the dense-reference mode recomputes
+                    // and the equivalence tests verify the claim).
+                    if aset_r.can_skip_worker_update(w) {
+                        continue;
+                    }
                     cm.fill(cfg.smoothing);
-                    for &(t, l) in &w_entries[w_off[w]..w_off[w + 1]] {
+                    for &(t, l) in &w_entries[w_off[w] as usize..w_off[w + 1] as usize] {
                         let row = &post[t as usize * k..t as usize * k + k];
                         for (truth, &p) in row.iter().enumerate() {
                             cm[truth * k + l as usize] += p;
@@ -118,7 +133,11 @@ impl DawidSkene {
             let conf = &confusion;
             parallel_items_mut(&mut log_table, k * k, threads, |w0, run| {
                 for (i, lt) in run.chunks_mut(k * k).enumerate() {
-                    let cm = &conf[(w0 + i) * k * k..(w0 + i + 1) * k * k];
+                    let w = w0 + i;
+                    if aset_r.can_skip_worker_update(w) {
+                        continue;
+                    }
+                    let cm = &conf[w * k * k..(w + 1) * k * k];
                     for l in 0..k {
                         for t in 0..k {
                             lt[l * k + t] = cm[t * k + l].max(LN_FLOOR).ln();
@@ -130,30 +149,28 @@ impl DawidSkene {
             let m_ns = t_m.map_or(0, |t| t.elapsed_ns());
             let t_e = obs_on.then(obs::WallTimer::start);
 
-            // E-step over task ranges: per task, start from the log priors
-            // and add one contiguous log-table slice per observation.
-            let log_priors = &log_priors;
-            let log_table = &log_table;
-            parallel_items_mut(&mut next, k, threads, |t0, run| {
-                for (i, row) in run.chunks_mut(k).enumerate() {
-                    let t = t0 + i;
-                    row.copy_from_slice(log_priors);
-                    for &(w, l) in &t_entries[t_off[t]..t_off[t + 1]] {
-                        let base = (w as usize * k + l as usize) * k;
-                        let lt = &log_table[base..base + k];
-                        for (x, &add) in row.iter_mut().zip(lt) {
-                            *x += add;
-                        }
+            // E-step over the active worklist (all tasks while freezing is
+            // off): per task, start from the log priors and add one
+            // contiguous log-table slice per observation.
+            let log_priors_r = &log_priors;
+            let log_table_r = &log_table;
+            let out = aset.sweep(&mut posteriors, t_off, t_entries, threads, |t, row| {
+                row.copy_from_slice(log_priors_r);
+                for &(w, l) in &t_entries[t_off[t] as usize..t_off[t + 1] as usize] {
+                    let base = (w as usize * k + l as usize) * k;
+                    let lt = &log_table_r[base..base + k];
+                    for (x, &add) in row.iter_mut().zip(lt) {
+                        *x += add;
                     }
-                    log_normalize(row);
                 }
+                log_normalize(row);
             });
 
-            let delta = max_abs_diff(&posteriors, &next);
-            std::mem::swap(&mut posteriors, &mut next);
+            let delta = out.delta;
             if obs_on {
                 let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "ds", iterations, delta, m_ns, e_ns);
+                aset.observe(&*rec, "ds", iterations, &out);
             }
             if delta < cfg.tol {
                 converged = true;

@@ -60,20 +60,12 @@ pub(crate) fn vote_fraction_posteriors(matrix: &ResponseMatrix) -> Vec<f64> {
     let (offsets, entries) = matrix.task_csr();
     let mut post = vec![0.0f64; matrix.num_tasks() * k];
     for (t, row) in post.chunks_mut(k).enumerate() {
-        for &(_, l) in &entries[offsets[t]..offsets[t + 1]] {
+        for &(_, l) in &entries[offsets[t] as usize..offsets[t + 1] as usize] {
             row[l as usize] += 1.0;
         }
         normalize(row);
     }
     post
-}
-
-/// Largest absolute difference between two flat posterior tables.
-pub(crate) fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
-    a.iter()
-        .zip(b)
-        .map(|(x, y)| (x - y).abs())
-        .fold(0.0, f64::max)
 }
 
 /// Picks the argmax label of each `k`-wide row of a flat posterior table
@@ -197,6 +189,10 @@ pub struct EmConfig {
     /// automatically from the problem size; any explicit value is used
     /// as-is. Results are byte-identical at every setting.
     pub threads: usize,
+    /// Per-task convergence freezing (the sparse incremental E-step).
+    /// Disabled by default, which reproduces the dense kernels bit for
+    /// bit; see [`crate::freeze::FreezeConfig`].
+    pub freeze: crate::freeze::FreezeConfig,
 }
 
 impl Default for EmConfig {
@@ -206,6 +202,7 @@ impl Default for EmConfig {
             tol: 1e-6,
             smoothing: 0.01,
             threads: 0,
+            freeze: crate::freeze::FreezeConfig::disabled(),
         }
     }
 }
@@ -214,6 +211,11 @@ impl EmConfig {
     /// Returns a copy pinned to `threads` kernel threads.
     pub fn with_threads(self, threads: usize) -> Self {
         Self { threads, ..self }
+    }
+
+    /// Returns a copy with the given freezing settings.
+    pub fn with_freeze(self, freeze: crate::freeze::FreezeConfig) -> Self {
+        Self { freeze, ..self }
     }
 }
 
@@ -254,13 +256,6 @@ mod tests {
         let mut priors = vec![0.0, 0.0];
         update_priors(&post, 2, &mut priors);
         assert_eq!(priors, vec![0.5, 0.5]);
-    }
-
-    #[test]
-    fn max_abs_diff_finds_largest_gap() {
-        let a = [0.5, 0.5, 0.9, 0.1];
-        let b = [0.5, 0.5, 0.6, 0.4];
-        assert!((max_abs_diff(&a, &b) - 0.3).abs() < 1e-12);
     }
 
     #[test]

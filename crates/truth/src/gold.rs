@@ -170,7 +170,7 @@ impl TruthInferencer for GoldWeightedVote {
         let (offsets, entries) = matrix.task_csr();
         let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
         for (t, row) in posteriors.chunks_mut(k).enumerate() {
-            for &(w, l) in &entries[offsets[t]..offsets[t + 1]] {
+            for &(w, l) in &entries[offsets[t] as usize..offsets[t + 1] as usize] {
                 row[l as usize] += weight_of(w as usize);
             }
             normalize(row);

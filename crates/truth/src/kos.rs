@@ -90,9 +90,10 @@ impl TruthInferencer for Kos {
         // Flat CSR edge adjacency: for each task/worker, which edge
         // (observation) indices touch it, grouped contiguously with offset
         // arrays — one counting-sort pass, mirroring the response matrix's
-        // own layout.
-        let mut t_off = vec![0usize; n_tasks + 1];
-        let mut w_off = vec![0usize; n_workers + 1];
+        // own u32 layout (the matrix caps observations at `u32::MAX`, so
+        // edge indices and offsets both fit).
+        let mut t_off = vec![0u32; n_tasks + 1];
+        let mut w_off = vec![0u32; n_workers + 1];
         for o in obs {
             t_off[o.task + 1] += 1;
             w_off[o.worker + 1] += 1;
@@ -108,9 +109,9 @@ impl TruthInferencer for Kos {
         let mut t_cur = t_off.clone();
         let mut w_cur = w_off.clone();
         for (i, o) in obs.iter().enumerate() {
-            task_edges[t_cur[o.task]] = i as u32;
+            task_edges[t_cur[o.task] as usize] = i as u32;
             t_cur[o.task] += 1;
-            worker_edges[w_cur[o.worker]] = i as u32;
+            worker_edges[w_cur[o.worker] as usize] = i as u32;
             w_cur[o.worker] += 1;
         }
 
@@ -127,7 +128,7 @@ impl TruthInferencer for Kos {
                 for (i, s) in run.iter_mut().enumerate() {
                     let t = t0 + i;
                     let mut acc = 0.0;
-                    for &e in &task_edges_r[t_off_r[t]..t_off_r[t + 1]] {
+                    for &e in &task_edges_r[t_off_r[t] as usize..t_off_r[t + 1] as usize] {
                         acc += sign[e as usize] * y_r[e as usize];
                     }
                     *s = acc;
@@ -147,7 +148,7 @@ impl TruthInferencer for Kos {
                 for (i, s) in run.iter_mut().enumerate() {
                     let w = w0 + i;
                     let mut acc = 0.0;
-                    for &e in &worker_edges_r[w_off_r[w]..w_off_r[w + 1]] {
+                    for &e in &worker_edges_r[w_off_r[w] as usize..w_off_r[w + 1] as usize] {
                         acc += sign[e as usize] * x_r[e as usize];
                     }
                     *s = acc;

@@ -23,6 +23,12 @@
 //! freely. [`sequential`] provides the stopping rules used for cost control
 //! (fixed-k, majority margin, SPRT), and [`pipeline`] the collect-then-infer
 //! driver shared by examples and experiments.
+//!
+//! The EM kernels scale to million-task workloads via the sparse
+//! incremental E-step in [`freeze`]: tasks whose posteriors stop moving
+//! are frozen out of the per-iteration worklist (see `DESIGN.md` §11).
+//! Freezing is off by default and the dense behaviour is reproduced bit
+//! for bit.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -30,6 +36,7 @@
 
 pub mod dawid_skene;
 pub mod em;
+pub mod freeze;
 pub mod glad;
 pub mod gold;
 pub mod kos;
@@ -40,6 +47,7 @@ pub mod pipeline;
 pub mod sequential;
 
 pub use dawid_skene::DawidSkene;
+pub use freeze::FreezeConfig;
 pub use glad::Glad;
 pub use gold::{GoldSet, GoldWeightedVote};
 pub use kos::Kos;

@@ -31,7 +31,7 @@ impl TruthInferencer for MajorityVote {
         let (offsets, entries) = matrix.task_csr();
         let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
         for (t, row) in posteriors.chunks_mut(k).enumerate() {
-            for &(_, l) in &entries[offsets[t]..offsets[t + 1]] {
+            for &(_, l) in &entries[offsets[t] as usize..offsets[t + 1] as usize] {
                 row[l as usize] += 1.0;
             }
             normalize(row);
@@ -108,7 +108,7 @@ impl TruthInferencer for WeightedMajorityVote {
         let (offsets, entries) = matrix.task_csr();
         let mut posteriors = vec![0.0f64; matrix.num_tasks() * k];
         for (t, row) in posteriors.chunks_mut(k).enumerate() {
-            for &(w, l) in &entries[offsets[t]..offsets[t + 1]] {
+            for &(w, l) in &entries[offsets[t] as usize..offsets[t + 1] as usize] {
                 row[l as usize] += dense_weights[w as usize];
             }
             normalize(row);

@@ -8,11 +8,14 @@
 //! parameters, which wins when workers answer only a handful of tasks.
 
 //!
-//! The kernel mirrors the Dawid–Skene layout: flat ping-pong posterior
-//! buffers, per-worker log tables (`ln p_w`, `ln` of the wrong-label
-//! share) refreshed once per M-step, reliability estimation sharded over
-//! worker ranges and the E-step over task ranges — byte-identical output
-//! at any thread count.
+//! The kernel mirrors the Dawid–Skene layout: flat posterior tables,
+//! per-worker log tables (`ln p_w`, `ln` of the wrong-label share)
+//! refreshed once per M-step, reliability estimation sharded over worker
+//! ranges and the E-step over task ranges — byte-identical output at any
+//! thread count. `config.freeze` enables the sparse incremental E-step
+//! shared with the other EM kernels (see [`crate::freeze`]): frozen tasks
+//! leave the worklist and fully-frozen workers skip their (bitwise no-op)
+//! reliability recompute.
 
 use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::par::parallel_items_mut;
@@ -22,9 +25,10 @@ use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 use crowdkit_obs as obs;
 
 use crate::em::{
-    argmax_labels, log_normalize, max_abs_diff, obs_iter, obs_run, posterior_rows,
-    resolve_threads, update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
+    argmax_labels, log_normalize, obs_iter, obs_run, posterior_rows, resolve_threads,
+    update_priors, vote_fraction_posteriors, EmConfig, LN_FLOOR,
 };
+use crate::freeze::ActiveSet;
 
 /// The one-coin EM algorithm.
 #[derive(Debug, Clone, Copy, Default)]
@@ -59,7 +63,7 @@ impl TruthInferencer for OneCoinEm {
         let (w_off, w_entries) = matrix.worker_csr();
 
         let mut posteriors = vote_fraction_posteriors(matrix);
-        let mut next = vec![0.0f64; n_tasks * k];
+        let mut aset = ActiveSet::new(cfg.freeze, n_tasks, k, w_off);
         let mut priors = vec![1.0 / k as f64; k];
         let mut log_priors = vec![0.0f64; k];
         let mut reliability = vec![0.8f64; n_workers];
@@ -86,12 +90,18 @@ impl TruthInferencer for OneCoinEm {
                 *lp = p.max(LN_FLOOR).ln();
             }
             let post = &posteriors;
+            let aset_r = &aset;
             parallel_items_mut(&mut reliability, 1, threads, |w0, run| {
                 for (i, r) in run.iter_mut().enumerate() {
                     let w = w0 + i;
+                    // All of this worker's posterior inputs are pinned:
+                    // recomputing reproduces the same bits, so skip.
+                    if aset_r.can_skip_worker_update(w) {
+                        continue;
+                    }
                     let mut correct = cfg.smoothing;
                     let mut total = 2.0 * cfg.smoothing;
-                    for &(t, l) in &w_entries[w_off[w]..w_off[w + 1]] {
+                    for &(t, l) in &w_entries[w_off[w] as usize..w_off[w + 1] as usize] {
                         correct += post[t as usize * k + l as usize];
                         total += 1.0;
                     }
@@ -110,35 +120,33 @@ impl TruthInferencer for OneCoinEm {
             let m_ns = t_m.map_or(0, |t| t.elapsed_ns());
             let t_e = obs_on.then(obs::WallTimer::start);
 
-            // E-step over task ranges. Per observation the update is a
-            // scalar: every label gets the worker's wrong-answer mass, the
-            // observed label the right/wrong correction — O(obs + k) per
-            // task instead of O(obs · k).
-            let log_priors = &log_priors;
-            let log_right = &log_right;
-            let log_wrong = &log_wrong;
-            parallel_items_mut(&mut next, k, threads, |t0, run| {
-                for (i, row) in run.chunks_mut(k).enumerate() {
-                    let t = t0 + i;
-                    row.copy_from_slice(log_priors);
-                    let mut base = 0.0;
-                    for &(w, l) in &t_entries[t_off[t]..t_off[t + 1]] {
-                        let w = w as usize;
-                        base += log_wrong[w];
-                        row[l as usize] += log_right[w] - log_wrong[w];
-                    }
-                    for x in row.iter_mut() {
-                        *x += base;
-                    }
-                    log_normalize(row);
+            // E-step over the active worklist (all tasks while freezing is
+            // off). Per observation the update is a scalar: every label
+            // gets the worker's wrong-answer mass, the observed label the
+            // right/wrong correction — O(obs + k) per task instead of
+            // O(obs · k).
+            let log_priors_r = &log_priors;
+            let log_right_r = &log_right;
+            let log_wrong_r = &log_wrong;
+            let out = aset.sweep(&mut posteriors, t_off, t_entries, threads, |t, row| {
+                row.copy_from_slice(log_priors_r);
+                let mut base = 0.0;
+                for &(w, l) in &t_entries[t_off[t] as usize..t_off[t + 1] as usize] {
+                    let w = w as usize;
+                    base += log_wrong_r[w];
+                    row[l as usize] += log_right_r[w] - log_wrong_r[w];
                 }
+                for x in row.iter_mut() {
+                    *x += base;
+                }
+                log_normalize(row);
             });
 
-            let delta = max_abs_diff(&posteriors, &next);
-            std::mem::swap(&mut posteriors, &mut next);
+            let delta = out.delta;
             if obs_on {
                 let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "zc", iterations, delta, m_ns, e_ns);
+                aset.observe(&*rec, "zc", iterations, &out);
             }
             if delta < cfg.tol {
                 converged = true;

@@ -7,11 +7,18 @@
 //! over disjoint item ranges and keeping every cross-item reduction
 //! sequential in fixed order, so chunk boundaries cannot perturb a single
 //! bit of the output.
+//!
+//! The sparse incremental E-step (convergence freezing) extends the
+//! contract: for any freezing settings, the active-set worklist path must
+//! match the dense-reference evaluation of the same semantics bit for bit
+//! — at 1, 2, and 8 threads — including the worker-model entries the
+//! worklist path skips as "recompute-would-be-identical".
 
 use crowdkit_core::ids::{TaskId, WorkerId};
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::traits::{InferenceResult, TruthInferencer};
 use crowdkit_truth::em::EmConfig;
+use crowdkit_truth::freeze::FreezeConfig;
 use crowdkit_truth::glad::GladConfig;
 use crowdkit_truth::{DawidSkene, Glad, Kos, OneCoinEm};
 use proptest::prelude::*;
@@ -46,6 +53,58 @@ where
     Ok(())
 }
 
+/// Arbitrary enabled freezing settings: tolerances loose enough to
+/// actually freeze tasks on small matrices, patience 1–2, with and
+/// without periodic rechecks.
+fn freeze_strategy() -> impl Strategy<Value = FreezeConfig> {
+    (
+        prop_oneof![Just(1e-4f64), Just(1e-3), Just(1e-2)],
+        1u32..3,
+        prop_oneof![Just(0u32), Just(2), Just(3)],
+    )
+        .prop_map(|(eps, patience, recheck)| {
+            FreezeConfig::sparse(eps)
+                .with_patience(patience)
+                .with_recheck(recheck)
+        })
+}
+
+/// Runs `make(threads, freeze).infer(m)` with the worklist path and the
+/// dense-reference path at widths 1, 2, and 8 and demands all six results
+/// exactly equal: freezing must change the cost of an iteration, never
+/// its outcome.
+fn assert_sparse_matches_dense<F>(
+    m: &ResponseMatrix,
+    fz: FreezeConfig,
+    make: F,
+) -> std::result::Result<(), TestCaseError>
+where
+    F: Fn(usize, FreezeConfig) -> Box<dyn TruthInferencer>,
+{
+    let reference: InferenceResult = make(1, fz.with_dense_reference(true))
+        .infer(m)
+        .expect("non-empty matrix infers");
+    for threads in [1usize, 2, 8] {
+        let sparse = make(threads, fz).infer(m).expect("non-empty matrix infers");
+        prop_assert_eq!(
+            &reference,
+            &sparse,
+            "worklist path diverges from the dense reference at {} threads",
+            threads
+        );
+        let dense = make(threads, fz.with_dense_reference(true))
+            .infer(m)
+            .expect("non-empty matrix infers");
+        prop_assert_eq!(
+            &reference,
+            &dense,
+            "dense reference is not thread-invariant at {} threads",
+            threads
+        );
+    }
+    Ok(())
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
 
@@ -73,5 +132,64 @@ proptest! {
     #[test]
     fn kos_is_thread_invariant(m in matrix_strategy(2)) {
         assert_thread_invariant(&m, |t| Box::new(Kos::default().with_threads(t)))?;
+    }
+
+    #[test]
+    fn dawid_skene_sparse_matches_dense_reference(
+        m in matrix_strategy(3),
+        fz in freeze_strategy(),
+    ) {
+        assert_sparse_matches_dense(&m, fz, |t, fz| {
+            Box::new(DawidSkene::with_config(
+                EmConfig::default().with_threads(t).with_freeze(fz),
+            ))
+        })?;
+    }
+
+    #[test]
+    fn one_coin_sparse_matches_dense_reference(
+        m in matrix_strategy(3),
+        fz in freeze_strategy(),
+    ) {
+        assert_sparse_matches_dense(&m, fz, |t, fz| {
+            Box::new(OneCoinEm::with_config(
+                EmConfig::default().with_threads(t).with_freeze(fz),
+            ))
+        })?;
+    }
+
+    #[test]
+    fn glad_sparse_matches_dense_reference(
+        m in matrix_strategy(2),
+        fz in freeze_strategy(),
+    ) {
+        assert_sparse_matches_dense(&m, fz, |t, fz| {
+            Box::new(Glad::with_config(
+                GladConfig::default().with_threads(t).with_freeze(fz),
+            ))
+        })?;
+    }
+
+    /// GLAD's freezing semantics also pin the fitted parameters — the
+    /// worklist and dense-reference paths must agree on α and β exactly,
+    /// not just on posteriors.
+    #[test]
+    fn glad_sparse_params_match_dense_reference(
+        m in matrix_strategy(2),
+        fz in freeze_strategy(),
+    ) {
+        let cfg = GladConfig::default();
+        let (r_ref, p_ref) = Glad::with_config(
+            cfg.with_threads(1).with_freeze(fz.with_dense_reference(true)),
+        )
+        .infer_full(&m)
+        .expect("non-empty matrix infers");
+        for threads in [1usize, 2, 8] {
+            let (r, p) = Glad::with_config(cfg.with_threads(threads).with_freeze(fz))
+                .infer_full(&m)
+                .expect("non-empty matrix infers");
+            prop_assert_eq!(&r_ref, &r, "posteriors diverge at {} threads", threads);
+            prop_assert_eq!(&p_ref, &p, "GLAD params diverge at {} threads", threads);
+        }
     }
 }

@@ -35,13 +35,19 @@ print(f"e10 optimizer gate: optimized {opt:.0f} vs naive {naive:.0f} actual spen
 EOF
 
 # Full experiment suite with telemetry: RUNREPORT.json + the headered
-# deterministic event log, then a replay smoke-check over that log.
+# deterministic event log, then replay and metrics-rollup smoke-checks
+# over that log (`top` must find and render the suite's metrics.snapshot
+# telemetry).
 cargo run --release -p crowdkit-bench --bin experiments -- all --report --log RUNLOG.jsonl > /dev/null
 cargo run --release -p crowdkit-trace --bin crowdtrace -- replay RUNLOG.jsonl > /dev/null
+cargo run --release -p crowdkit-trace --bin crowdtrace -- top RUNLOG.jsonl | grep -q 'platform.tasks_answered'
 
-# Telemetry overhead gate: instrumented hot paths must stay within 5% of
-# the null-recorder baseline (asserted inside the bench binary).
+# Telemetry overhead gates: instrumented hot paths must stay within 5% of
+# the null-recorder baseline for obs events and within 3% of the
+# disabled-flag baseline for always-on metrics (asserted inside the bench
+# binaries).
 cargo bench -p crowdkit-bench --bench obs_overhead
+cargo bench -p crowdkit-bench --bench metrics_overhead
 
 # Machine-readable truth-inference timings (per-algorithm ns/iter); each
 # run also appends one line to BENCH_HISTORY.jsonl.

@@ -6,6 +6,7 @@ use crowdkit_core::error::Result;
 use crowdkit_core::response::ResponseMatrix;
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_metrics as metrics;
 use crowdkit_obs::{self as obs, Event};
 
 use crate::policy::{AssignState, AssignmentPolicy};
@@ -54,6 +55,7 @@ where
     let mut matrix = ResponseMatrix::new(k);
     let mut asked = 0usize;
     let rec = obs::current();
+    let m = metrics::current();
     let mut waves = 0u64;
 
     while asked < budget_questions {
@@ -88,6 +90,12 @@ where
                     asked += 1;
                 }
             }
+        }
+        m.assign.waves.inc();
+        m.assign.wave_size.record(wave.len() as u64);
+        m.assign.questions.add((asked - asked_before) as u64);
+        if exhausted {
+            m.assign.exhausted.inc();
         }
         if rec.enabled() {
             rec.record(

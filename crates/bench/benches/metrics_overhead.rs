@@ -1,0 +1,159 @@
+//! Metrics overhead gate: enabled vs disabled metric writes on hot paths.
+//!
+//! `crowdkit-metrics` is *always on* — there is no "no registry" state,
+//! only the process-global enabled flag, whose off position reduces every
+//! primitive write to one relaxed load and a branch. `main` enforces the
+//! always-on budget before the criterion groups run: with metrics enabled
+//! (writes landing in sharded atomics) each workload must stay within 3 %
+//! of the disabled arm. The workloads are the same two hot paths the obs
+//! gate covers — batched platform execution (`ask_batch`) and Dawid–Skene
+//! EM — because those are where per-batch and per-iteration metric
+//! updates concentrate.
+//!
+//! Samples are interleaved (disabled, enabled, disabled, …) so clock
+//! drift and thermal effects hit both arms equally, and the gate compares
+//! minima, the statistic least sensitive to scheduler noise.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use criterion::{criterion_group, Criterion};
+use crowdkit_core::ask::AskRequest;
+use crowdkit_core::response::ResponseMatrix;
+use crowdkit_core::task::Task;
+use crowdkit_core::traits::{CrowdOracle, TruthInferencer};
+use crowdkit_metrics as metrics;
+use crowdkit_sim::dataset::LabelingDataset;
+use crowdkit_sim::latency::LatencyModel;
+use crowdkit_sim::population::{mixes, PopulationBuilder};
+use crowdkit_sim::{PlatformBuilder, SimulatedCrowd};
+use crowdkit_truth::{pipeline::label_tasks, DawidSkene, MajorityVote};
+
+const N_TASKS: usize = 200;
+const VOTES: usize = 3;
+const SEED: u64 = 7;
+const GATE_SAMPLES: usize = 60;
+const MAX_OVERHEAD: f64 = 0.03;
+
+fn workload() -> Vec<Task> {
+    LabelingDataset::binary(N_TASKS, SEED).tasks
+}
+
+fn crowd() -> SimulatedCrowd {
+    let pop = PopulationBuilder::new().reliable(80, 0.8, 0.95).build(SEED);
+    PlatformBuilder::new(pop)
+        .latency(LatencyModel::human_default())
+        .seed(SEED)
+        .threads(4)
+        .build()
+}
+
+fn run_batch(tasks: &[Task]) {
+    let crowd = crowd();
+    let reqs: Vec<AskRequest<'_>> = tasks
+        .iter()
+        .map(|t| AskRequest::new(t).with_redundancy(VOTES))
+        .collect();
+    let outs = crowd.ask_batch(&reqs).expect("unlimited budget");
+    assert!(outs.iter().all(|o| o.delivered() == VOTES));
+}
+
+fn inference_matrix() -> ResponseMatrix {
+    let data = LabelingDataset::binary(500, SEED);
+    let crowd = SimulatedCrowd::new(mixes::mixed(60, SEED), SEED);
+    label_tasks(&crowd, &data.tasks, 5, &MajorityVote)
+        .expect("collection succeeds")
+        .matrix
+}
+
+/// Interleaved min-of-N comparison: runs `f` alternately with metric
+/// writes disabled and enabled (each enabled sample under a fresh scoped
+/// registry, so shard state never saturates into a fast path), returning
+/// `(disabled_min_ns, enabled_min_ns)`.
+fn gate_pair(mut f: impl FnMut()) -> (u64, u64) {
+    // Warm both arms.
+    metrics::set_enabled(false);
+    f();
+    metrics::set_enabled(true);
+    metrics::with_registry(Arc::new(metrics::Registry::new()), &mut f);
+    let mut off_min = u64::MAX;
+    let mut on_min = u64::MAX;
+    for _ in 0..GATE_SAMPLES {
+        metrics::set_enabled(false);
+        let t0 = Instant::now(); // crowdkit-lint: allow(DET002) — benchmark harness: measuring wall time is the point
+        f();
+        off_min = off_min.min(t0.elapsed().as_nanos() as u64);
+        metrics::set_enabled(true);
+        let reg = Arc::new(metrics::Registry::new());
+        let t0 = Instant::now(); // crowdkit-lint: allow(DET002) — benchmark harness: measuring wall time is the point
+        metrics::with_registry(reg, &mut f);
+        on_min = on_min.min(t0.elapsed().as_nanos() as u64);
+    }
+    metrics::set_enabled(true);
+    (off_min, on_min)
+}
+
+fn check_overhead(name: &str, f: impl FnMut()) {
+    let (off_min, on_min) = gate_pair(f);
+    let overhead = on_min as f64 / off_min as f64 - 1.0;
+    println!(
+        "{name}: disabled {off_min} ns, enabled {on_min} ns ({:+.2}%)",
+        overhead * 100.0
+    );
+    assert!(
+        overhead < MAX_OVERHEAD,
+        "{name}: metrics overhead {:.2}% exceeds the {:.0}% budget",
+        overhead * 100.0,
+        MAX_OVERHEAD * 100.0
+    );
+}
+
+fn bench_ask_batch(c: &mut Criterion) {
+    let tasks = workload();
+    let mut group = c.benchmark_group("metrics_ask_batch_200x3");
+    group.bench_function("disabled", |b| {
+        metrics::set_enabled(false);
+        b.iter(|| run_batch(std::hint::black_box(&tasks)));
+        metrics::set_enabled(true);
+    });
+    group.bench_function("enabled", |b| {
+        let reg = Arc::new(metrics::Registry::new());
+        b.iter(|| {
+            metrics::with_registry(reg.clone(), || run_batch(std::hint::black_box(&tasks)))
+        });
+    });
+    group.finish();
+}
+
+fn bench_dawid_skene(c: &mut Criterion) {
+    let m = inference_matrix();
+    let ds = DawidSkene::default();
+    let mut group = c.benchmark_group("metrics_dawid_skene_500x5");
+    group.bench_function("disabled", |b| {
+        metrics::set_enabled(false);
+        b.iter(|| ds.infer(std::hint::black_box(&m)).unwrap());
+        metrics::set_enabled(true);
+    });
+    group.bench_function("enabled", |b| {
+        let reg = Arc::new(metrics::Registry::new());
+        b.iter(|| {
+            metrics::with_registry(reg.clone(), || {
+                ds.infer(std::hint::black_box(&m)).unwrap()
+            })
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ask_batch, bench_dawid_skene);
+
+fn main() {
+    let tasks = workload();
+    check_overhead("ask_batch", || run_batch(&tasks));
+    let m = inference_matrix();
+    let ds = DawidSkene::default();
+    check_overhead("dawid_skene", || {
+        std::hint::black_box(ds.infer(&m).unwrap());
+    });
+    benches();
+}

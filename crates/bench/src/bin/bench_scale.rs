@@ -141,13 +141,21 @@ fn time_algo(algo: &dyn TruthInferencer, m: &ResponseMatrix, w: &Workload) -> Al
     }
 }
 
-/// Process peak RSS in bytes from `/proc/self/status` `VmHWM`, when the
-/// platform provides it.
-fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+/// Extracts the `VmHWM` high-water mark (in bytes) from the text of
+/// `/proc/self/status`. Returns `None` for any shape the platform might
+/// hand us short of the Linux format — missing line, missing value,
+/// non-numeric kB count — so the bench degrades to "not measured" instead
+/// of erroring on non-Linux or restricted environments.
+fn parse_vm_hwm(status: &str) -> Option<u64> {
     let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
     let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
     Some(kb * 1024)
+}
+
+/// Process peak RSS in bytes from `/proc/self/status` `VmHWM`, when the
+/// platform provides it.
+fn peak_rss_bytes() -> Option<u64> {
+    parse_vm_hwm(&std::fs::read_to_string("/proc/self/status").ok()?)
 }
 
 fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
@@ -260,16 +268,17 @@ fn main() {
     json.push_str("  \"algorithms\": {\n");
     for (i, (name, t)) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
-        match t.peak_rss {
-            Some(rss) => json.push_str(&format!(
-                "    \"{name}\": {{\"ns_per_iter\": {}, \"peak_rss\": {rss}}}{comma}\n",
-                t.ns_per_iter
-            )),
-            None => json.push_str(&format!(
-                "    \"{name}\": {{\"ns_per_iter\": {}}}{comma}\n",
-                t.ns_per_iter
-            )),
-        }
+        // An explicit null keeps the snapshot schema fixed when VmHWM is
+        // unavailable; readers treat it as "not measured". History lines
+        // (below) omit the field instead — their compact form is the bare
+        // ns integer.
+        let rss = t
+            .peak_rss
+            .map_or("null".to_string(), |rss| rss.to_string());
+        json.push_str(&format!(
+            "    \"{name}\": {{\"ns_per_iter\": {}, \"peak_rss\": {rss}}}{comma}\n",
+            t.ns_per_iter
+        ));
     }
     json.push_str("  }\n}\n");
     std::fs::write(out_path, json).expect("write bench results");
@@ -286,4 +295,25 @@ fn main() {
     };
     append_history(history_path, &entry).expect("append bench history");
     println!("appended {} to {history_path}", entry.git_rev);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vm_hwm_parses_the_linux_status_format() {
+        let status = "Name:\tbench_scale\nVmPeak:\t  201000 kB\nVmHWM:\t  102400 kB\nThreads:\t8\n";
+        assert_eq!(parse_vm_hwm(status), Some(102400 * 1024));
+    }
+
+    #[test]
+    fn vm_hwm_degrades_to_none_off_linux() {
+        // No VmHWM line (macOS, restricted /proc, empty read).
+        assert_eq!(parse_vm_hwm(""), None);
+        assert_eq!(parse_vm_hwm("Name:\tbench\nThreads:\t8\n"), None);
+        // Malformed lines: missing value, non-numeric value.
+        assert_eq!(parse_vm_hwm("VmHWM:\n"), None);
+        assert_eq!(parse_vm_hwm("VmHWM:\tlots kB\n"), None);
+    }
 }

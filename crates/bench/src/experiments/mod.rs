@@ -22,6 +22,7 @@ pub mod e17_worker_supply;
 
 use std::sync::Arc;
 
+use crowdkit_metrics as metrics;
 use crowdkit_obs::{self as obs, Event, ExperimentReport, RunReport};
 
 use crate::table::Table;
@@ -202,20 +203,32 @@ pub fn run_with_report(ids: &[&str], capture_events: bool) -> Option<SuiteRun> {
             .map(|(i, e)| {
                 let shard = shards.shard(i);
                 scope.spawn(move || {
-                    // The recorder scope is thread-local, so it must be
-                    // entered *inside* the experiment's own thread.
+                    // The recorder and metric-registry scopes are
+                    // thread-local, so both must be entered *inside* the
+                    // experiment's own thread. A per-experiment registry
+                    // keeps the concurrently running experiments from
+                    // polluting each other's counters — that independence
+                    // is what makes the metrics.snapshot events below
+                    // byte-identical across suite thread interleavings.
                     let mem = Arc::new(obs::MemoryRecorder::new());
                     let rec: Arc<dyn obs::Recorder> = if capture_events {
                         Arc::new(obs::Tee(shard, mem.clone()))
                     } else {
                         mem.clone()
                     };
+                    let reg = Arc::new(metrics::Registry::new());
                     let start = std::time::Instant::now(); // crowdkit-lint: allow(DET002) — benchmark harness: measuring wall time is the point
                     let text = obs::with_recorder(rec, || {
-                        obs::record(Event::new("exp.begin").str("id", e.id));
-                        let text = run_by_name(e.id).expect("registered id");
-                        obs::record(Event::new("exp.end").str("id", e.id));
-                        text
+                        metrics::with_registry(reg.clone(), || {
+                            obs::record(Event::new("exp.begin").str("id", e.id));
+                            let text = run_by_name(e.id).expect("registered id");
+                            // Flush the experiment's final metric state as
+                            // one snapshot delta before the end marker, so
+                            // the events sit inside the exp span.
+                            metrics::SnapshotExporter::new().emit(&reg, None);
+                            obs::record(Event::new("exp.end").str("id", e.id));
+                            text
+                        })
                     });
                     let wall_ms = start.elapsed().as_millis() as u64;
                     let rep =

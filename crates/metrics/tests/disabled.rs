@@ -1,0 +1,25 @@
+//! The `set_enabled(false)` kill switch drops all metric writes.
+//!
+//! This is deliberately the *only* test in this binary: the enabled flag
+//! is process-global, and toggling it while other tests run in parallel
+//! threads of the same test binary would drop their writes too.
+
+use crowdkit_metrics::{set_enabled, Clock, Counter, Gauge, Histogram};
+
+#[test]
+fn disabled_writes_are_dropped() {
+    let c = Counter::new();
+    let g = Gauge::new();
+    let h = Histogram::new(Clock::Det);
+    set_enabled(false);
+    c.inc();
+    g.set(5);
+    h.record(9);
+    set_enabled(true);
+    assert_eq!(c.value(), 0);
+    assert_eq!(g.value(), 0);
+    assert_eq!(h.merged().count, 0);
+    // Re-enabled writes land again.
+    c.inc();
+    assert_eq!(c.value(), 1);
+}

@@ -40,6 +40,7 @@ use crowdkit_core::error::{CrowdError, Result};
 use crowdkit_core::ids::{TaskId, WorkerId};
 use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
+use crowdkit_metrics as metrics;
 use crowdkit_obs::{self as obs, Event};
 use parking_lot::Mutex;
 use rand::rngs::StdRng;
@@ -492,6 +493,12 @@ impl CrowdOracle for SimulatedCrowd {
             .insert(worker.id);
         self.delivered.fetch_add(1, Ordering::Relaxed);
 
+        let m = metrics::current();
+        m.platform.tasks_queued.inc();
+        m.platform.tasks_assigned.inc();
+        m.platform.tasks_answered.inc();
+        m.platform.spend_micros.add(metrics::to_micros(price));
+
         let rec = obs::current();
         if rec.enabled() {
             rec.sample("platform.latency", service);
@@ -531,6 +538,10 @@ impl CrowdOracle for SimulatedCrowd {
             return Ok(Vec::new());
         }
         let rec = obs::current();
+        let m = metrics::current();
+        m.platform.tasks_queued.add(reqs.len() as u64);
+        m.platform.batches.inc();
+        m.platform.open_batch_depth.set(reqs.len() as i64);
         let t_plan = obs::WallTimer::start();
 
         // ---- Phase 1: sequential planning ------------------------------
@@ -632,15 +643,24 @@ impl CrowdOracle for SimulatedCrowd {
             let mut core = self.core.lock();
             core.clock = core.clock.max(makespan);
         }
-        if enabled {
-            let (mut budget_stopped, mut no_worker) = (0u64, 0u64);
-            for o in &outcomes {
-                match &o.shortfall {
-                    Some(CrowdError::BudgetExhausted { .. }) => budget_stopped += 1,
-                    Some(CrowdError::NoWorkerAvailable) => no_worker += 1,
-                    _ => {}
-                }
+        let (mut budget_stopped, mut no_worker) = (0u64, 0u64);
+        for o in &outcomes {
+            match &o.shortfall {
+                Some(CrowdError::BudgetExhausted { .. }) => budget_stopped += 1,
+                Some(CrowdError::NoWorkerAvailable) => no_worker += 1,
+                _ => {}
             }
+        }
+        m.platform.tasks_assigned.add(plan.len() as u64);
+        m.platform.tasks_answered.add(plan.len() as u64);
+        m.platform
+            .spend_micros
+            .add(metrics::to_micros(plan.iter().map(|p| p.price).sum()));
+        m.platform.budget_stopped.add(budget_stopped);
+        m.platform.no_worker.add(no_worker);
+        m.platform.open_batch_depth.set(0);
+        m.platform.batch_ns.record(plan_ns + exec_ns);
+        if enabled {
             rec.record(
                 Event::new("platform.batch")
                     .at(makespan)

@@ -6,6 +6,9 @@
 //! crowdtrace regress --history <BENCH_HISTORY.jsonl> --current <BENCH_truth.json>
 //!                    [--window N] [--threshold F]
 //! crowdtrace history <BENCH_truth.json> --history <BENCH_HISTORY.jsonl>
+//! crowdtrace history --history <BENCH_HISTORY.jsonl> [--bench FAMILY] [--last N]
+//! crowdtrace top <stream.jsonl> [--watch SECS]
+//! crowdtrace metrics <stream.jsonl> [--series NAME]
 //! ```
 //!
 //! Exit codes: `diff` exits 0 when the deterministic event bodies are
@@ -20,10 +23,12 @@ use std::process::ExitCode;
 
 use crowdkit_trace::diff::{first_divergence, metric_deltas, render_deltas, DeltaThresholds};
 use crowdkit_trace::history::{
-    append_history, parse_bench_snapshot, parse_history, regress, BenchEntry,
+    append_history, parse_bench_snapshot, parse_history, regress, render_history_listing,
+    BenchEntry,
 };
 use crowdkit_trace::replay::replay;
 use crowdkit_trace::stream::{parse_stream, LoadedStream};
+use crowdkit_trace::top;
 
 const USAGE: &str = "crowdtrace — inspect, compare, and gate crowdkit obs streams
 
@@ -51,6 +56,23 @@ USAGE:
   crowdtrace history <BENCH_*.json> --history <BENCH_HISTORY.jsonl>
       Append the current bench snapshot (truth or scale) to the history
       file.
+
+  crowdtrace history --history <BENCH_HISTORY.jsonl> [--bench FAMILY] [--last N]
+      Without a snapshot path: list the history entries instead, newest
+      last, optionally filtered to one bench family and limited to the
+      last N matching entries.
+
+  crowdtrace top <stream.jsonl> [--watch SECS]
+      Fold the stream's metrics.snapshot telemetry deltas back into
+      totals and render them as a per-subsystem table (counters sum,
+      gauges keep their latest value, histograms merge). --watch re-reads
+      the file every SECS seconds, tolerating a partially written last
+      line, until interrupted.
+
+  crowdtrace metrics <stream.jsonl> [--series NAME]
+      List the metric series present in a stream, or with --series print
+      every snapshot of that one series over time (line, seq, sim clock,
+      delta payload).
 ";
 
 fn main() -> ExitCode {
@@ -84,6 +106,8 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "diff" => cmd_diff(&args[1..]),
         "regress" => cmd_regress(&args[1..]),
         "history" => cmd_history(&args[1..]),
+        "top" => cmd_top(&args[1..]),
+        "metrics" => cmd_metrics(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -231,23 +255,122 @@ fn cmd_regress(args: &[String]) -> Result<ExitCode, CliError> {
 }
 
 fn cmd_history(args: &[String]) -> Result<ExitCode, CliError> {
-    let (positional, flags) = parse_flags(args, &["history"])?;
-    let [current_path] = positional[..] else {
-        return Err(CliError::Usage(
-            "history wants exactly one snapshot path".into(),
-        ));
-    };
+    let (positional, flags) = parse_flags(args, &["history", "bench", "last"])?;
     let history_path = flag(&flags, "history")
         .ok_or_else(|| CliError::Usage("history needs `--history <BENCH_HISTORY.jsonl>`".into()))?;
-    let entry = load_snapshot(current_path)?;
-    append_history(history_path, &entry)
-        .map_err(|e| CliError::Data(format!("cannot append to `{history_path}`: {e}")))?;
-    println!(
-        "appended {} ({} algorithms, {} threads) to {history_path}",
-        entry.git_rev,
-        entry.algorithms.len(),
-        entry.threads
-    );
+    match positional[..] {
+        // Append mode: a snapshot path adds one line to the history file.
+        [current_path] => {
+            if flag(&flags, "bench").is_some() || flag(&flags, "last").is_some() {
+                return Err(CliError::Usage(
+                    "`--bench`/`--last` list history; omit the snapshot path".into(),
+                ));
+            }
+            let entry = load_snapshot(current_path)?;
+            append_history(history_path, &entry)
+                .map_err(|e| CliError::Data(format!("cannot append to `{history_path}`: {e}")))?;
+            println!(
+                "appended {} ({} algorithms, {} threads) to {history_path}",
+                entry.git_rev,
+                entry.algorithms.len(),
+                entry.threads
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        // Listing mode: no snapshot path, optional family filter and limit.
+        [] => {
+            let bench = flag(&flags, "bench");
+            let last = match flag(&flags, "last") {
+                None => None,
+                Some(v) => Some(v.parse::<usize>().map_err(|_| {
+                    CliError::Usage(format!("flag `--last` wants an integer, got `{v}`"))
+                })?),
+            };
+            let entries = parse_history(&read_file(history_path)?)
+                .map_err(|e| CliError::Data(format!("{history_path}: {e}")))?;
+            print!("{}", render_history_listing(&entries, bench, last));
+            Ok(ExitCode::SUCCESS)
+        }
+        _ => Err(CliError::Usage(
+            "history wants at most one snapshot path".into(),
+        )),
+    }
+}
+
+fn cmd_top(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["watch"])?;
+    let [path] = positional[..] else {
+        return Err(CliError::Usage("top wants exactly one stream path".into()));
+    };
+    let watch = match flag(&flags, "watch") {
+        None => None,
+        Some(v) => Some(v.parse::<u64>().map_err(|_| {
+            CliError::Usage(format!("flag `--watch` wants whole seconds, got `{v}`"))
+        })?),
+    };
+    let Some(secs) = watch else {
+        let stream = load(path)?;
+        print!("{}", top::collect(&stream).render());
+        return Ok(ExitCode::SUCCESS);
+    };
+    // Watch mode: the writer may still be appending, so a torn final line
+    // is expected — parse only up to the last complete newline, and on a
+    // parse error keep the previous rendering rather than dying mid-run.
+    loop {
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                let complete = match text.rfind('\n') {
+                    Some(end) => &text[..=end],
+                    None => "",
+                };
+                if let Ok(stream) = parse_stream(complete) {
+                    // Clear the terminal like top(1) so the table repaints
+                    // in place.
+                    print!("\x1b[2J\x1b[H{}", top::collect(&stream).render());
+                    println!("\n(watching {path} every {secs}s — ^C to stop)");
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                println!("(waiting for {path} to appear)");
+            }
+            Err(e) => return Err(CliError::Data(format!("cannot read `{path}`: {e}"))),
+        }
+        std::thread::sleep(std::time::Duration::from_secs(secs.max(1)));
+    }
+}
+
+fn cmd_metrics(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["series"])?;
+    let [path] = positional[..] else {
+        return Err(CliError::Usage(
+            "metrics wants exactly one stream path".into(),
+        ));
+    };
+    let stream = load(path)?;
+    match flag(&flags, "series") {
+        None => {
+            let names = top::series_names(&stream);
+            println!("{} metric series in {path}", names.len());
+            for n in &names {
+                let count = top::series(&stream, n).len();
+                println!("  {n:<28} {count} snapshot{}", if count == 1 { "" } else { "s" });
+            }
+        }
+        Some(name) => {
+            let points = top::series(&stream, name);
+            if points.is_empty() {
+                return Err(CliError::Data(format!(
+                    "no metrics.snapshot events for series `{name}` in {path}"
+                )));
+            }
+            println!("{name}: {} snapshot(s)", points.len());
+            println!("{:>6} {:>5} {:>10}  payload", "line", "seq", "sim");
+            for p in &points {
+                let sim = p.sim.map_or("-".to_owned(), |s| format!("{s}"));
+                println!("{:>6} {:>5} {:>10}  {}", p.line, p.seq, sim, p.payload);
+            }
+        }
+    }
     Ok(ExitCode::SUCCESS)
 }
 

@@ -213,6 +213,55 @@ pub fn append_history(path: impl AsRef<Path>, entry: &BenchEntry) -> std::io::Re
     file.write_all(line.as_bytes())
 }
 
+/// Renders a history listing: one row per entry, newest last, optionally
+/// filtered to one bench family and limited to the last `last` matching
+/// entries. `last = None` means no limit.
+pub fn render_history_listing(
+    entries: &[BenchEntry],
+    bench: Option<&str>,
+    last: Option<usize>,
+) -> String {
+    let matching: Vec<&BenchEntry> = entries
+        .iter()
+        .filter(|e| bench.is_none_or(|b| e.bench == b))
+        .collect();
+    let shown = match last {
+        Some(n) if matching.len() > n => &matching[matching.len() - n..],
+        _ => &matching[..],
+    };
+    let mut out = String::new();
+    let scope = bench.map_or(String::new(), |b| format!(" (bench {b})"));
+    let _ = writeln!(
+        out,
+        "{} of {} history entr{}{scope}",
+        shown.len(),
+        matching.len(),
+        if matching.len() == 1 { "y" } else { "ies" },
+    );
+    let _ = writeln!(
+        out,
+        "{:<10} {:<8} {:>8}  algorithms (ns/iter)",
+        "git_rev", "bench", "threads"
+    );
+    for e in shown {
+        let algos = e
+            .algorithms
+            .iter()
+            .map(|(a, t)| match t.peak_rss {
+                Some(rss) => format!("{a}={} rss={rss}", t.ns_per_iter),
+                None => format!("{a}={}", t.ns_per_iter),
+            })
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = writeln!(
+            out,
+            "{:<10} {:<8} {:>8}  {algos}",
+            e.git_rev, e.bench, e.threads
+        );
+    }
+    out
+}
+
 /// One algorithm's verdict in a regression check.
 #[derive(Debug, Clone, PartialEq)]
 pub struct RegressRow {
@@ -424,6 +473,53 @@ mod tests {
         );
         let parsed = parse_history(&line).unwrap();
         assert_eq!(parsed, vec![e]);
+    }
+
+    #[test]
+    fn null_peak_rss_parses_as_missing() {
+        // bench_scale emits `"peak_rss": null` when /proc/self/status has
+        // no readable VmHWM; both snapshot and history readers must treat
+        // that as "not measured", not an error.
+        let snap = "{\"git_rev\":\"abc\",\"threads\":8,\"bench\":\"scale\",\"algorithms\":\
+{\"ds\":{\"ns_per_iter\":999,\"peak_rss\":null}}}";
+        let e = parse_bench_snapshot(snap).unwrap();
+        assert_eq!(
+            e.algorithms[0].1,
+            AlgoTiming {
+                ns_per_iter: 999,
+                peak_rss: None
+            }
+        );
+        let h = parse_history(snap).unwrap();
+        assert_eq!(h[0].algorithms[0].1.peak_rss, None);
+    }
+
+    #[test]
+    fn listing_filters_by_bench_and_limits_to_last() {
+        let mut scale = entry("s1", 8, &[("ds", 10)]);
+        scale.bench = "scale".to_owned();
+        scale.algorithms[0].1.peak_rss = Some(2048);
+        let history = vec![
+            entry("t1", 4, &[("ds", 100)]),
+            entry("t2", 4, &[("ds", 200)]),
+            scale,
+            entry("t3", 4, &[("ds", 300)]),
+        ];
+        let all = render_history_listing(&history, None, None);
+        assert!(all.contains("4 of 4"));
+        assert!(all.contains("rss=2048"));
+
+        let truth_only = render_history_listing(&history, Some("truth"), None);
+        assert!(truth_only.contains("3 of 3"));
+        assert!(!truth_only.contains("s1"));
+
+        let last_two = render_history_listing(&history, Some("truth"), Some(2));
+        assert!(last_two.contains("2 of 3"));
+        assert!(!last_two.contains("t1"), "oldest entry must be dropped");
+        assert!(last_two.contains("t2") && last_two.contains("t3"));
+
+        let none = render_history_listing(&history, Some("nope"), None);
+        assert!(none.contains("0 of 0"));
     }
 
     #[test]

@@ -54,6 +54,15 @@ impl Json {
         }
     }
 
+    /// The value as `i64` (numbers with an exact integer lexeme only;
+    /// gauge readings may be negative).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Json::Num(s) => s.parse().ok(),
+            _ => None,
+        }
+    }
+
     /// The value as `&str`, for string values.
     pub fn as_str(&self) -> Option<&str> {
         match self {

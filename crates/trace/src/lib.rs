@@ -12,9 +12,11 @@
 //! - [`diff`] localizes the first divergent event between two runs and
 //!   gates metric deltas against configurable thresholds;
 //! - [`history`] appends bench results to `BENCH_HISTORY.jsonl` and
-//!   compares the current run against a rolling median baseline.
+//!   compares the current run against a rolling median baseline;
+//! - [`top`] folds `metrics.snapshot` telemetry deltas back into totals
+//!   and renders them as a per-subsystem table.
 //!
-//! The `crowdtrace` binary fronts all four as subcommands.
+//! The `crowdtrace` binary fronts all of these as subcommands.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -25,11 +27,13 @@ pub mod history;
 pub mod json;
 pub mod replay;
 pub mod stream;
+pub mod top;
 
 pub use diff::{first_divergence, metric_deltas, render_deltas, DeltaThresholds, Divergence};
 pub use history::{
-    append_history, git_short_rev, parse_bench_snapshot, parse_history, regress, AlgoTiming,
-    BenchEntry, RegressReport,
+    append_history, git_short_rev, parse_bench_snapshot, parse_history, regress,
+    render_history_listing, AlgoTiming, BenchEntry, RegressReport,
 };
 pub use replay::{replay, Replay};
 pub use stream::{parse_stream, LoadedStream, OwnedEvent, StreamError};
+pub use top::{collect, series, series_names, MetricsView, SeriesState};

@@ -20,6 +20,7 @@
 
 use crowdkit_core::par::default_threads;
 use crowdkit_core::response::ResponseMatrix;
+use crowdkit_metrics as metrics;
 use crowdkit_obs::{self as obs, Event};
 
 /// Floor applied before `ln` so log-space tables stay finite.
@@ -139,6 +140,11 @@ pub(crate) fn obs_iter(
     m_ns: u64,
     e_ns: u64,
 ) {
+    let m = metrics::current();
+    if let Some(am) = m.truth.algo(algo) {
+        am.iters.inc();
+        am.sweep_ns.record(m_ns + e_ns);
+    }
     rec.record(
         Event::new("truth.iter")
             .str("algo", algo)
@@ -160,6 +166,10 @@ pub(crate) fn obs_run(
     converged: bool,
     start: obs::WallTimer,
 ) {
+    let m = metrics::current();
+    if let Some(am) = m.truth.algo(algo) {
+        am.runs.inc();
+    }
     if !obs::enabled() {
         return;
     }

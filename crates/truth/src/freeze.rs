@@ -411,6 +411,13 @@ impl ActiveSet {
     /// fields: the freezing trajectory is byte-identical across runs and
     /// thread counts.
     pub fn observe(&self, rec: &dyn obs::Recorder, algo: &'static str, iter: usize, out: &SweepOutcome) {
+        if out.froze > 0 || out.thawed > 0 {
+            let m = crowdkit_metrics::current();
+            m.truth.freezes.add(out.froze as u64);
+            m.truth.thaws.add(out.thawed as u64);
+            m.truth.active_tasks.set(out.active_len as i64);
+            m.truth.frozen_tasks.set(out.frozen_total as i64);
+        }
         if out.froze > 0 {
             rec.record(
                 Event::new("truth.freeze")

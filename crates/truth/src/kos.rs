@@ -212,6 +212,13 @@ impl TruthInferencer for Kos {
             })
             .collect();
 
+        // KOS has no shared obs_iter loop (BP sweeps carry no convergence
+        // delta), so its iteration count lands on the counter here.
+        crowdkit_metrics::current()
+            .truth
+            .kos
+            .iters
+            .add(self.iterations as u64);
         crate::em::obs_run("kos", matrix, self.iterations, true, run_start);
         Ok(InferenceResult {
             labels,

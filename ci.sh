@@ -13,10 +13,37 @@ cargo build --release --workspace
 cargo test -q --workspace
 cargo clippy --workspace --all-targets -- -D warnings
 
-# Workspace static analysis: determinism & safety rules (DET/PANIC/SAFETY/
-# DOC). Exits nonzero on any unsuppressed finding; LINT.json is the
-# machine-readable report.
-cargo run --release -p crowdkit-lint -- --json LINT.json
+# Workspace static analysis: per-file determinism & safety rules (DET/
+# PANIC/SAFETY/DOC) plus the interprocedural passes (taint chains, CONC
+# lock rules) behind the ratcheted baseline. Exits nonzero on any NEW
+# finding, any stale baseline entry, or any stale suppression; LINT.json
+# is the machine-readable report. The scan doubles as the linter's
+# self-benchmark: a full-workspace symbol-table + call-graph + taint +
+# lock-model pass must stay under 10 seconds.
+LINT_T0=$(date +%s%N)
+cargo run --release -p crowdkit-lint -- --json LINT.json --baseline LINT_BASELINE.json --audit-suppressions > /dev/null
+LINT_T1=$(date +%s%N)
+LINT_MS=$(( (LINT_T1 - LINT_T0) / 1000000 ))
+echo "crowdkit-lint full-workspace scan: ${LINT_MS} ms"
+test "$LINT_MS" -lt 10000 || { echo "lint self-benchmark: scan took ${LINT_MS} ms (>= 10s gate)"; exit 1; }
+
+# Burn-down ratchet: the acknowledged-debt counter may only decrease.
+# LINT.json records the baselined count of this scan; the committed
+# baseline's burn_down must equal it (no silent re-growth), and both must
+# agree with the entry list (validated again here, independent of the
+# tool).
+python3 - <<'EOF'
+import json
+lint = json.load(open("LINT.json"))
+base = json.load(open("LINT_BASELINE.json"))
+assert base["burn_down"] == len(base["entries"]), \
+    f"burn_down {base['burn_down']} != {len(base['entries'])} entries"
+assert lint["baselined"] == base["burn_down"], \
+    f"scan matched {lint['baselined']} baselined finding(s) but burn_down says {base['burn_down']}"
+for e in base["entries"]:
+    assert len(e.get("reason", "").strip()) >= 3, f"baseline entry {e['fingerprint']} has no reason"
+print(f"lint burn-down: {base['burn_down']} acknowledged finding(s), all matched and reasoned")
+EOF
 
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 

@@ -63,6 +63,7 @@ fn main() -> ExitCode {
 
     let log_requested = log_path.is_some();
     if report || log_requested {
+        // crowdkit-lint: allow(DET002) — experiment driver: per-run wall timings are reported on purpose
         let Some(suite) = run_with_report(&ids, log_requested) else {
             eprintln!("unknown experiment id in {ids:?} (try `experiments list`)");
             return ExitCode::FAILURE;

@@ -1,4 +1,3 @@
-// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E9 — Latency control: rounds and straggler mitigation.
 //!
 //! Emulates the latency-control figures (retainer pools, round

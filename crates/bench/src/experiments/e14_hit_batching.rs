@@ -1,4 +1,3 @@
-// crowdkit-lint: allow-file(PANIC001) — experiment harness: inputs are self-generated and fail-fast on violated invariants is the correct idiom
 //! E14 — HIT batching for crowd joins (CrowdER cluster-based vs
 //! pair-based).
 //!

@@ -181,7 +181,8 @@ pub struct SuiteRun {
 /// repeat runs. `crowdtrace diff` compares exactly that deterministic
 /// portion.
 pub fn run_all_with_report(capture_events: bool) -> SuiteRun {
-    run_with_report(&EXPERIMENTS.iter().map(|e| e.id).collect::<Vec<_>>(), capture_events)
+    let ids: Vec<&str> = EXPERIMENTS.iter().map(|e| e.id).collect();
+    run_with_report(&ids, capture_events) // crowdkit-lint: allow(DET002) — suite driver: per-run wall timings are reported on purpose
         .expect("registry ids are valid")
 }
 

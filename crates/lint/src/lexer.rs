@@ -193,6 +193,28 @@ pub fn lex(source: &str) -> Lexed {
             }
             let word: String = chars[start..i].iter().collect();
             let next = chars.get(i).copied();
+            // Raw identifier: `r#fn`, `r#type` — a `#` immediately followed
+            // by an identifier start. Must be discriminated from raw
+            // strings (`r#"…"#`) before the raw-string lookahead, or the
+            // escaped keyword would re-lex as the bare keyword and confuse
+            // the structural pass (`let r#fn = 1` is not a function item).
+            if word == "r"
+                && next == Some('#')
+                && chars.get(i + 1).copied().is_some_and(is_ident_start)
+            {
+                i += 1; // the `#`
+                let id_start = i;
+                while i < chars.len() && is_ident_continue(chars[i]) {
+                    i += 1;
+                }
+                let ident: String = chars[id_start..i].iter().collect();
+                out.tokens.push(Token {
+                    tok: Tok::Ident(format!("r#{ident}")),
+                    line,
+                });
+                last_tok_line = line;
+                continue;
+            }
             let raw_string = (word == "r" || word == "br")
                 && matches!(next, Some('"') | Some('#'));
             let byte_string = word == "b" && matches!(next, Some('"') | Some('\''));
@@ -344,6 +366,24 @@ mod tests {
             })
             .collect();
         assert_eq!(nums, vec!["0.5", "1e-3", "0", "10"]);
+    }
+
+    #[test]
+    fn raw_identifiers_are_not_raw_strings_or_keywords() {
+        // `r#fn` / `r#type` are identifiers, not raw-string openers; the
+        // old lexer dropped the `r#` and re-lexed the bare keyword, which
+        // made the structural pass see a phantom `fn` item.
+        let ids = idents("let r#fn = 1; let r#type = r#fn + 1;");
+        assert_eq!(ids, vec!["let", "r#fn", "let", "r#type", "r#fn"]);
+        assert!(!ids.contains(&"fn".to_owned()));
+        // Raw strings still lex as trivia, including just after a raw ident.
+        let src = "let r#match = r#\"fn unwrap()\"#;";
+        let ids = idents(src);
+        assert_eq!(ids, vec!["let", "r#match"]);
+        // And a raw ident used as a call keeps its `(` adjacency.
+        let toks = lex("r#match(x)").tokens;
+        assert_eq!(toks[0].tok, Tok::Ident("r#match".into()));
+        assert_eq!(toks[1].tok, Tok::Punct('('));
     }
 
     #[test]

@@ -8,17 +8,30 @@
 //! `truth::numeric` fixes). This crate turns those conventions into
 //! machine-checked rules: a token-level scanner (no external parser —
 //! the workspace is offline-vendored) walks every `.rs` file under
-//! `crates/` and `src/` and fails the build on any unsuppressed finding.
+//! `crates/` and `src/`, builds a workspace [symbol table](symbols) and
+//! [call graph](callgraph) on top, and fails the build on any unsuppressed
+//! finding not covered by the ratcheted [baseline].
 //!
-//! Rules: [DET001] hash-ordered iteration where floats accumulate or
-//! output is serialized, [DET002] wall-clock reads outside the obs
+//! Per-file rules: [DET001] hash-ordered iteration where floats accumulate
+//! or output is serialized, [DET002] wall-clock reads outside the obs
 //! boundary, [PANIC001] `unwrap`/`expect`/`panic!` in non-test library
 //! code, [SAFETY001] `unsafe` without `// SAFETY:`, [DOC001] missing
-//! `//!` module docs and crate-root lint headers. See [`rules`] for rationale and [`engine`]
-//! for the suppression protocol.
+//! `//!` module docs and crate-root lint headers.
+//!
+//! Workspace rules: interprocedural [taint] chains for DET001/DET002
+//! (a helper that *returns* a wall-clock or hash-ordered value marks its
+//! callers transitively, with a printed witness chain down to the seed),
+//! and the [CONC family](conc) — CONC001 lock-ordering cycles, CONC002
+//! atomic `Ordering` audit, CONC003 guards held across crowd I/O or
+//! lock-acquiring calls.
+//!
+//! See [`rules`] for rationale, [`engine`] for the suppression protocol
+//! and fingerprint scheme, and [`baseline`] for the ratchet semantics.
 //!
 //! Run it as `cargo run --release -p crowdkit-lint` (add `--json
-//! LINT.json` for the machine-readable report, `--rule ID` to filter).
+//! LINT.json` for the machine-readable report, `--baseline
+//! LINT_BASELINE.json` to ratchet, `--audit-suppressions` to flag stale
+//! allows, `--rule ID` to filter).
 //!
 //! [DET001]: rules::ALL_RULES
 //! [DET002]: rules::ALL_RULES
@@ -31,9 +44,14 @@
 #![forbid(unsafe_code)]
 
 pub mod analyze;
+pub mod baseline;
+pub mod callgraph;
+pub mod conc;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
+pub mod symbols;
+pub mod taint;
 
-pub use engine::{scan, scan_file, Config, Report};
+pub use engine::{scan, scan_file, scan_paths, Config, Report};
 pub use rules::Finding;

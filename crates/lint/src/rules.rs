@@ -21,7 +21,7 @@ use crate::analyze::Analysis;
 use crate::lexer::{Lexed, Tok, Token};
 
 /// One reported rule violation.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Finding {
     /// Stable rule identifier (`DET001`, …).
     pub rule: &'static str,
@@ -33,6 +33,19 @@ pub struct Finding {
     pub message: String,
     /// How to fix it (or how to suppress it with a reason).
     pub hint: &'static str,
+    /// Rule-specific stable core of the finding — what it is about,
+    /// independent of source line (e.g. `scores.iter` for DET001,
+    /// `held:core:record` for CONC003). Fingerprints hash this instead of
+    /// the line so baselines survive unrelated edits.
+    pub key: String,
+    /// Name of the enclosing function (engine-filled; empty at file scope).
+    pub scope: String,
+    /// Taint witness chain, outermost call first, seed last. Empty for
+    /// intraprocedural findings.
+    pub chain: Vec<String>,
+    /// Stable fingerprint (engine-filled): hash of
+    /// `rule|file|scope|key|ordinal`.
+    pub fingerprint: String,
 }
 
 /// Per-file context the engine passes to the rules.
@@ -44,13 +57,17 @@ pub struct FileCtx<'a> {
     pub is_crate_root: bool,
 }
 
-/// All rule ids, in report order.
-pub const ALL_RULES: [&str; 5] = ["DET001", "DET002", "PANIC001", "SAFETY001", "DOC001"];
+/// All rule ids, in report order. DET001/DET002 cover both the per-site
+/// and the interprocedural (taint-chain) findings; the CONC family is
+/// implemented in [`crate::conc`].
+pub const ALL_RULES: [&str; 8] = [
+    "DET001", "DET002", "PANIC001", "SAFETY001", "DOC001", "CONC001", "CONC002", "CONC003",
+];
 
 /// Files allowed to read the wall clock without a suppression: the obs
 /// event layer is the one sanctioned wall-clock authority (it segregates
 /// wall fields out of the determinism boundary by construction).
-const DET002_ALLOWLIST: [&str; 1] = ["crates/obs/src/event.rs"];
+pub(crate) const DET002_ALLOWLIST: [&str; 1] = ["crates/obs/src/event.rs"];
 
 /// Paths PANIC001 skips wholesale: test and bench harness code, where
 /// fail-fast is the correct idiom.
@@ -112,7 +129,7 @@ const ORDER_METHODS: [&str; 7] = [
 /// bindings/params/fields (`name: [&]HashMap<…>`) and `let` statements
 /// whose initializer mentions a hash type (`let m = HashMap::new()`,
 /// `…collect::<HashSet<_>>()`).
-fn hash_named_bindings(tokens: &[Token]) -> BTreeSet<String> {
+pub(crate) fn hash_named_bindings(tokens: &[Token]) -> BTreeSet<String> {
     let mut names = BTreeSet::new();
     for (i, t) in tokens.iter().enumerate() {
         // `name : [&]* [mut] [std :: collections ::] HashMap`
@@ -187,6 +204,123 @@ fn hash_receiver(tokens: &[Token], i: usize, names: &BTreeSet<String>) -> Option
     None
 }
 
+/// What a function body does with accumulated state: float accumulation
+/// and/or serialized output. Returns the human "why" when either holds —
+/// the contexts where iteration order leaks into results.
+pub(crate) fn fold_profile(body: &[Token]) -> Option<&'static str> {
+    let mut float_ctx = false;
+    let mut plus_eq = false;
+    let mut ser_out = false;
+    for (k, t) in body.iter().enumerate() {
+        match &t.tok {
+            Tok::Punct('+') if body.get(k + 1).is_some_and(|n| punct_is(n, '=')) => {
+                plus_eq = true;
+            }
+            Tok::Ident(w) if w == "f64" || w == "f32" => float_ctx = true,
+            Tok::Num(n) if n.contains('.') => float_ctx = true,
+            // `.sum::<f64>()` — float type within the turbofish.
+            Tok::Ident(w)
+                if (w == "sum" || w == "product")
+                    && body
+                        .iter()
+                        .skip(k + 1)
+                        .take(4)
+                        .any(|t| ident_in(t, &["f64", "f32"])) =>
+            {
+                plus_eq = true;
+                float_ctx = true;
+            }
+            Tok::Ident(w)
+                if (w == "write" || w == "writeln")
+                    && body.get(k + 1).is_some_and(|n| punct_is(n, '!')) =>
+            {
+                ser_out = true;
+            }
+            Tok::Ident(w) if w == "to_json" || w == "push_str" || w == "serialize" => {
+                ser_out = true;
+            }
+            _ => {}
+        }
+    }
+    match (plus_eq && float_ctx, ser_out) {
+        (true, true) => Some("accumulates floats and writes serialized output"),
+        (true, false) => Some("accumulates floats"),
+        (false, true) => Some("writes serialized output"),
+        (false, false) => None,
+    }
+}
+
+/// Hash-ordered iteration sites inside one function body (non-test tokens
+/// only): `(line, description)` pairs like `("m.values()", 12)`. Shared
+/// by per-site DET001 and the interprocedural taint seeds.
+pub(crate) fn hash_iter_sites(
+    f: &crate::analyze::FnSpan,
+    tokens: &[Token],
+    analysis: &Analysis,
+    names: &BTreeSet<String>,
+) -> Vec<(u32, String)> {
+    let body = &tokens[f.body_open..=f.body_close];
+    let mut sites = Vec::new();
+    for (k, t) in body.iter().enumerate() {
+        let abs = f.body_open + k;
+        if analysis.is_test[abs] {
+            continue;
+        }
+        // `recv . iter ( )` et al.
+        if let Some(recv) = hash_receiver(body, k, names) {
+            if body.get(k + 1).is_some_and(|n| punct_is(n, '.'))
+                && body.get(k + 2).is_some_and(|n| ident_in(n, &ORDER_METHODS))
+                && body.get(k + 3).is_some_and(|n| punct_is(n, '('))
+            {
+                let method = match &body[k + 2].tok {
+                    Tok::Ident(m) => m.clone(),
+                    _ => String::new(),
+                };
+                sites.push((t.line, format!("{recv}.{method}()")));
+            }
+        }
+        // `for pat in [&][mut] recv {`
+        if ident_is(t, "for") {
+            let mut j = k + 1;
+            let mut depth = 0i32;
+            while j < body.len() {
+                match &body[j].tok {
+                    Tok::Punct('(') | Tok::Punct('[') => depth += 1,
+                    Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
+                    Tok::Punct('{') if depth == 0 => break,
+                    Tok::Ident(w) if w == "in" && depth == 0 => {
+                        let mut m = j + 1;
+                        while m < body.len()
+                            && (punct_is(&body[m], '&') || ident_is(&body[m], "mut"))
+                        {
+                            m += 1;
+                        }
+                        let recv_at = if m + 2 < body.len()
+                            && ident_is(&body[m], "self")
+                            && punct_is(&body[m + 1], '.')
+                        {
+                            m + 2
+                        } else {
+                            m
+                        };
+                        if let Some(recv) = hash_receiver(body, recv_at, names) {
+                            // Only a bare binding up to the loop body
+                            // (methods on it were handled above).
+                            if body.get(recv_at + 1).is_some_and(|n| punct_is(n, '{')) {
+                                sites.push((t.line, format!("for … in {recv}")));
+                            }
+                        }
+                        break;
+                    }
+                    _ => {}
+                }
+                j += 1;
+            }
+        }
+    }
+    sites
+}
+
 fn det001(ctx: &FileCtx<'_>, lexed: &Lexed, analysis: &Analysis, out: &mut Vec<Finding>) {
     let tokens = &lexed.tokens;
     let names = hash_named_bindings(tokens);
@@ -197,124 +331,19 @@ fn det001(ctx: &FileCtx<'_>, lexed: &Lexed, analysis: &Analysis, out: &mut Vec<F
         if f.is_test {
             continue;
         }
-        let body = &tokens[f.body_open..=f.body_close];
-        // Does this function accumulate floats or write serialized output?
-        let mut float_ctx = false;
-        let mut plus_eq = false;
-        let mut ser_out = false;
-        for (k, t) in body.iter().enumerate() {
-            match &t.tok {
-                Tok::Punct('+') if body.get(k + 1).is_some_and(|n| punct_is(n, '=')) => {
-                    plus_eq = true;
-                }
-                Tok::Ident(w) if w == "f64" || w == "f32" => float_ctx = true,
-                Tok::Num(n) if n.contains('.') => float_ctx = true,
-                // `.sum::<f64>()` — float type within the turbofish.
-                Tok::Ident(w)
-                    if (w == "sum" || w == "product")
-                        && body
-                            .iter()
-                            .skip(k + 1)
-                            .take(4)
-                            .any(|t| ident_in(t, &["f64", "f32"])) =>
-                {
-                    plus_eq = true;
-                    float_ctx = true;
-                }
-                Tok::Ident(w)
-                    if (w == "write" || w == "writeln")
-                        && body.get(k + 1).is_some_and(|n| punct_is(n, '!')) =>
-                {
-                    ser_out = true;
-                }
-                Tok::Ident(w) if w == "to_json" || w == "push_str" || w == "serialize" => {
-                    ser_out = true;
-                }
-                _ => {}
-            }
-        }
-        let float_acc = plus_eq && float_ctx;
-        if !float_acc && !ser_out {
+        let Some(why) = fold_profile(&tokens[f.body_open..=f.body_close]) else {
             continue;
-        }
-        let why = match (float_acc, ser_out) {
-            (true, true) => "accumulates floats and writes serialized output",
-            (true, false) => "accumulates floats",
-            _ => "writes serialized output",
         };
-        // Flag hash-ordered iteration sites inside the body.
-        for (k, t) in body.iter().enumerate() {
-            let abs = f.body_open + k;
-            if analysis.is_test[abs] {
-                continue;
-            }
-            // `recv . iter ( )` et al.
-            if let Some(recv) = hash_receiver(body, k, &names) {
-                if body.get(k + 1).is_some_and(|n| punct_is(n, '.'))
-                    && body.get(k + 2).is_some_and(|n| ident_in(n, &ORDER_METHODS))
-                    && body.get(k + 3).is_some_and(|n| punct_is(n, '('))
-                {
-                    let method = match &body[k + 2].tok {
-                        Tok::Ident(m) => m.clone(),
-                        _ => String::new(),
-                    };
-                    out.push(Finding {
-                        rule: "DET001",
-                        file: ctx.rel_path.to_owned(),
-                        line: t.line,
-                        message: format!(
-                            "hash-ordered iteration `{recv}.{method}()` in a function that {why}"
-                        ),
-                        hint: DET001_HINT,
-                    });
-                }
-            }
-            // `for pat in [&][mut] recv {`
-            if ident_is(t, "for") {
-                let mut j = k + 1;
-                let mut depth = 0i32;
-                while j < body.len() {
-                    match &body[j].tok {
-                        Tok::Punct('(') | Tok::Punct('[') => depth += 1,
-                        Tok::Punct(')') | Tok::Punct(']') => depth -= 1,
-                        Tok::Punct('{') if depth == 0 => break,
-                        Tok::Ident(w) if w == "in" && depth == 0 => {
-                            let mut m = j + 1;
-                            while m < body.len()
-                                && (punct_is(&body[m], '&') || ident_is(&body[m], "mut"))
-                            {
-                                m += 1;
-                            }
-                            let recv_at = if m + 2 < body.len()
-                                && ident_is(&body[m], "self")
-                                && punct_is(&body[m + 1], '.')
-                            {
-                                m + 2
-                            } else {
-                                m
-                            };
-                            if let Some(recv) = hash_receiver(body, recv_at, &names) {
-                                // Only a bare binding up to the loop body
-                                // (methods on it were handled above).
-                                if body.get(recv_at + 1).is_some_and(|n| punct_is(n, '{')) {
-                                    out.push(Finding {
-                                        rule: "DET001",
-                                        file: ctx.rel_path.to_owned(),
-                                        line: t.line,
-                                        message: format!(
-                                            "hash-ordered iteration `for … in {recv}` in a function that {why}"
-                                        ),
-                                        hint: DET001_HINT,
-                                    });
-                                }
-                            }
-                            break;
-                        }
-                        _ => {}
-                    }
-                    j += 1;
-                }
-            }
+        for (line, desc) in hash_iter_sites(f, tokens, analysis, &names) {
+            out.push(Finding {
+                rule: "DET001",
+                file: ctx.rel_path.to_owned(),
+                line,
+                message: format!("hash-ordered iteration `{desc}` in a function that {why}"),
+                hint: DET001_HINT,
+                key: desc,
+                ..Finding::default()
+            });
         }
     }
 }
@@ -350,6 +379,8 @@ fn det002(ctx: &FileCtx<'_>, lexed: &Lexed, analysis: &Analysis, out: &mut Vec<F
                 hint: "route timings through crowdkit-obs (`obs::WallTimer` / wall-clock event \
 fields); only the obs event layer may read the clock directly. Suppress with \
 `// crowdkit-lint: allow(DET002) — <reason>` for genuinely wall-clock-permitted code",
+                key: "wall-clock".to_owned(),
+                ..Finding::default()
             });
         }
     }
@@ -422,6 +453,8 @@ fn panic001(ctx: &FileCtx<'_>, lexed: &Lexed, analysis: &Analysis, out: &mut Vec
                 message: format!("`{what}` in non-test library code"),
                 hint: "return a CrowdError (or propagate with `?`); for provably infallible \
 sites, suppress with `// crowdkit-lint: allow(PANIC001) — <why it cannot fail>`",
+                key: what.to_owned(),
+                ..Finding::default()
             });
         }
     }
@@ -445,6 +478,8 @@ fn safety001(ctx: &FileCtx<'_>, lexed: &Lexed, analysis: &Analysis, out: &mut Ve
                 message: "`unsafe` without an adjacent `// SAFETY:` justification".to_owned(),
                 hint: "document the invariant that makes this sound in a `// SAFETY:` comment \
 on or directly above the unsafe block",
+                key: "unsafe".to_owned(),
+                ..Finding::default()
             });
         }
     }
@@ -470,6 +505,8 @@ fn doc001(ctx: &FileCtx<'_>, lexed: &Lexed, out: &mut Vec<Finding>) {
                 message: "source module missing a `//!` module doc header".to_owned(),
                 hint: "open every src module with a `//!` doc comment stating what the \
 module is and why it exists",
+                key: "module-doc".to_owned(),
+                ..Finding::default()
             });
         }
     }
@@ -502,6 +539,8 @@ module is and why it exists",
                 hint: "every crate root carries the standard lint header: \
 #![warn(missing_docs)], #![warn(rust_2018_idioms)], #![forbid(unsafe_code)]; a crate that \
 must opt out suppresses with a written exception",
+                key: format!("header:{outer}({inner})"),
+                ..Finding::default()
             });
         }
     }

@@ -1,0 +1,21 @@
+// Known-bad: two functions acquire the same two locks in opposite orders —
+// a classic AB/BA deadlock. CONC001 must report the cycle with both
+// acquisition sites.
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn forward(&self) -> u32 {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        *ga + *gb
+    }
+
+    fn backward(&self) -> u32 {
+        let gb = self.beta.lock();
+        let ga = self.alpha.lock();
+        *gb - *ga
+    }
+}

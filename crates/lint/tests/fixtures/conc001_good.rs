@@ -1,0 +1,20 @@
+// Known-good: both paths honour one global order (alpha before beta), so
+// the acquisition graph is acyclic.
+struct S {
+    alpha: Mutex<u32>,
+    beta: Mutex<u32>,
+}
+
+impl S {
+    fn forward(&self) -> u32 {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        *ga + *gb
+    }
+
+    fn also_forward(&self) -> u32 {
+        let ga = self.alpha.lock();
+        let gb = self.beta.lock();
+        *gb - *ga
+    }
+}

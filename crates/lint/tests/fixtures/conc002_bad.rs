@@ -1,0 +1,10 @@
+// Known-bad: the same atomic field is read Relaxed but bumped SeqCst with
+// no `// ORDERING:` justification — either the weak read is wrong or the
+// strong write is waste.
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::SeqCst);
+}
+
+fn read_it(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}

@@ -1,0 +1,18 @@
+// Known-good: one field is uniformly Relaxed; the other mixes orderings
+// but says why, which the audit accepts.
+fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+fn read_it(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+fn publish(flag: &AtomicU64) {
+    // ORDERING: release-publishes the config snapshot readers acquire-load
+    flag.store(1, Ordering::SeqCst);
+}
+
+fn observe(flag: &AtomicU64) -> u64 {
+    flag.load(Ordering::Acquire)
+}

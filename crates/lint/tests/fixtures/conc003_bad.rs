@@ -1,0 +1,21 @@
+// Known-bad: a guard held across crowd I/O (the oracle can block for whole
+// simulated rounds) and across a call into a function that takes another
+// lock (a nested acquisition invisible at this site).
+struct S {
+    state: Mutex<u32>,
+    other: Mutex<u32>,
+}
+
+impl S {
+    fn helper(&self) -> u32 {
+        let g = self.other.lock();
+        *g
+    }
+
+    fn bad(&self, oracle: &dyn CrowdOracle, tasks: &[Task]) -> u32 {
+        let g = self.state.lock();
+        let answers = oracle.ask_batch(tasks);
+        let nested = self.helper();
+        *g + answers.len() as u32 + nested
+    }
+}

@@ -1,0 +1,26 @@
+// Known-good: the guard is scoped to a block (or explicitly dropped)
+// before the oracle call / the lock-acquiring helper runs.
+struct S {
+    state: Mutex<u32>,
+    other: Mutex<u32>,
+}
+
+impl S {
+    fn helper(&self) -> u32 {
+        let g = self.other.lock();
+        *g
+    }
+
+    fn good(&self, oracle: &dyn CrowdOracle, tasks: &[Task]) -> u32 {
+        let snapshot = {
+            let g = self.state.lock();
+            *g
+        };
+        let answers = oracle.ask_batch(tasks);
+        let g2 = self.state.lock();
+        let base = *g2;
+        drop(g2);
+        let nested = self.helper();
+        snapshot + base + answers.len() as u32 + nested
+    }
+}

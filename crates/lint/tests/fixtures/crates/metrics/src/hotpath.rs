@@ -1,0 +1,5 @@
+// Known-bad: any unjustified SeqCst under crates/metrics/src violates the
+// documented Relaxed-shards + merge-on-read policy, mixed or not.
+fn bump(shard: &AtomicU64) {
+    shard.fetch_add(1, Ordering::SeqCst);
+}

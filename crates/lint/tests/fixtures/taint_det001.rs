@@ -1,0 +1,21 @@
+// Known-bad: hash-ordered iteration escapes through a return value and is
+// folded into a float two calls later. No single function here trips the
+// per-site DET001 (the iterating fn does not accumulate floats; the
+// accumulating fn never touches the map) — only the chain is wrong.
+use std::collections::HashMap;
+
+fn leak_order(m: &HashMap<u32, f64>) -> Vec<f64> {
+    m.values().cloned().collect()
+}
+
+fn relay(m: &HashMap<u32, f64>) -> Vec<f64> {
+    leak_order(m)
+}
+
+fn total(m: &HashMap<u32, f64>) -> f64 {
+    let mut acc = 0.0;
+    for v in relay(m) {
+        acc += v;
+    }
+    acc
+}

@@ -1,0 +1,15 @@
+// Known-bad: wall-clock laundered through two calls. The per-site rule
+// sees only line 3; the taint pass must flag the relay and the consumer
+// with a witness chain down to the seed.
+fn stamp() -> u64 {
+    let t = std::time::Instant::now();
+    t.elapsed().as_nanos() as u64
+}
+
+fn jitter() -> u64 {
+    stamp() / 3
+}
+
+fn schedule() -> u64 {
+    jitter() + 1
+}

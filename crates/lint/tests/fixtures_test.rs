@@ -150,8 +150,12 @@ fn binary_exits_nonzero_on_known_bad_sources() {
     );
 }
 
-/// The acceptance gate: the workspace scans clean. Any new finding must be
-/// fixed or carry a reasoned suppression before this passes again.
+/// The acceptance gate: the workspace scans clean modulo the checked-in
+/// ratcheted baseline. Any new finding must be fixed, carry a reasoned
+/// suppression, or be consciously added to `LINT_BASELINE.json` before
+/// this passes again — and fixed debt must be deleted from the baseline
+/// (stale entries fail too), as must suppressions that stopped earning
+/// their keep.
 #[test]
 fn workspace_scans_clean() {
     let repo_root = Path::new(env!("CARGO_MANIFEST_DIR"))
@@ -159,11 +163,15 @@ fn workspace_scans_clean() {
         .nth(2)
         .expect("crates/lint sits two levels below the repo root")
         .to_path_buf();
-    let report = scan(&Config {
-        root: repo_root,
+    let mut report = scan(&Config {
+        root: repo_root.clone(),
         only_rules: BTreeSet::new(),
     });
     assert!(report.files_scanned > 100, "scan walked the real workspace");
+    let baseline_text = std::fs::read_to_string(repo_root.join("LINT_BASELINE.json"))
+        .expect("LINT_BASELINE.json is checked in at the repo root");
+    let baseline = crowdkit_lint::baseline::parse(&baseline_text).expect("valid baseline");
+    crowdkit_lint::engine::apply_baseline(&mut report, &baseline);
     let rendered: Vec<String> = report
         .findings
         .iter()
@@ -173,5 +181,20 @@ fn workspace_scans_clean() {
         report.findings.is_empty(),
         "unsuppressed lint findings:\n{}",
         rendered.join("\n")
+    );
+    assert!(
+        report.stale_baseline.is_empty(),
+        "stale baseline entries (delete them and decrement burn_down): {:#?}",
+        report.stale_baseline
+    );
+    let stale: Vec<String> = report
+        .stale_suppressions()
+        .iter()
+        .map(|s| format!("{}:{} — {}", s.file, s.line, s.reason))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "suppressions that no longer suppress anything:\n{}",
+        stale.join("\n")
     );
 }

@@ -18,7 +18,7 @@ pub mod active;
 pub mod rankers;
 pub mod tournament;
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use crowdkit_core::answer::Preference;
 use crowdkit_core::ask::AskRequest;
@@ -35,7 +35,7 @@ use rand::SeedableRng;
 pub struct ComparisonGraph {
     n: usize,
     /// `(a, b)` with `a < b` → (times `a` won, times `b` won).
-    wins: HashMap<(usize, usize), (u32, u32)>,
+    wins: BTreeMap<(usize, usize), (u32, u32)>,
 }
 
 impl ComparisonGraph {
@@ -47,7 +47,7 @@ impl ComparisonGraph {
         assert!(n >= 2, "comparisons need at least two items");
         Self {
             n,
-            wins: HashMap::new(),
+            wins: BTreeMap::new(),
         }
     }
 
@@ -99,11 +99,9 @@ impl ComparisonGraph {
     }
 
     /// Iterates `((a, b), (a_wins, b_wins))` in deterministic (sorted pair)
-    /// order.
+    /// order — free now that the storage itself is ordered.
     pub fn iter(&self) -> impl Iterator<Item = ((usize, usize), (u32, u32))> + '_ {
-        let mut keys: Vec<(usize, usize)> = self.wins.keys().copied().collect();
-        keys.sort_unstable();
-        keys.into_iter().map(move |k| (k, self.wins[&k]))
+        self.wins.iter().map(|(k, v)| (*k, *v))
     }
 }
 

@@ -69,12 +69,30 @@ cargo run --release -p crowdkit-bench --bin experiments -- all --report --log RU
 cargo run --release -p crowdkit-trace --bin crowdtrace -- replay RUNLOG.jsonl > /dev/null
 cargo run --release -p crowdkit-trace --bin crowdtrace -- top RUNLOG.jsonl | grep -q 'platform.tasks_answered'
 
+# Decision-provenance smoke-check: the suite log must explain a known
+# task end to end (votes, margin, worker weights, flip timeline) and the
+# audit rollup must surface contested tasks, worker influence and
+# spend-per-correct-label. Output goes through files, not pipes — the
+# CLI streams with print! and an early-exiting grep would SIGPIPE it.
+cargo run --release -p crowdkit-trace --bin crowdtrace -- why 7 RUNLOG.jsonl --exp e13 --algo ds > WHY.txt
+grep -q 'margin' WHY.txt
+grep -q 'votes:' WHY.txt
+grep -q 'weight' WHY.txt
+grep -q 'flips:' WHY.txt
+cargo run --release -p crowdkit-trace --bin crowdtrace -- audit RUNLOG.jsonl > AUDIT.txt
+grep -q 'contested tasks' AUDIT.txt
+grep -q 'most influential workers' AUDIT.txt
+grep -q 'spend/correct' AUDIT.txt
+rm -f WHY.txt AUDIT.txt
+
 # Telemetry overhead gates: instrumented hot paths must stay within 5% of
-# the null-recorder baseline for obs events and within 3% of the
-# disabled-flag baseline for always-on metrics (asserted inside the bench
-# binaries).
+# the null-recorder baseline for obs events, within 3% of the
+# disabled-flag baseline for always-on metrics, and within 5% of the
+# obs-alone baseline for decision-provenance capture (asserted inside the
+# bench binaries).
 cargo bench -p crowdkit-bench --bench obs_overhead
 cargo bench -p crowdkit-bench --bench metrics_overhead
+cargo bench -p crowdkit-bench --bench prov_overhead
 
 # Machine-readable truth-inference timings (per-algorithm ns/iter); each
 # run also appends one line to BENCH_HISTORY.jsonl.

@@ -8,6 +8,7 @@ use crowdkit_core::task::Task;
 use crowdkit_core::traits::CrowdOracle;
 use crowdkit_metrics as metrics;
 use crowdkit_obs::{self as obs, Event};
+use crowdkit_provenance as prov;
 
 use crate::policy::{AssignState, AssignmentPolicy};
 
@@ -57,6 +58,10 @@ where
     let rec = obs::current();
     let m = metrics::current();
     let mut waves = 0u64;
+    // Cost ledger: per-task / per-worker spend attribution, booked from
+    // this sequential delivery loop and flushed after the run. Only kept
+    // while a provenance scope wants detail events.
+    let mut ledger = prov::capture_detail().then(prov::SpendLedger::new);
 
     while asked < budget_questions {
         let wave_cap = (budget_questions - asked).min(tasks.len().max(1));
@@ -88,6 +93,9 @@ where
                     matrix.push(answer.task, answer.worker, label)?;
                     state.record(t, label);
                     asked += 1;
+                    if let Some(ledger) = &mut ledger {
+                        ledger.note(answer.task.0, answer.worker.0, answer.cost);
+                    }
                 }
             }
         }
@@ -118,6 +126,9 @@ where
                 .u64("waves", waves)
                 .u64("questions", asked as u64),
         );
+    }
+    if let Some(ledger) = &ledger {
+        ledger.emit();
     }
 
     Ok(AssignmentOutcome {

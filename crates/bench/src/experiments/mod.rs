@@ -24,6 +24,7 @@ use std::sync::Arc;
 
 use crowdkit_metrics as metrics;
 use crowdkit_obs::{self as obs, Event, ExperimentReport, RunReport};
+use crowdkit_provenance as prov;
 
 use crate::table::Table;
 
@@ -221,14 +222,20 @@ pub fn run_with_report(ids: &[&str], capture_events: bool) -> Option<SuiteRun> {
                     let start = std::time::Instant::now(); // crowdkit-lint: allow(DET002) — benchmark harness: measuring wall time is the point
                     let text = obs::with_recorder(rec, || {
                         metrics::with_registry(reg.clone(), || {
-                            obs::record(Event::new("exp.begin").str("id", e.id));
-                            let text = run_by_name(e.id).expect("registered id");
-                            // Flush the experiment's final metric state as
-                            // one snapshot delta before the end marker, so
-                            // the events sit inside the exp span.
-                            metrics::SnapshotExporter::new().emit(&reg, None);
-                            obs::record(Event::new("exp.end").str("id", e.id));
-                            text
+                            // Provenance is scoped like obs/metrics: the
+                            // summary `prov.run` events always land (and
+                            // feed the report), full per-task lineage only
+                            // when the recorder captures detail (--log).
+                            prov::with_provenance(Arc::new(prov::Provenance::default()), || {
+                                obs::record(Event::new("exp.begin").str("id", e.id));
+                                let text = run_by_name(e.id).expect("registered id");
+                                // Flush the experiment's final metric state as
+                                // one snapshot delta before the end marker, so
+                                // the events sit inside the exp span.
+                                metrics::SnapshotExporter::new().emit(&reg, None);
+                                obs::record(Event::new("exp.end").str("id", e.id));
+                                text
+                            })
                         })
                     });
                     let wall_ms = start.elapsed().as_millis() as u64;

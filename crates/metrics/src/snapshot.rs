@@ -19,7 +19,7 @@
 //! * `hist_det` — `count`/`sum` deltas plus one `b<i>` field per bucket
 //!   that grew (all deterministic).
 //! * `hist_wall` — deterministic `count` delta only; `sum_ns` delta and
-//!   cumulative `p50_ns`/`p95_ns`/`max_ns` quantile bounds ride in
+//!   cumulative `p50_ns`/`p95_ns`/`p99_ns`/`max_ns` quantile bounds ride in
 //!   wall-segregated fields, which deterministic sinks drop. This is the
 //!   PR 3 convention: wall data exists in the stream but never in the
 //!   diffable projection.
@@ -224,6 +224,7 @@ pub fn delta_events(
                                 .wall("sum_ns", d_sum)
                                 .wall("p50_ns", cur_h.quantile_bound(0.5))
                                 .wall("p95_ns", cur_h.quantile_bound(0.95))
+                                .wall("p99_ns", cur_h.quantile_bound(0.99))
                                 .wall("max_ns", cur_h.max_bound()),
                         );
                     }
@@ -380,7 +381,7 @@ mod tests {
             "no det field may carry the wall naming suffix"
         );
         let wall: Vec<_> = e.wall_fields.iter().map(|(n, _)| *n).collect();
-        assert_eq!(wall, vec!["sum_ns", "p50_ns", "p95_ns", "max_ns"]);
+        assert_eq!(wall, vec!["sum_ns", "p50_ns", "p95_ns", "p99_ns", "max_ns"]);
         // Deterministic serialization hides the timing payload entirely
         // (the metric *name* keeps its _ns suffix; no *field name* does).
         let json = e.to_json(false);

@@ -65,6 +65,22 @@ pub struct InferenceReport {
     pub converged: u64,
 }
 
+/// Decision-provenance figures for one run, distilled from the always-on
+/// `prov.run` summaries (see the `crowdkit-provenance` crate).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[must_use = "a distilled report is pure data; dropping it discards the run's telemetry"]
+pub struct ProvenanceReport {
+    /// Inference runs that emitted a lineage summary.
+    pub runs: u64,
+    /// Tasks whose posterior margin fell below the contested threshold,
+    /// summed over runs.
+    pub contested: u64,
+    /// Label flips across EM iterations, summed over runs.
+    pub flips: u64,
+    /// Mean of the per-run mean posterior margins (0.0 with no runs).
+    pub margin_mean: f64,
+}
+
 /// The distilled telemetry of one experiment run.
 #[derive(Debug, Clone, Default, PartialEq)]
 #[must_use = "a distilled report is pure data; dropping it discards the run's telemetry"]
@@ -81,6 +97,8 @@ pub struct ExperimentReport {
     pub latency: LatencyReport,
     /// Truth-inference effort.
     pub inference: InferenceReport,
+    /// Decision-provenance summary (contested tasks, label flips).
+    pub provenance: ProvenanceReport,
     /// `(metric, mean value)` pairs reported via [`crate::quality`], in
     /// metric order.
     pub quality: Vec<(String, f64)>,
@@ -119,6 +137,17 @@ impl ExperimentReport {
             iterations: rec.field_sum("truth.run", "iters") as u64,
             converged: rec.field_sum("truth.run", "converged") as u64,
         };
+        let prov_runs = rec.count("prov.run");
+        let provenance = ProvenanceReport {
+            runs: prov_runs,
+            contested: rec.field_sum("prov.run", "contested") as u64,
+            flips: rec.field_sum("prov.run", "flips") as u64,
+            margin_mean: if prov_runs > 0 {
+                rec.field_sum("prov.run", "margin_mean") / prov_runs as f64
+            } else {
+                0.0
+            },
+        };
         let quality = rec
             .groups("exp.quality")
             .into_iter()
@@ -139,6 +168,7 @@ impl ExperimentReport {
             cost,
             latency,
             inference,
+            provenance,
             quality,
             event_counts,
         }
@@ -176,6 +206,13 @@ impl ExperimentReport {
             ",\"inference\":{{\"runs\":{},\"iterations\":{},\"converged\":{}}}",
             self.inference.runs, self.inference.iterations, self.inference.converged
         );
+        let _ = write!(
+            out,
+            ",\"provenance\":{{\"runs\":{},\"contested\":{},\"flips\":{},\"margin_mean\":",
+            self.provenance.runs, self.provenance.contested, self.provenance.flips
+        );
+        json_f64(&mut out, self.provenance.margin_mean);
+        out.push('}');
         out.push_str(",\"quality\":{");
         for (i, (metric, value)) in self.quality.iter().enumerate() {
             if i > 0 {
@@ -280,6 +317,14 @@ mod tests {
                 .u64("converged", 1),
         );
         rec.record(Event::new("exp.quality").str("metric", "accuracy").f64("value", 0.9));
+        rec.record(
+            Event::new("prov.run")
+                .str("algo", "ds")
+                .u64("tasks", 20)
+                .u64("contested", 3)
+                .u64("flips", 5)
+                .f64("margin_mean", 0.8),
+        );
         rec.sample("platform.latency", 12.0);
         rec
     }
@@ -298,6 +343,10 @@ mod tests {
         assert_eq!(rep.inference.runs, 1);
         assert_eq!(rep.inference.iterations, 12);
         assert_eq!(rep.inference.converged, 1);
+        assert_eq!(rep.provenance.runs, 1);
+        assert_eq!(rep.provenance.contested, 3);
+        assert_eq!(rep.provenance.flips, 5);
+        assert_eq!(rep.provenance.margin_mean, 0.8);
         assert_eq!(rep.quality, vec![("accuracy".to_owned(), 0.9)]);
         assert!(rep.event_counts.iter().any(|(k, n)| k == "truth.run" && *n == 1));
     }
@@ -313,6 +362,7 @@ mod tests {
         assert!(json.contains("\"total_questions\": 10"));
         assert!(json.contains("\"id\":\"e99\""));
         assert!(json.contains("\"accuracy\":0.9"));
+        assert!(json.contains("\"provenance\":{\"runs\":1,\"contested\":3"));
         // Balanced braces/brackets as a cheap well-formedness check.
         assert_eq!(
             json.matches('{').count(),

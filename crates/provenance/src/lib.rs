@@ -1,0 +1,218 @@
+//! # crowdkit-provenance — decision lineage and spend attribution
+//!
+//! The observability stack can say how fast inference ran
+//! (`crowdkit-obs` events, `crowdkit-metrics` telemetry) but not *why* a
+//! task ended up with label L or which workers swayed it. This crate is
+//! the decision-provenance layer: while a provenance scope is active, the
+//! truth inferencers record, per task, the contributing responses, the
+//! final per-worker quality/weight at convergence, the posterior margin
+//! (top-1 vs top-2 probability), and the label flip history across EM
+//! iterations; the assignment driver and the CrowdSQL Volcano executor
+//! attribute crowd spend down node → task → worker. Everything is emitted
+//! as typed `prov.*` obs events with sim-clock/deterministic fields only,
+//! so provenance streams are byte-identical across thread counts like the
+//! rest of the event log. `crowdtrace why <task-id>` and
+//! `crowdtrace audit` are the query side.
+//!
+//! ## Event schema
+//!
+//! | key          | deterministic fields |
+//! |--------------|----------------------|
+//! | `prov.task`  | `algo`, `task`, `label`, `margin`, `n`, `votes` ("w3=1,w7=0"), `flips` ("i2:0>1") |
+//! | `prov.worker`| `algo`, `worker`, `weight`, `answers`, `agree`, `overruled` |
+//! | `prov.run`   | `algo`, `tasks`, `workers`, `contested`, `margin_thr`, `margin_mean`, `flips` |
+//! | `prov.spend` | `scope` ("node"/"task"/"worker"), `node` or `task` or `worker`, `spend`, `answers` or `questions` |
+//!
+//! `prov.task` and `prov.worker` are high-volume detail events: they are
+//! only emitted when the active obs recorder reports
+//! [`detail()`](crowdkit_obs::Recorder::detail) (the JSONL capture path),
+//! while the one-per-inference-run `prov.run` summary also lands in
+//! aggregating recorders so contested/low-margin counts reach
+//! `RUNREPORT.json`.
+//!
+//! ## Scoping
+//!
+//! The sink mirrors the `crowdkit-obs` recorder / `crowdkit-metrics`
+//! registry pattern: a thread-local scope entered with
+//! [`with_provenance`], restored on unwind, nestable. When no scope is
+//! active on the calling thread, [`current`] costs one relaxed atomic
+//! load and a branch — inference hot loops pay nothing. Capture is
+//! additionally gated on the obs recorder being enabled, since the events
+//! have nowhere else to go.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use crowdkit_provenance as prov;
+//!
+//! assert!(prov::current().is_none());
+//! prov::with_provenance(Arc::new(prov::Provenance::default()), || {
+//!     assert!(prov::current().is_some());
+//! });
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod lineage;
+pub mod spend;
+
+pub use lineage::RunLineage;
+pub use spend::SpendLedger;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Provenance-capture configuration for one scope.
+#[derive(Debug, Clone)]
+pub struct Provenance {
+    /// Tasks whose posterior margin (top-1 minus top-2 probability) falls
+    /// strictly below this threshold count as *contested* in the
+    /// `prov.run` summary. `crowdtrace audit` applies its own (flaggable)
+    /// threshold at read time; this one only feeds the run roll-up.
+    pub contested_margin: f64,
+}
+
+impl Default for Provenance {
+    fn default() -> Self {
+        Self {
+            contested_margin: 0.1,
+        }
+    }
+}
+
+/// Count of provenance scopes alive process-wide. Zero means no thread
+/// can possibly capture, so [`current`] short-circuits on one relaxed
+/// load without touching the thread-local.
+static ACTIVE_SCOPES: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<Provenance>>> = const { RefCell::new(None) };
+}
+
+/// The provenance scope active on this thread, or `None` when lineage
+/// capture is off. Disabled cost: one relaxed load and a branch.
+pub fn current() -> Option<Arc<Provenance>> {
+    if ACTIVE_SCOPES.load(Ordering::Relaxed) == 0 {
+        return None;
+    }
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether any provenance scope is active on this thread.
+pub fn enabled() -> bool {
+    current().is_some()
+}
+
+/// Restores the previous scope when dropped, so a panic inside
+/// [`with_provenance`] cannot leak the scope into later work.
+struct RestoreGuard {
+    previous: Option<Option<Arc<Provenance>>>,
+}
+
+impl Drop for RestoreGuard {
+    fn drop(&mut self) {
+        if let Some(previous) = self.previous.take() {
+            CURRENT.with(|c| *c.borrow_mut() = previous);
+            ACTIVE_SCOPES.fetch_sub(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs `f` with `p` as this thread's active provenance scope, restoring
+/// the previous scope afterwards (including on panic). Scopes nest.
+///
+/// The scope is per-thread, exactly like the obs recorder scope: work `f`
+/// hands to other threads captures nothing. Instrumented layers honour
+/// this by emitting lineage only from sequential, fixed-order code paths
+/// — that is what keeps `prov.*` streams byte-identical across thread
+/// counts.
+pub fn with_provenance<R>(p: Arc<Provenance>, f: impl FnOnce() -> R) -> R {
+    ACTIVE_SCOPES.fetch_add(1, Ordering::Relaxed);
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(p));
+    let _guard = RestoreGuard {
+        previous: Some(previous),
+    };
+    f()
+}
+
+/// Whether high-volume per-task/per-worker/per-answer provenance should
+/// be captured right now: a provenance scope is active on this thread
+/// *and* the obs recorder wants detail events. Spend ledgers check this
+/// once per run and skip all bookkeeping otherwise.
+pub fn capture_detail() -> bool {
+    enabled() && crowdkit_obs::current().detail()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_disabled() {
+        assert!(current().is_none());
+        assert!(!enabled());
+        assert!(!capture_detail());
+    }
+
+    #[test]
+    fn with_provenance_scopes_and_restores() {
+        let p = Arc::new(Provenance::default());
+        with_provenance(p.clone(), || {
+            assert!(Arc::ptr_eq(&current().expect("scoped"), &p));
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scopes_nest() {
+        let outer = Arc::new(Provenance {
+            contested_margin: 0.25,
+        });
+        let inner = Arc::new(Provenance {
+            contested_margin: 0.5,
+        });
+        with_provenance(outer.clone(), || {
+            with_provenance(inner.clone(), || {
+                assert_eq!(current().expect("scoped").contested_margin, 0.5);
+            });
+            assert_eq!(current().expect("scoped").contested_margin, 0.25);
+        });
+        assert!(current().is_none());
+    }
+
+    #[test]
+    fn scope_restores_after_panic() {
+        let p = Arc::new(Provenance::default());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            with_provenance(p, || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(current().is_none(), "panic must not leak the scope");
+    }
+
+    #[test]
+    fn scope_is_thread_local() {
+        let p = Arc::new(Provenance::default());
+        with_provenance(p, || {
+            let other = std::thread::spawn(current).join().expect("join");
+            assert!(other.is_none(), "other threads see no scope");
+        });
+    }
+
+    #[test]
+    fn capture_detail_requires_a_detail_recorder() {
+        let p = Arc::new(Provenance::default());
+        with_provenance(p, || {
+            // Null recorder: scope alone is not enough.
+            assert!(!capture_detail());
+            let jsonl = Arc::new(crowdkit_obs::JsonlRecorder::in_memory());
+            crowdkit_obs::with_recorder(jsonl, || assert!(capture_detail()));
+            let mem = Arc::new(crowdkit_obs::MemoryRecorder::new());
+            crowdkit_obs::with_recorder(mem, || {
+                assert!(!capture_detail(), "aggregators skip detail events");
+            });
+        });
+    }
+}

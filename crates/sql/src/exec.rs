@@ -461,8 +461,24 @@ impl Session {
                         .str("node", ns.node)
                         .u64("rows_in", ns.rows_in)
                         .u64("rows_out", ns.rows_out)
-                        .u64("questions", ns.questions),
+                        .u64("questions", ns.questions)
+                        .f64("spend", ns.spend),
                 );
+            }
+            // Cross-layer cost ledger: spend attributed per plan node,
+            // then per task / per worker from the metered oracle, all as
+            // `prov.spend` events under the active provenance scope.
+            if crowdkit_provenance::capture_detail() {
+                for ns in &out.node_stats {
+                    obs::record(
+                        Event::new("prov.spend")
+                            .str("scope", "node")
+                            .str("node", ns.node)
+                            .f64("spend", ns.spend)
+                            .u64("questions", ns.questions),
+                    );
+                }
+                metered.emit_ledger();
             }
             obs::record(
                 Event::new("sql.query")

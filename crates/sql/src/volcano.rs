@@ -24,8 +24,10 @@
 //! uses key-ordered maps, and crowd asks are issued in a fixed
 //! plan-defined order — results are byte-identical at any thread count.
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::{BTreeMap, HashMap, HashSet};
+
+use crowdkit_provenance as prov;
 
 use crowdkit_core::answer::Answer;
 use crowdkit_core::ask::{AskOutcome, AskRequest};
@@ -70,6 +72,8 @@ pub(crate) struct NodeRuntime {
     pub rows_out: u64,
     /// Crowd answers purchased by this operator alone.
     pub questions: u64,
+    /// Money spent by this operator alone (sum of per-answer costs).
+    pub spend: f64,
 }
 
 /// A [`CrowdOracle`] wrapper that meters platform round-trips and actual
@@ -80,6 +84,9 @@ pub(crate) struct RoundOracle<'a> {
     inner: &'a dyn CrowdOracle,
     rounds: Cell<u64>,
     spend: Cell<f64>,
+    /// Per-task / per-worker spend attribution, kept only while a
+    /// provenance scope wants detail events (see [`prov::capture_detail`]).
+    ledger: RefCell<Option<prov::SpendLedger>>,
 }
 
 impl<'a> RoundOracle<'a> {
@@ -89,6 +96,7 @@ impl<'a> RoundOracle<'a> {
             inner,
             rounds: Cell::new(0),
             spend: Cell::new(0.0),
+            ledger: RefCell::new(prov::capture_detail().then(prov::SpendLedger::new)),
         }
     }
 
@@ -102,10 +110,27 @@ impl<'a> RoundOracle<'a> {
         self.spend.get()
     }
 
-    fn note(&self, answers: &[Answer]) {
-        self.rounds.set(self.rounds.get() + 1);
+    /// Flushes the task/worker spend ledger as `prov.spend` events
+    /// (no-op when no provenance detail was being captured).
+    pub fn emit_ledger(&self) {
+        if let Some(ledger) = &*self.ledger.borrow() {
+            ledger.emit();
+        }
+    }
+
+    fn book(&self, answers: &[Answer]) {
         let c: f64 = answers.iter().map(|a| a.cost).sum();
         self.spend.set(self.spend.get() + c);
+        if let Some(ledger) = &mut *self.ledger.borrow_mut() {
+            for a in answers {
+                ledger.note(a.task.0, a.worker.0, a.cost);
+            }
+        }
+    }
+
+    fn note(&self, answers: &[Answer]) {
+        self.rounds.set(self.rounds.get() + 1);
+        self.book(answers);
     }
 }
 
@@ -127,12 +152,9 @@ impl CrowdOracle for RoundOracle<'_> {
     fn ask_batch(&self, reqs: &[AskRequest<'_>]) -> Result<Vec<AskOutcome>> {
         let outs = self.inner.ask_batch(reqs)?;
         self.rounds.set(self.rounds.get() + 1);
-        let c: f64 = outs
-            .iter()
-            .flat_map(|o| o.answers.iter())
-            .map(|a| a.cost)
-            .sum();
-        self.spend.set(self.spend.get() + c);
+        for o in &outs {
+            self.book(&o.answers);
+        }
         Ok(outs)
     }
 
@@ -199,6 +221,12 @@ impl<'a> ExecCx<'a> {
     /// oracle) — operators diff this around their own crowd calls.
     fn delivered(&self) -> u64 {
         self.oracle.map_or(0, |o| o.answers_delivered())
+    }
+
+    /// Money spent through the metered oracle so far (0.0 without an
+    /// oracle) — operators diff this around their own crowd calls.
+    fn spent(&self) -> f64 {
+        self.oracle.map_or(0.0, |o| o.spend())
     }
 
     fn require_oracle(&self, msg: &'static str) -> Result<&'a RoundOracle<'a>> {
@@ -399,6 +427,7 @@ pub(crate) fn build(
                 pos: 0,
                 built: false,
                 questions: 0,
+                spend: 0.0,
                 reported: false,
             })
         }
@@ -421,6 +450,7 @@ pub(crate) fn build(
                 rows_in: 0,
                 rows_out: 0,
                 questions: 0,
+                spend: 0.0,
                 reported: false,
             })
         }
@@ -454,6 +484,7 @@ pub(crate) fn build(
                 matched: 0,
                 pairs: 0,
                 questions: 0,
+                spend: 0.0,
                 reported: false,
             })
         }
@@ -480,6 +511,7 @@ pub(crate) fn build(
             built: false,
             rows_in: 0,
             questions: 0,
+            spend: 0.0,
             worked: false,
             reported: false,
         }),
@@ -717,6 +749,7 @@ struct CrowdFillOp {
     pos: usize,
     built: bool,
     questions: u64,
+    spend: f64,
     reported: bool,
 }
 
@@ -731,6 +764,7 @@ impl CrowdFillOp {
     fn fill_all(&mut self, cx: &mut ExecCx<'_>) -> Result<()> {
         let oracle = cx.require_oracle(NO_ORACLE_FILL)?;
         let q0 = cx.delivered();
+        let s0 = cx.spent();
         // Collect one purchase per still-unpriced base cell, in
         // column-major then row order (the old executor's ask order).
         let mut pending: Vec<PendingFill> = Vec::new();
@@ -790,6 +824,7 @@ impl CrowdFillOp {
             }
         }
         self.questions = cx.delivered() - q0;
+        self.spend = cx.spent() - s0;
         Ok(())
     }
 }
@@ -837,6 +872,7 @@ impl Operator for CrowdFillOp {
                 rows_in: self.buf.len() as u64,
                 rows_out: self.buf.len() as u64,
                 questions: self.questions,
+                spend: self.spend,
             });
         }
     }
@@ -851,6 +887,7 @@ struct CrowdCompareOp {
     rows_in: u64,
     rows_out: u64,
     questions: u64,
+    spend: f64,
     reported: bool,
 }
 
@@ -862,6 +899,7 @@ impl Operator for CrowdCompareOp {
             };
             self.rows_in += 1;
             let q0 = cx.delivered();
+            let s0 = cx.spent();
             let mut pass = true;
             for (i, p) in self.predicates.iter().enumerate() {
                 let BoundPredicate::CrowdEqual { left, right } = p else {
@@ -880,6 +918,7 @@ impl Operator for CrowdCompareOp {
                 self.counts[i].0 += 1;
             }
             self.questions += cx.delivered() - q0;
+            self.spend += cx.spent() - s0;
             if pass {
                 self.rows_out += 1;
                 return Ok(Some(row));
@@ -896,6 +935,7 @@ impl Operator for CrowdCompareOp {
                 rows_in: self.rows_in,
                 rows_out: self.rows_out,
                 questions: self.questions,
+                spend: self.spend,
             });
             for (key, &(passed, seen)) in self.keys.iter().zip(&self.counts) {
                 cx.observations.push((key.clone(), passed, seen));
@@ -921,6 +961,7 @@ struct CrowdJoinOp {
     matched: u64,
     pairs: u64,
     questions: u64,
+    spend: f64,
     reported: bool,
 }
 
@@ -957,6 +998,7 @@ impl CrowdJoinOp {
             .map(|r| self.side_value(&self.right_expr, r, true))
             .collect();
         let q0 = cx.delivered();
+        let s0 = cx.spent();
         // Verdict phase: buy every needed CROWDEQUAL verdict in
         // outer-major order (the `outer` knob controls which side's
         // stripes form the batched round-trips).
@@ -1015,6 +1057,7 @@ impl CrowdJoinOp {
             }
         }
         self.questions = cx.delivered() - q0;
+        self.spend = cx.spent() - s0;
         // Emit phase: always left-major, so the join's output order is
         // identical to CrowdFilter-over-cross regardless of `outer`.
         for (a, lv) in lrows.iter().zip(&lvals) {
@@ -1060,6 +1103,7 @@ impl Operator for CrowdJoinOp {
                 rows_in: self.rows_in,
                 rows_out: self.out.len() as u64,
                 questions: self.questions,
+                spend: self.spend,
             });
             cx.observations
                 .push((self.key_display.clone(), self.matched, self.pairs));
@@ -1126,6 +1170,7 @@ struct CrowdSortOp {
     built: bool,
     rows_in: u64,
     questions: u64,
+    spend: f64,
     worked: bool,
     reported: bool,
 }
@@ -1143,12 +1188,14 @@ impl Operator for CrowdSortOp {
                 self.out = rows;
             } else {
                 let q0 = cx.delivered();
+                let s0 = cx.spent();
                 let slot = self.slot;
                 let values: Vec<Value> = rows.iter().map(|r| r.values[slot].clone()).collect();
                 let order = crowd_sort_order(cx, &values, self.top_k, self.redundancy)?;
                 self.rows_in = rows.len() as u64;
                 self.out = order.into_iter().map(|i| rows[i].clone()).collect();
                 self.questions = cx.delivered() - q0;
+                self.spend = cx.spent() - s0;
                 self.worked = true;
             }
         }
@@ -1169,6 +1216,7 @@ impl Operator for CrowdSortOp {
                 rows_in: self.rows_in,
                 rows_out: self.out.len() as u64,
                 questions: self.questions,
+                spend: self.spend,
             });
         }
     }

@@ -9,6 +9,8 @@
 //! crowdtrace history --history <BENCH_HISTORY.jsonl> [--bench FAMILY] [--last N]
 //! crowdtrace top <stream.jsonl> [--watch SECS]
 //! crowdtrace metrics <stream.jsonl> [--series NAME]
+//! crowdtrace why <task-id> <stream.jsonl> [--exp ID] [--algo NAME]
+//! crowdtrace audit <stream.jsonl> [--margin F]
 //! ```
 //!
 //! Exit codes: `diff` exits 0 when the deterministic event bodies are
@@ -26,8 +28,9 @@ use crowdkit_trace::history::{
     append_history, parse_bench_snapshot, parse_history, regress, render_history_listing,
     BenchEntry,
 };
+use crowdkit_trace::prov;
 use crowdkit_trace::replay::replay;
-use crowdkit_trace::stream::{parse_stream, LoadedStream};
+use crowdkit_trace::stream::{complete_lines, parse_stream, LoadedStream};
 use crowdkit_trace::top;
 
 const USAGE: &str = "crowdtrace — inspect, compare, and gate crowdkit obs streams
@@ -73,6 +76,20 @@ USAGE:
       List the metric series present in a stream, or with --series print
       every snapshot of that one series over time (line, seq, sim clock,
       delta payload).
+
+  crowdtrace why <task-id> <stream.jsonl> [--exp ID] [--algo NAME]
+      Explain every inference decision recorded for one task: the
+      contributing votes, final worker weights, posterior margin, label
+      flip timeline, and what the task cost — one block per run whose
+      prov.task lineage mentions the task (capture the stream with --log
+      so detail events land). --exp / --algo narrow to one experiment or
+      algorithm.
+
+  crowdtrace audit <stream.jsonl> [--margin F]
+      Suite-wide decision audit from the prov.* events: per-run summary
+      table, contested tasks below the margin threshold (default 0.1),
+      most-influential and most-overruled workers, and spend-per-correct-
+      label by experiment.
 ";
 
 fn main() -> ExitCode {
@@ -108,6 +125,8 @@ fn run(args: &[String]) -> Result<ExitCode, CliError> {
         "history" => cmd_history(&args[1..]),
         "top" => cmd_top(&args[1..]),
         "metrics" => cmd_metrics(&args[1..]),
+        "why" => cmd_why(&args[1..]),
+        "audit" => cmd_audit(&args[1..]),
         "--help" | "-h" | "help" => {
             println!("{USAGE}");
             Ok(ExitCode::SUCCESS)
@@ -319,11 +338,7 @@ fn cmd_top(args: &[String]) -> Result<ExitCode, CliError> {
     loop {
         match std::fs::read_to_string(path) {
             Ok(text) => {
-                let complete = match text.rfind('\n') {
-                    Some(end) => &text[..=end],
-                    None => "",
-                };
-                if let Ok(stream) = parse_stream(complete) {
+                if let Ok(stream) = parse_stream(complete_lines(&text)) {
                     // Clear the terminal like top(1) so the table repaints
                     // in place.
                     print!("\x1b[2J\x1b[H{}", top::collect(&stream).render());
@@ -371,6 +386,36 @@ fn cmd_metrics(args: &[String]) -> Result<ExitCode, CliError> {
             }
         }
     }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_why(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["exp", "algo"])?;
+    let [task, path] = positional[..] else {
+        return Err(CliError::Usage(
+            "why wants a task id and a stream path".into(),
+        ));
+    };
+    let task: u64 = task
+        .parse()
+        .map_err(|_| CliError::Usage(format!("why wants a numeric task id, got `{task}`")))?;
+    let view = prov::collect(&load(path)?);
+    let out = prov::render_why(&view, task, flag(&flags, "exp"), flag(&flags, "algo"))
+        .map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+    print!("{out}");
+    Ok(ExitCode::SUCCESS)
+}
+
+fn cmd_audit(args: &[String]) -> Result<ExitCode, CliError> {
+    let (positional, flags) = parse_flags(args, &["margin"])?;
+    let [path] = positional[..] else {
+        return Err(CliError::Usage("audit wants exactly one stream path".into()));
+    };
+    let margin = parse_f64_flag(&flags, "margin")?.unwrap_or(0.1);
+    let view = prov::collect(&load(path)?);
+    let out = prov::render_audit(&view, margin)
+        .map_err(|e| CliError::Data(format!("{path}: {e}")))?;
+    print!("{out}");
     Ok(ExitCode::SUCCESS)
 }
 

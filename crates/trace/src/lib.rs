@@ -14,7 +14,9 @@
 //! - [`history`] appends bench results to `BENCH_HISTORY.jsonl` and
 //!   compares the current run against a rolling median baseline;
 //! - [`top`] folds `metrics.snapshot` telemetry deltas back into totals
-//!   and renders them as a per-subsystem table.
+//!   and renders them as a per-subsystem table;
+//! - [`prov`] folds `prov.*` decision-lineage events into per-run records
+//!   and renders the `why <task>` and `audit` reports.
 //!
 //! The `crowdtrace` binary fronts all of these as subcommands.
 
@@ -25,6 +27,7 @@
 pub mod diff;
 pub mod history;
 pub mod json;
+pub mod prov;
 pub mod replay;
 pub mod stream;
 pub mod top;
@@ -34,6 +37,7 @@ pub use history::{
     append_history, git_short_rev, parse_bench_snapshot, parse_history, regress,
     render_history_listing, AlgoTiming, BenchEntry, RegressReport,
 };
+pub use prov::{render_audit, render_why, ProvView};
 pub use replay::{replay, Replay};
-pub use stream::{parse_stream, LoadedStream, OwnedEvent, StreamError};
+pub use stream::{complete_lines, parse_stream, LoadedStream, OwnedEvent, StreamError};
 pub use top::{collect, series, series_names, MetricsView, SeriesState};

@@ -46,6 +46,17 @@ pub fn is_wall_field(name: &str) -> bool {
     name == "wall_ns" || name.ends_with("_ns")
 }
 
+/// The prefix of `text` up to and including its last newline — what a
+/// reader can safely parse while a writer may still be appending. A
+/// torn (newline-less) final line is dropped; text with no newline at
+/// all yields `""`.
+pub fn complete_lines(text: &str) -> &str {
+    match text.rfind('\n') {
+        Some(end) => &text[..=end],
+        None => "",
+    }
+}
+
 /// One parsed event line.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OwnedEvent {
@@ -408,6 +419,24 @@ mod tests {
         let missing = "{\"stream\":\"crowdkit-obs\",\"schema\":1}";
         let e = parse_stream(missing).unwrap_err();
         assert!(e.message.contains("git_rev"));
+    }
+
+    #[test]
+    fn complete_lines_tolerates_torn_tails() {
+        // The watch loop's contract: a half-written final line (no
+        // trailing newline yet) is cut, everything before it survives.
+        assert_eq!(
+            complete_lines("{\"key\":\"a\"}\n{\"key\":\"b\",\"n\":"),
+            "{\"key\":\"a\"}\n"
+        );
+        assert_eq!(complete_lines("{\"key\":\"a\"}\n"), "{\"key\":\"a\"}\n");
+        assert_eq!(complete_lines("{\"key\":"), "");
+        assert_eq!(complete_lines(""), "");
+        // The truncated prefix always parses when the full lines did.
+        let torn = format!("{HEADER}\n{{\"key\":\"ok\"}}\n{{\"key\":\"half");
+        let s = parse_stream(complete_lines(&torn)).unwrap();
+        assert_eq!(s.events.len(), 1);
+        assert_eq!(s.events[0].key, "ok");
     }
 
     #[test]

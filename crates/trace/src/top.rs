@@ -58,6 +58,8 @@ pub enum SeriesState {
         p50_ns: Option<u64>,
         /// Latest `p95_ns`, if present.
         p95_ns: Option<u64>,
+        /// Latest `p99_ns`, if present.
+        p99_ns: Option<u64>,
         /// Latest `max_ns`, if present.
         max_ns: Option<u64>,
     },
@@ -156,12 +158,14 @@ pub fn collect(stream: &LoadedStream) -> MetricsView {
                         count: 0,
                         p50_ns: None,
                         p95_ns: None,
+                        p99_ns: None,
                         max_ns: None,
                     });
                 if let SeriesState::HistWall {
                     count,
                     p50_ns,
                     p95_ns,
+                    p99_ns,
                     max_ns,
                 } = entry
                 {
@@ -170,6 +174,7 @@ pub fn collect(stream: &LoadedStream) -> MetricsView {
                     // latest reading (absent in deterministic captures).
                     *p50_ns = e.wall_field("p50_ns").or(*p50_ns);
                     *p95_ns = e.wall_field("p95_ns").or(*p95_ns);
+                    *p99_ns = e.wall_field("p99_ns").or(*p99_ns);
                     *max_ns = e.wall_field("max_ns").or(*max_ns);
                 }
             }
@@ -246,10 +251,14 @@ impl MetricsView {
                     count,
                     p50_ns,
                     p95_ns,
+                    p99_ns,
                     max_ns,
                 } => match (p50_ns, p95_ns, max_ns) {
                     (Some(p50), Some(p95), Some(max)) => {
-                        format!("n={count} p50<={p50}ns p95<={p95}ns max<={max}ns")
+                        // p99 arrived in a later stream schema; render it
+                        // only when the stream carried it.
+                        let p99 = p99_ns.map_or(String::new(), |p| format!(" p99<={p}ns"));
+                        format!("n={count} p50<={p50}ns p95<={p95}ns{p99} max<={max}ns")
                     }
                     _ => format!("n={count} (wall timings not captured)"),
                 },
@@ -389,6 +398,7 @@ mod tests {
                 count: 4,
                 p50_ns: None,
                 p95_ns: None,
+                p99_ns: None,
                 max_ns: None
             })
         );
@@ -398,7 +408,7 @@ mod tests {
     #[test]
     fn wall_histograms_pick_up_wall_quantiles() {
         let s = stream_of(&[
-            r#"{"key":"metrics.snapshot","wall_ns":1,"seq":1,"metric":"truth.ds.sweep_ns","kind":"hist_wall","count":4,"sum_ns":100,"p50_ns":15,"p95_ns":31,"max_ns":31}"#,
+            r#"{"key":"metrics.snapshot","wall_ns":1,"seq":1,"metric":"truth.ds.sweep_ns","kind":"hist_wall","count":4,"sum_ns":100,"p50_ns":15,"p95_ns":31,"p99_ns":63,"max_ns":63}"#,
         ]);
         let v = collect(&s);
         assert_eq!(
@@ -407,10 +417,25 @@ mod tests {
                 count: 4,
                 p50_ns: Some(15),
                 p95_ns: Some(31),
-                max_ns: Some(31)
+                p99_ns: Some(63),
+                max_ns: Some(63)
             })
         );
-        assert!(v.render().contains("p95<=31ns"));
+        let rendered = v.render();
+        assert!(rendered.contains("p95<=31ns"));
+        assert!(rendered.contains("p99<=63ns"));
+    }
+
+    #[test]
+    fn wall_histograms_render_without_p99_from_older_streams() {
+        // Streams recorded before p99 landed lack the field; the render
+        // degrades to the old three-quantile line.
+        let s = stream_of(&[
+            r#"{"key":"metrics.snapshot","wall_ns":1,"seq":1,"metric":"truth.ds.sweep_ns","kind":"hist_wall","count":4,"sum_ns":100,"p50_ns":15,"p95_ns":31,"max_ns":31}"#,
+        ]);
+        let rendered = collect(&s).render();
+        assert!(rendered.contains("p95<=31ns max<=31ns"));
+        assert!(!rendered.contains("p99"));
     }
 
     #[test]

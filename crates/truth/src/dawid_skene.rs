@@ -87,6 +87,8 @@ impl DawidSkene {
         let rec = obs::current();
         let obs_on = rec.enabled();
         let run_start = obs::WallTimer::start();
+        // Lineage baseline: the vote-fraction init, i.e. MV's decision.
+        let mut lineage = crowdkit_provenance::RunLineage::begin("ds", &posteriors, k);
 
         let mut iterations = 0;
         let mut converged = false;
@@ -167,6 +169,12 @@ impl DawidSkene {
             });
 
             let delta = out.delta;
+            if let Some(l) = &mut lineage {
+                // The committed table after the sweep: pinned rows on the
+                // sparse path are bit-identical to the dense reference's,
+                // so both paths record the same flips.
+                l.observe_iter(iterations, &posteriors);
+            }
             if obs_on {
                 let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "ds", iterations, delta, m_ns, e_ns);
@@ -177,10 +185,12 @@ impl DawidSkene {
                 break;
             }
         }
-        obs_run("ds", matrix, iterations, converged, run_start);
-
         let labels = argmax_labels(&posteriors, k);
         let worker_quality = Some(worker_accuracy(&confusion, &priors, k));
+        if let Some(l) = lineage.take() {
+            l.finish(matrix, &posteriors, worker_quality.as_deref());
+        }
+        obs_run("ds", matrix, iterations, converged, run_start);
         let confusion_rows = confusion
             .chunks(k * k)
             .map(|cm| cm.chunks(k).map(<[f64]>::to_vec).collect())

@@ -187,6 +187,8 @@ impl Glad {
         let rec = obs::current();
         let obs_on = rec.enabled();
         let run_start = obs::WallTimer::start();
+        // Lineage baseline: the vote-fraction init, i.e. MV's decision.
+        let mut lineage = crowdkit_provenance::RunLineage::begin("glad", &posteriors, k);
 
         let mut iterations = 0;
         let mut converged = false;
@@ -360,6 +362,11 @@ impl Glad {
             }
 
             let delta = out.delta;
+            if let Some(l) = &mut lineage {
+                // Committed table after the sweep — identical bits on the
+                // sparse and dense-reference paths, so lineage matches.
+                l.observe_iter(iterations, &posteriors);
+            }
             if obs_on {
                 let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "glad", iterations, delta, m_ns, e_ns);
@@ -370,12 +377,15 @@ impl Glad {
                 break;
             }
         }
-        obs_run("glad", matrix, iterations, converged, run_start);
 
         let labels = argmax_labels(&posteriors, k);
         // Scalar worker quality: σ(α) — correctness probability on a task of
         // reference difficulty β = 1.
-        let worker_quality = Some(alpha.iter().map(|&a| sigmoid(a)).collect());
+        let worker_quality: Option<Vec<f64>> = Some(alpha.iter().map(|&a| sigmoid(a)).collect());
+        if let Some(l) = lineage.take() {
+            l.finish(matrix, &posteriors, worker_quality.as_deref());
+        }
+        obs_run("glad", matrix, iterations, converged, run_start);
         let params = GladParams {
             abilities: alpha,
             inverse_difficulties: b.iter().map(|&x| x.exp()).collect(),

@@ -115,9 +115,32 @@ impl TruthInferencer for Kos {
             w_cur[o.worker] += 1;
         }
 
+        // Decision snapshot for lineage capture: the current per-task
+        // belief as a flat [P(0), P(1)] table (logistic squash of the
+        // signed decision sum, matching the final posterior construction
+        // below). Only evaluated while a provenance scope is active.
+        let snapshot = |y: &[f64]| -> Vec<f64> {
+            let mut d = vec![0.0f64; n_tasks];
+            for (i, o) in obs.iter().enumerate() {
+                d[o.task] += sign[i] * y[i];
+            }
+            d.iter()
+                .flat_map(|&d| {
+                    let p1 = 1.0 / (1.0 + (-d).exp());
+                    [1.0 - p1, p1]
+                })
+                .collect()
+        };
+        // Lineage baseline: the decision implied by the initial messages.
+        let mut lineage = if crowdkit_provenance::enabled() {
+            crowdkit_provenance::RunLineage::begin("kos", &snapshot(&y), 2)
+        } else {
+            None
+        };
+
         let mut task_sum = vec![0.0f64; n_tasks];
         let mut worker_sum = vec![0.0f64; n_workers];
-        for _ in 0..self.iterations {
+        for round in 0..self.iterations {
             // Task → worker: x_{t→w} = Σ_{w'≠w} A_{t,w'} · y_{w'→t}.
             // Entity sums shard over task ranges (each task folds its own
             // edge list in fixed order); the per-edge message update is an
@@ -170,6 +193,11 @@ impl TruthInferencer for Kos {
                     *v /= rms;
                 }
             }
+            if let Some(l) = &mut lineage {
+                // Flip timeline per message-passing round, from the
+                // post-round decision snapshot.
+                l.observe_iter(round + 1, &snapshot(&y));
+            }
         }
 
         // Decision: sign of Σ_w A_{t,w} · y_{w→t}.
@@ -212,6 +240,10 @@ impl TruthInferencer for Kos {
             })
             .collect();
 
+        if let Some(l) = lineage.take() {
+            let flat: Vec<f64> = posteriors.iter().flatten().copied().collect();
+            l.finish(matrix, &flat, Some(&worker_quality));
+        }
         // KOS has no shared obs_iter loop (BP sweeps carry no convergence
         // delta), so its iteration count lands on the counter here.
         crowdkit_metrics::current()

@@ -37,6 +37,11 @@ impl TruthInferencer for MajorityVote {
             normalize(row);
         }
         let labels = argmax_labels(&posteriors, k);
+        // Single-pass: the lineage baseline *is* the final table, so the
+        // flip timeline is legitimately empty.
+        if let Some(lineage) = crowdkit_provenance::RunLineage::begin("mv", &posteriors, k) {
+            lineage.finish(matrix, &posteriors, None);
+        }
         crate::em::obs_run("mv", matrix, 1, true, run_start);
         Ok(InferenceResult {
             labels,
@@ -114,11 +119,14 @@ impl TruthInferencer for WeightedMajorityVote {
             normalize(row);
         }
         let labels = argmax_labels(&posteriors, k);
-        let worker_quality = Some(
+        let worker_quality: Option<Vec<f64>> = Some(
             (0..matrix.num_workers())
                 .map(|w| self.weight(matrix.worker_id(w)).clamp(0.0, 1.0))
                 .collect(),
         );
+        if let Some(lineage) = crowdkit_provenance::RunLineage::begin("wmv", &posteriors, k) {
+            lineage.finish(matrix, &posteriors, worker_quality.as_deref());
+        }
         crate::em::obs_run("wmv", matrix, 1, true, run_start);
         Ok(InferenceResult {
             labels,

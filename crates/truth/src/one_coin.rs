@@ -75,6 +75,8 @@ impl TruthInferencer for OneCoinEm {
         let rec = obs::current();
         let obs_on = rec.enabled();
         let run_start = obs::WallTimer::start();
+        // Lineage baseline: the vote-fraction init, i.e. MV's decision.
+        let mut lineage = crowdkit_provenance::RunLineage::begin("zc", &posteriors, k);
 
         let mut iterations = 0;
         let mut converged = false;
@@ -143,6 +145,11 @@ impl TruthInferencer for OneCoinEm {
             });
 
             let delta = out.delta;
+            if let Some(l) = &mut lineage {
+                // Committed table after the sweep — identical bits on the
+                // sparse and dense-reference paths, so lineage matches.
+                l.observe_iter(iterations, &posteriors);
+            }
             if obs_on {
                 let e_ns = t_e.map_or(0, |t| t.elapsed_ns());
                 obs_iter(&*rec, "zc", iterations, delta, m_ns, e_ns);
@@ -152,6 +159,9 @@ impl TruthInferencer for OneCoinEm {
                 converged = true;
                 break;
             }
+        }
+        if let Some(l) = lineage.take() {
+            l.finish(matrix, &posteriors, Some(&reliability));
         }
         obs_run("zc", matrix, iterations, converged, run_start);
 
